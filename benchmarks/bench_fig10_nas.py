@@ -1,0 +1,26 @@
+"""Figure 10 — NAS cumulative speedups: small → +SAFARA (no dim: C codes).
+
+Paper facts reproduced: BT/LU/SP gain the most (uncoalesced chains in the
+line solves), EP is flat, and the suite max approaches the paper's 2.5×.
+"""
+
+from repro.bench import fig10
+
+
+def test_fig10(record_experiment):
+    result = record_experiment(fig10)
+    rows = {r["benchmark"]: r for r in result.rows}
+
+    # EP: nothing to optimise.
+    assert rows["EP"]["small+SAFARA"] <= 1.02
+
+    # The line-solve benchmarks are the big winners.
+    for name in ("BT", "LU", "SP"):
+        assert rows[name]["small+SAFARA"] >= 1.4, name
+
+    # Stencil/sparse benchmarks gain moderately.
+    assert 1.05 <= rows["MG"]["small+SAFARA"] <= 1.4
+
+    # Nothing regresses.
+    for name, row in rows.items():
+        assert row["small+SAFARA"] >= 0.97, name

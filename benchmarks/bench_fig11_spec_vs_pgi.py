@@ -1,0 +1,34 @@
+"""Figure 11 — SPEC normalised execution time: OpenUH configs vs PGI.
+
+Paper claim: "In the second and third cases [SAFARA, SAFARA+clauses], the
+OpenUH compiler generates efficient GPU kernels that outperform the PGI
+compiler", while the base OpenUH does not consistently win.
+"""
+
+from repro.bench import fig11
+
+
+def test_fig11(record_experiment):
+    result = record_experiment(fig11)
+    rows = result.rows
+
+    wins = sum(1 for r in rows if r["openuh_wins"] == "yes")
+    # OpenUH(SAFARA+clauses) beats PGI on the clear majority of the suite.
+    assert wins >= len(rows) - 2
+
+    # Base OpenUH is NOT consistently better than PGI (PGI's mature backend
+    # wins the compute-bound cases) — the reason the optimisations matter.
+    base_beats_pgi = sum(
+        1 for r in rows if r["OpenUH(base)"] < r["PGI"]
+    )
+    assert base_beats_pgi < len(rows) // 2
+
+    # Normalisation invariant: the worst configuration reads exactly 1.0.
+    for r in rows:
+        values = [
+            r["OpenUH(base)"],
+            r["OpenUH(SAFARA)"],
+            r["OpenUH(SAFARA+clauses)"],
+            r["PGI"],
+        ]
+        assert max(values) == 1.0

@@ -1,0 +1,15 @@
+"""Figure 12 — NAS normalised execution time: OpenUH configs vs PGI."""
+
+from repro.bench import fig12
+
+
+def test_fig12(record_experiment):
+    result = record_experiment(fig12)
+    rows = result.rows
+
+    wins = sum(1 for r in rows if r["openuh_wins"] == "yes")
+    assert wins >= len(rows) - 1  # all but (at most) the compute-bound EP
+
+    # The optimised OpenUH strictly improves on its own base everywhere.
+    for r in rows:
+        assert r["OpenUH(SAFARA+clauses)"] <= r["OpenUH(base)"]

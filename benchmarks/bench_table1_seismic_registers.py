@@ -1,0 +1,28 @@
+"""Table I — 355.seismic per-kernel register usage (base / +small / w dim).
+
+The registers are *emergent*: they come from running the ptxas-simulator
+over generated code, so this bench checks our columns land in the paper's
+regime and move in the paper's direction, not that they match digit-for-
+digit (a different allocator cannot).
+"""
+
+from repro.bench import table1
+from repro.bench.paper_data import TABLE1_SEISMIC
+
+
+def test_table1(record_experiment):
+    result = record_experiment(table1)
+    paper = {r.kernel: r for r in TABLE1_SEISMIC}
+
+    for row in result.rows:
+        p = paper[row["kernel"]]
+        # Monotone effect of the clauses, as in every paper row.
+        assert row["+small"] <= row["base"]
+        assert row["w dim"] is not None and row["w dim"] <= row["+small"]
+        # Regime: within a factor of 1.6 of the paper's base and dim columns.
+        assert p.base / 1.6 <= row["base"] <= p.base * 1.6
+        assert p.dim / 1.6 <= row["w dim"] <= p.dim * 1.6
+
+    # HOT1 is the heaviest kernel in both (128 regs in the paper).
+    ours = {r["kernel"]: r["base"] for r in result.rows}
+    assert max(ours, key=ours.get) in ("HOT1", "HOT2")

@@ -1,0 +1,27 @@
+"""Table II — 356.sp per-kernel register usage, including the NA rows
+(kernels touching fewer than two same-shape allocatable arrays, where the
+dim clause has nothing to merge)."""
+
+from repro.bench import table2
+from repro.bench.paper_data import TABLE2_SP
+
+
+def test_table2(record_experiment):
+    result = record_experiment(table2)
+    paper = {r.kernel: r for r in TABLE2_SP}
+
+    ours_na = {r["kernel"] for r in result.rows if r["w dim"] is None}
+    paper_na = {k for k, r in paper.items() if r.dim is None}
+    assert ours_na == paper_na, "NA pattern must match the paper's Table II"
+
+    for row in result.rows:
+        assert row["+small"] <= row["base"]
+        if row["w dim"] is not None:
+            assert row["w dim"] <= row["+small"]
+
+    # HOT8 is the register monster in both tables.
+    ours = {r["kernel"]: r["base"] for r in result.rows}
+    assert max(ours, key=ours.get) == "HOT8"
+    # HOT5 shows the steepest relative small saving (74 -> 37 in the paper).
+    h5 = next(r for r in result.rows if r["kernel"] == "HOT5")
+    assert h5["+small"] <= 0.7 * h5["base"]

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures: it runs the
+experiment once under ``pytest-benchmark`` (pedantic mode — these are
+deterministic model evaluations, not microbenchmarks), writes the rendered
+table to ``benchmarks/results/``, and asserts the shape properties the
+paper reports.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_experiment(benchmark):
+    """Run an experiment function once, save its rendering, return it."""
+
+    def _run(fn):
+        result = benchmark.pedantic(fn, iterations=1, rounds=1)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment}.txt"
+        path.write_text(result.render() + "\n")
+        return result
+
+    return _run

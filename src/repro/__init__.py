@@ -1,0 +1,22 @@
+"""repro — reproduction of "Optimizing GPU Register Usage: Extensions to
+OpenACC and Compiler Optimizations" (Tian et al., ICPP 2016).
+
+Subpackages:
+
+* :mod:`repro.lang` — MiniACC front end (OpenACC directives incl. the
+  proposed ``dim``/``small`` clauses);
+* :mod:`repro.ir` — typed loop-nest IR;
+* :mod:`repro.analysis` — subscripts, dependences, reuse, coalescing,
+  memory spaces, the SAFARA cost model;
+* :mod:`repro.transforms` — LICM, Carr-Kennedy, SAFARA, unrolling,
+  clause semantics;
+* :mod:`repro.codegen` — PTX-like virtual ISA + CUDA-like renderer;
+* :mod:`repro.gpu` — the simulated device: ptxas register allocator,
+  occupancy/memory/timing models, microbenchmarks, interpreter;
+* :mod:`repro.feedback` — the PTXAS-info feedback loop;
+* :mod:`repro.compiler` — configurations, driver, runtime clause guards;
+* :mod:`repro.bench` — SPEC/NAS benchmark models and the per-figure
+  experiment harness.
+"""
+
+__version__ = "1.0.0"

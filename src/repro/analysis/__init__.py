@@ -1,0 +1,54 @@
+"""Compiler analyses: affine subscripts, dependence/reuse, coalescing,
+memory spaces and the SAFARA cost model."""
+
+from .coalescing import AccessInfo, AccessPattern, classify_access, classify_all
+from .cost_model import Candidate, LatencyModel, price_candidates
+from .dependence import (
+    Dependence,
+    DepKind,
+    dependences,
+    is_parallelizable,
+    loop_carried_dependences,
+)
+from .loopinfo import LoopNestInfo, analyze_loops
+from .memspace import MemSpace, classify_memspaces, referenced_arrays, written_arrays
+from .reuse import (
+    GroupKind,
+    RefOccurrence,
+    ReuseGroup,
+    collect_occurrences,
+    find_reuse_groups,
+    iteration_distance,
+)
+from .subscripts import AffineForm, affine_of, subscript_distance, subscript_forms
+
+__all__ = [
+    "AccessInfo",
+    "AccessPattern",
+    "AffineForm",
+    "Candidate",
+    "DepKind",
+    "Dependence",
+    "GroupKind",
+    "LatencyModel",
+    "LoopNestInfo",
+    "MemSpace",
+    "RefOccurrence",
+    "ReuseGroup",
+    "affine_of",
+    "analyze_loops",
+    "classify_access",
+    "classify_all",
+    "classify_memspaces",
+    "collect_occurrences",
+    "dependences",
+    "find_reuse_groups",
+    "is_parallelizable",
+    "iteration_distance",
+    "loop_carried_dependences",
+    "price_candidates",
+    "referenced_arrays",
+    "subscript_distance",
+    "subscript_forms",
+    "written_arrays",
+]

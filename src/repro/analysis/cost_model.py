@@ -1,0 +1,122 @@
+"""The SAFARA cost model (paper Section III-B.3).
+
+Each reuse group (candidate for scalar replacement) is priced as::
+
+    cost = reference_count(R) × memory_access_latency(M)
+
+where ``M`` is the memory space + coalescing class of the group's array.
+Candidates are sorted by descending cost and replaced greedily until the
+register budget reported by the assembler feedback is exhausted.
+
+Latency defaults follow Wong et al. microbenchmarks (paper reference [19])
+scaled to a Kepler-class device; :mod:`repro.gpu.microbench` re-measures
+them against the simulated memory hierarchy, closing the calibration loop
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .coalescing import AccessInfo, AccessPattern
+from .memspace import MemSpace
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Per-access latencies in GPU core cycles.
+
+    An uncoalesced warp access is serviced by up to 32 separate memory
+    transactions; its *effective* per-reference latency multiplies the base
+    latency by a serialisation factor.
+    """
+
+    global_mem: float = 440.0
+    readonly_cache: float = 160.0
+    constant_cache: float = 48.0
+    shared_mem: float = 48.0
+    local_mem: float = 440.0
+    #: Effective multiplier for fully scattered (32-transaction) accesses.
+    uncoalesced_factor: float = 8.0
+    #: Multiplier for warp-uniform (broadcast) accesses: every warp asks
+    #: for the same line, so after the first request it is L2/read-only
+    #: cache resident and broadcast to all lanes.
+    uniform_factor: float = 0.25
+
+    def base_latency(self, space: MemSpace) -> float:
+        return {
+            MemSpace.GLOBAL: self.global_mem,
+            MemSpace.READONLY: self.readonly_cache,
+            MemSpace.CONSTANT: self.constant_cache,
+            MemSpace.SHARED: self.shared_mem,
+            MemSpace.LOCAL: self.local_mem,
+        }[space]
+
+    def access_latency(self, space: MemSpace, access: AccessInfo) -> float:
+        """Effective latency of one warp-wide reference."""
+        base = self.base_latency(space)
+        if access.pattern is AccessPattern.COALESCED:
+            return base
+        if access.pattern is AccessPattern.UNIFORM:
+            return base * self.uniform_factor
+        if access.pattern is AccessPattern.UNCOALESCED:
+            if access.stride_elems is None:
+                return base * self.uncoalesced_factor
+            # Transactions grow with stride until fully scattered at 32.
+            serialisation = min(float(max(access.stride_elems, 1)), 32.0)
+            return base * min(self.uncoalesced_factor, max(serialisation, 2.0))
+        return base * self.uncoalesced_factor  # UNKNOWN: conservative
+
+
+@dataclass(slots=True)
+class Candidate:
+    """A priced scalar-replacement candidate."""
+
+    group: "object"  # ReuseGroup; kept loose to avoid an import cycle
+    space: MemSpace
+    access: AccessInfo
+    cost: float
+    registers_needed: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Candidate({self.group.array.name}, {self.space.value}, "
+            f"{self.access.pattern.value}, cost={self.cost:.0f}, "
+            f"regs={self.registers_needed})"
+        )
+
+
+def price_candidates(
+    groups,
+    spaces: dict,
+    accesses: dict,
+    latency: LatencyModel | None = None,
+) -> list[Candidate]:
+    """Price and rank reuse groups (highest cost first — the paper's
+    "sorted from higher to lower cost").
+
+    ``spaces`` maps array symbols to :class:`MemSpace`; ``accesses`` maps an
+    array reference of each group's generator to its :class:`AccessInfo`.
+    Deterministic tie-break: textual order of the generator.
+    """
+    latency = latency or LatencyModel()
+    out: list[Candidate] = []
+    for group in groups:
+        space = spaces.get(group.array, MemSpace.GLOBAL)
+        gen_ref = group.generator.ref
+        access = accesses.get(gen_ref)
+        if access is None:
+            access = AccessInfo(AccessPattern.UNKNOWN, None)
+        cost = group.ref_count * latency.access_latency(space, access)
+        elem_regs = group.array.array.elem.registers if group.array.array else 1
+        out.append(
+            Candidate(
+                group=group,
+                space=space,
+                access=access,
+                cost=cost,
+                registers_needed=group.temporaries_needed() * elem_regs,
+            )
+        )
+    out.sort(key=lambda c: (-c.cost, c.group.generator.order))
+    return out

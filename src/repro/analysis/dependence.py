@@ -1,0 +1,215 @@
+"""Classical dependence analysis over loop nests.
+
+Provides the dependence classification (flow / anti / output / input) with
+constant distances that both the Carr-Kennedy baseline and SAFARA build on
+(paper Section III-A: "a dependence distance-based data reuse analysis"),
+and the loop-parallelisation legality check SAFARA uses to refuse
+inter-iteration scalar replacement on parallel loops (Section III-B, first
+limitation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..ir.expr import ArrayRef, array_refs
+from ..ir.stmt import Assign, If, LocalDecl, Loop, Stmt, walk_stmts
+from ..ir.symbols import Symbol
+from .reuse import iteration_distance
+from .subscripts import subscript_distance, subscript_forms
+
+
+class DepKind(enum.Enum):
+    FLOW = "flow"  # write -> read (true dependence)
+    ANTI = "anti"  # read -> write
+    OUTPUT = "output"  # write -> write
+    INPUT = "input"  # read -> read (not a real dependence; models reuse)
+
+
+@dataclass(frozen=True, slots=True)
+class Dependence:
+    """A dependence edge between two references wrt one loop.
+
+    ``distance`` is in iterations of ``loop_var``; ``None`` distance means
+    "unknown / possibly any" (conservative).
+    """
+
+    kind: DepKind
+    source: ArrayRef
+    sink: ArrayRef
+    loop_var: Symbol
+    distance: int | None
+
+    @property
+    def is_loop_carried(self) -> bool:
+        return self.distance is None or self.distance != 0
+
+
+@dataclass(slots=True)
+class _Access:
+    ref: ArrayRef
+    is_write: bool
+
+
+def _accesses_in(loop: Loop) -> list[_Access]:
+    """All array accesses anywhere inside the loop (any depth)."""
+    out: list[_Access] = []
+    for stmt in walk_stmts(loop.body):
+        if isinstance(stmt, Assign):
+            for ref in array_refs(stmt.value):
+                out.append(_Access(ref, False))
+            if isinstance(stmt.target, ArrayRef):
+                for idx in stmt.target.indices:
+                    for ref in array_refs(idx):
+                        out.append(_Access(ref, False))
+                out.append(_Access(stmt.target, True))
+        elif isinstance(stmt, LocalDecl) and stmt.init is not None:
+            for ref in array_refs(stmt.init):
+                out.append(_Access(ref, False))
+        elif isinstance(stmt, If):
+            for ref in array_refs(stmt.cond):
+                out.append(_Access(ref, False))
+    return out
+
+
+def _dep_kind(a_write: bool, b_write: bool) -> DepKind:
+    if a_write and b_write:
+        return DepKind.OUTPUT
+    if a_write:
+        return DepKind.FLOW
+    if b_write:
+        return DepKind.ANTI
+    return DepKind.INPUT
+
+
+def dependences(loop: Loop, include_input: bool = False) -> list[Dependence]:
+    """All dependences between array accesses inside ``loop`` wrt its
+    variable.
+
+    Conservative: pairs whose distance cannot be proven constant are
+    reported with ``distance=None`` **unless** the subscripts provably never
+    alias (different constant subscripts in a dimension the loop variable
+    does not appear in).
+    """
+    from .reuse import volatile_symbols
+    from .subscripts import subscript_forms as _forms
+
+    accesses = _accesses_in(loop)
+    volatile = volatile_symbols(loop)
+
+    def _is_volatile(ref: ArrayRef) -> bool:
+        forms = _forms(ref)
+        if forms is None:
+            return True
+        return any(f.depends_on(s) for f in forms for s in volatile)
+
+    out: list[Dependence] = []
+
+    # Self-conflicts: a write whose target location is not an injective
+    # function of the iteration (invariant, volatile/indirect, or
+    # non-affine subscripts) can collide with itself across iterations —
+    # e.g. ``a[idx[i]] = ...`` or ``a[j] += ...`` inside the i loop.
+    for a in accesses:
+        if not a.is_write:
+            continue
+        forms = _forms(a.ref)
+        if forms is None or _is_volatile(a.ref):
+            injective = False
+        else:
+            strides = [f.linear_coefficient(loop.var) for f in forms]
+            if any(s is None for s in strides):
+                injective = False
+            else:
+                injective = any(not s.is_zero for s in strides)
+        if not injective:
+            out.append(
+                Dependence(
+                    kind=DepKind.OUTPUT,
+                    source=a.ref,
+                    sink=a.ref,
+                    loop_var=loop.var,
+                    distance=None,
+                )
+            )
+
+    for i, a in enumerate(accesses):
+        for b in accesses[i + 1 :]:
+            if a.ref.sym is not b.ref.sym:
+                continue
+            if not a.is_write and not b.is_write and not include_input:
+                continue
+            if _is_volatile(a.ref) or _is_volatile(b.ref):
+                # Subscripts through loop-defined values: location unknown
+                # across iterations — conservative unknown distance.
+                dist = None
+            else:
+                dist = iteration_distance(b.ref, a.ref, loop)
+            if dist is None:
+                if _provably_independent(a.ref, b.ref, loop):
+                    continue
+                out.append(
+                    Dependence(
+                        kind=_dep_kind(a.is_write, b.is_write),
+                        source=a.ref,
+                        sink=b.ref,
+                        loop_var=loop.var,
+                        distance=None,
+                    )
+                )
+                continue
+            # Normalise so the source is the access that touches the common
+            # location in the earlier iteration (distance >= 0).  A negative
+            # dist means b's access leads a's.
+            if dist < 0:
+                src, snk, d = b, a, -dist
+            else:
+                src, snk, d = a, b, dist
+            out.append(
+                Dependence(
+                    kind=_dep_kind(src.is_write, snk.is_write),
+                    source=src.ref,
+                    sink=snk.ref,
+                    loop_var=loop.var,
+                    distance=d,
+                )
+            )
+    return out
+
+
+def _provably_independent(a: ArrayRef, b: ArrayRef, loop: Loop) -> bool:
+    """ZIV-style disproof: some dimension differs by a nonzero constant
+    while neither subscript involves the loop variable in that dimension."""
+    delta = subscript_distance(a, b)
+    if delta is None:
+        return False
+    fa = subscript_forms(a)
+    if fa is None:
+        return False
+    for d, form in zip(delta, fa):
+        if d != 0 and not form.depends_on(loop.var):
+            return True
+    return False
+
+
+def loop_carried_dependences(loop: Loop) -> list[Dependence]:
+    """Real (non-input) dependences carried across iterations of ``loop``."""
+    return [
+        d
+        for d in dependences(loop, include_input=False)
+        if d.is_loop_carried
+    ]
+
+
+def is_parallelizable(loop: Loop) -> bool:
+    """Can the loop's iterations run concurrently?
+
+    True when no flow/anti/output dependence is carried by the loop.  This
+    is the property the Carr-Kennedy transformation can destroy (paper
+    Figures 3–4) and that SAFARA preserves by restricting itself to
+    intra-iteration replacement on parallel loops.
+
+    Reductions declared via the ``reduction`` clause are exempted: the
+    corresponding scalar updates are handled by the reduction lowering.
+    """
+    return not loop_carried_dependences(loop)

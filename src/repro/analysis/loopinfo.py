@@ -1,0 +1,153 @@
+"""Loop-nest structure of an offload region.
+
+Determines which loops are mapped onto the GPU thread topology (gang →
+thread blocks, vector → threads within a block, following the OpenUH
+mapping the paper describes in Section II-D) and which execute sequentially
+per thread — the distinction SAFARA uses to decide between intra- and
+inter-iteration scalar replacement (Section III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.stmt import If, Loop, Region, Stmt
+from ..ir.symbols import Symbol
+
+
+@dataclass(slots=True)
+class LoopNestInfo:
+    """Structural facts about one offload region's loops."""
+
+    region: Region
+    loops: list[Loop] = field(default_factory=list)
+    parents: dict[int, Loop | None] = field(default_factory=dict)  # loop_id -> parent
+    depths: dict[int, int] = field(default_factory=dict)  # loop_id -> nest depth
+
+    @property
+    def parallel_loops(self) -> list[Loop]:
+        return [l for l in self.loops if l.is_parallel]
+
+    @property
+    def seq_loops(self) -> list[Loop]:
+        return [l for l in self.loops if not l.is_parallel]
+
+    @property
+    def vector_loop(self) -> Loop | None:
+        """The loop mapped to ``threadIdx.x`` — the deepest parallel loop
+        with a ``vector`` clause, falling back to the deepest parallel loop.
+
+        Its variable drives coalescing analysis: consecutive values of this
+        variable are executed by consecutive threads of a warp.
+        """
+        vector_loops = [
+            l
+            for l in self.parallel_loops
+            if l.directive is not None and l.directive.vector is not None
+        ]
+        pool = vector_loops or self.parallel_loops
+        if not pool:
+            return None
+        return max(pool, key=lambda l: self.depths[l.loop_id])
+
+    @property
+    def vector_var(self) -> Symbol | None:
+        loop = self.vector_loop
+        return loop.var if loop is not None else None
+
+    def parallel_vars(self) -> list[Symbol]:
+        return [l.var for l in self.parallel_loops]
+
+    def enclosing(self, loop: Loop) -> list[Loop]:
+        """Chain of enclosing loops, outermost first (excluding ``loop``)."""
+        chain: list[Loop] = []
+        cur = self.parents.get(loop.loop_id)
+        while cur is not None:
+            chain.append(cur)
+            cur = self.parents.get(cur.loop_id)
+        chain.reverse()
+        return chain
+
+    def loop_of_var(self, var: Symbol) -> Loop | None:
+        for l in self.loops:
+            if l.var is var:
+                return l
+        return None
+
+    def divergent_symbols(self) -> set[Symbol]:
+        """Integer symbols whose per-thread values differ across a warp for
+        reasons *other than* being the vector variable itself: scalars
+        computed from parallel-loop variables or array loads, and
+        sequential-loop variables with such bounds (the CSR row-loop
+        pattern ``for (k = rowstr[j]; ...)``).
+
+        An access subscripted by such a symbol is *not* warp-uniform;
+        coalescing classification downgrades it to UNKNOWN (scattered).
+        """
+        from ..ir.expr import array_refs, scalar_reads
+        from ..ir.stmt import Assign, LocalDecl, walk_stmts
+
+        tainted: set[Symbol] = set(self.parallel_vars())
+
+        def expr_tainted(e) -> bool:
+            if array_refs(e):
+                return True
+            return any(vr.sym in tainted for vr in scalar_reads(e))
+
+        changed = True
+        while changed:
+            changed = False
+            for stmt in walk_stmts(self.region.body):
+                if isinstance(stmt, LocalDecl) and stmt.init is not None:
+                    if stmt.sym not in tainted and expr_tainted(stmt.init):
+                        tainted.add(stmt.sym)
+                        changed = True
+                elif isinstance(stmt, Assign) and not hasattr(stmt.target, "indices"):
+                    sym = stmt.target.sym
+                    if sym not in tainted and expr_tainted(stmt.value):
+                        tainted.add(sym)
+                        changed = True
+                elif isinstance(stmt, Loop) and not stmt.is_parallel:
+                    if stmt.var not in tainted and (
+                        expr_tainted(stmt.init) or expr_tainted(stmt.bound)
+                    ):
+                        tainted.add(stmt.var)
+                        changed = True
+        return tainted - set(self.parallel_vars())
+
+    def inner_loops(self, loop: Loop) -> list[Loop]:
+        """Loops strictly inside ``loop``."""
+        return [
+            l
+            for l in self.loops
+            if l is not loop and self._is_ancestor(loop, l)
+        ]
+
+    def _is_ancestor(self, outer: Loop, inner: Loop) -> bool:
+        cur = self.parents.get(inner.loop_id)
+        while cur is not None:
+            if cur is outer:
+                return True
+            cur = self.parents.get(cur.loop_id)
+        return False
+
+
+def analyze_loops(region: Region) -> LoopNestInfo:
+    """Build the :class:`LoopNestInfo` of an offload region."""
+    info = LoopNestInfo(region=region)
+
+    def visit(stmts: list[Stmt], parent: Loop | None, depth: int) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                info.loops.append(stmt)
+                info.parents[stmt.loop_id] = parent
+                info.depths[stmt.loop_id] = depth
+                visit(stmt.body, stmt, depth + 1)
+            elif isinstance(stmt, If):
+                visit(stmt.then_body, parent, depth)
+                visit(stmt.else_body, parent, depth)
+            elif isinstance(stmt, Region):  # nested regions are not allowed
+                raise ValueError("nested OpenACC compute regions are not supported")
+
+    visit(region.body, None, 0)
+    return info

@@ -1,0 +1,76 @@
+"""GPU memory-space classification of arrays in an offload region.
+
+The paper (Section III-B.1) classifies array references into shared,
+constant, read-only and global memory; its implementation "only considers
+read-only and global memory accesses", and so does ours:
+
+* an array that is never written inside the region **and** is declared
+  ``const`` or ``restrict`` is eligible for the Kepler Read-only Data
+  Cache (lowered through ``ld.global.nc`` / ``__ldg``);
+* everything else lives in plain global memory.
+
+Shared/constant placement would be a separate optimization (the paper cites
+PORPLE [6]) and is out of scope here, exactly as it is in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..ir.expr import ArrayRef, array_refs
+from ..ir.stmt import Assign, Region, walk_stmts
+from ..ir.symbols import Symbol
+
+
+class MemSpace(enum.Enum):
+    GLOBAL = "global"
+    READONLY = "readonly"  # global data cached via the Read-only Data Cache
+    CONSTANT = "constant"
+    SHARED = "shared"
+    LOCAL = "local"  # register spill space
+
+
+def written_arrays(region: Region) -> set[Symbol]:
+    """Arrays stored to anywhere in the region."""
+    out: set[Symbol] = set()
+    for stmt in walk_stmts(region.body):
+        if isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef):
+            out.add(stmt.target.sym)
+    return out
+
+
+def referenced_arrays(region: Region) -> set[Symbol]:
+    """Arrays read or written anywhere in the region (including local
+    declaration initialisers, conditions and loop bounds)."""
+    from ..ir.stmt import stmt_exprs
+
+    out: set[Symbol] = set()
+    for stmt in walk_stmts(region.body):
+        for expr in stmt_exprs(stmt):
+            for ref in array_refs(expr):
+                out.add(ref.sym)
+            if isinstance(expr, ArrayRef):
+                out.add(expr.sym)
+    return out
+
+
+def classify_memspaces(
+    region: Region, has_readonly_cache: bool = True
+) -> dict[Symbol, MemSpace]:
+    """Memory space of every array referenced in the region.
+
+    ``has_readonly_cache=False`` models pre-Kepler devices (the paper notes
+    the read-only category is "available in NVIDIA Kepler GPUs only").
+    """
+    written = written_arrays(region)
+    spaces: dict[Symbol, MemSpace] = {}
+    for sym in referenced_arrays(region):
+        if (
+            has_readonly_cache
+            and sym not in written
+            and (sym.is_const or sym.is_restrict)
+        ):
+            spaces[sym] = MemSpace.READONLY
+        else:
+            spaces[sym] = MemSpace.GLOBAL
+    return spaces

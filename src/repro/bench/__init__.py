@@ -1,0 +1,43 @@
+"""Benchmark suites (SPEC ACCEL / NAS models), the run harness, metrics,
+published paper data, and one experiment per table/figure."""
+
+from .core import BenchmarkSpec, SuiteRegistry
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    fig7,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+    table2,
+)
+from .metrics import ShapeCheck, geometric_mean, normalize_times, speedup
+from .runner import BenchmarkResult, run_benchmark, run_configs, speedups_over
+from .suites.registry import NAS, SPEC, load_all
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "BenchmarkResult",
+    "BenchmarkSpec",
+    "ExperimentResult",
+    "NAS",
+    "SPEC",
+    "ShapeCheck",
+    "SuiteRegistry",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig7",
+    "fig9",
+    "geometric_mean",
+    "load_all",
+    "normalize_times",
+    "run_benchmark",
+    "run_configs",
+    "speedup",
+    "speedups_over",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,92 @@
+"""Benchmark specifications and the suite registry.
+
+Each :class:`BenchmarkSpec` is a MiniACC program modelled on one SPEC ACCEL
+or NAS OpenACC benchmark: the kernels reproduce the *structural* properties
+the paper's optimisations react to — array counts and ranks, allocatable vs
+pointer parameters, coalescing patterns, reuse chains, per-kernel launch
+(time-step) counts — at the paper's problem scales.  Absolute times come
+from the simulated device; see DESIGN.md for the fidelity argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkSpec:
+    """One benchmark program."""
+
+    suite: str  # 'spec' | 'nas'
+    name: str  # e.g. '355.seismic'
+    language: str  # 'fortran' | 'c' — governs dim applicability
+    description: str
+    source: str  # MiniACC text (clauses included where the paper used them)
+    #: Problem-size environment at evaluation scale.
+    env: dict[str, int]
+    #: Launches per kernel (list aligned with region order) or a global
+    #: count — models the benchmark's outer time-step loop.
+    launches: "int | list[int]" = 1
+    #: Reduced sizes for interpreter-based correctness tests.
+    test_env: dict[str, int] = field(default_factory=dict)
+    #: Scalar (non-size) arguments needed to execute the kernel.
+    scalar_args: dict[str, float] = field(default_factory=dict)
+    #: Whether the source uses each proposed clause (paper Section V).
+    uses_dim: bool = False
+    uses_small: bool = False
+    #: Optional custom builder for test-scale array arguments (benchmarks
+    #: with index arrays need valid indices, not random ints): called as
+    #: ``make_test_args(env, rng)`` and returns a dict of named ndarrays to
+    #: override the generic random ones.
+    make_test_args: "Callable | None" = None
+    #: For pointer parameters (C benchmarks): element-count expressions in
+    #: terms of the env, e.g. {"src": "ncells*20"}.
+    pointer_lens: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.suite}:{self.name}"
+
+    def pointer_sizes(self, env: dict[str, int]) -> dict[str, int]:
+        """Concrete element counts for pointer parameters under ``env``."""
+        out: dict[str, int] = {}
+        for name, expr in self.pointer_lens.items():
+            out[name] = int(
+                eval(compile(expr, "<len>", "eval"), {"__builtins__": {}}, dict(env))
+            )
+        return out
+
+    def interpreter_args(self) -> dict[str, float | int]:
+        """Scalar arguments for a test-scale interpreter run."""
+        args: dict[str, float | int] = dict(self.test_env or self.env)
+        args.update(self.scalar_args)
+        return args
+
+
+class SuiteRegistry:
+    """Holds the registered benchmarks of one suite."""
+
+    def __init__(self, suite: str):
+        self.suite = suite
+        self._specs: dict[str, BenchmarkSpec] = {}
+
+    def register(self, spec: BenchmarkSpec) -> BenchmarkSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate benchmark {spec.name!r}")
+        if spec.suite != self.suite:
+            raise ValueError(f"benchmark {spec.name!r} belongs to {spec.suite!r}")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> BenchmarkSpec:
+        return self._specs[name]
+
+    def all(self) -> list[BenchmarkSpec]:
+        return sorted(self._specs.values(), key=lambda s: s.name)
+
+    def names(self) -> list[str]:
+        return [s.name for s in self.all()]
+
+    def __len__(self) -> int:
+        return len(self._specs)

@@ -1,0 +1,67 @@
+"""Metrics used by the paper's evaluation figures.
+
+* speedup over the base compiler (Figures 7, 9, 10);
+* normalised execution time,
+  ``Norm(c) = ExeTime(c) / max(ExeTime(OpenUH), ExeTime(PGI))``
+  (Figures 11 and 12 — lower is better);
+* geometric mean across a suite (the figures' ``mean`` bar).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def speedup(base_time: float, optimized_time: float) -> float:
+    """Classic speedup: how much faster than the baseline."""
+    if optimized_time <= 0:
+        raise ValueError("optimized time must be positive")
+    return base_time / optimized_time
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the right mean for ratios)."""
+    if not values:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize_times(times: dict[str, float]) -> dict[str, float]:
+    """The paper's normalisation: divide by the maximum time among the
+    compilers being compared (so the slowest reads 1.0 and lower is
+    better)."""
+    if not times:
+        return {}
+    worst = max(times.values())
+    if worst <= 0:
+        raise ValueError("times must be positive")
+    return {name: t / worst for name, t in times.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeCheck:
+    """Paper-vs-measured shape comparison for one benchmark/config cell.
+
+    ``direction_ok`` records whether our measurement falls on the same side
+    of 1.0 as the paper's bar (speedup vs slowdown), the comparison
+    EXPERIMENTS.md reports for every figure.
+    """
+
+    benchmark: str
+    config: str
+    paper_value: float
+    measured_value: float
+    approx: bool = True
+
+    @property
+    def direction_ok(self) -> bool:
+        if self.paper_value == 1.0:
+            return abs(self.measured_value - 1.0) < 0.25
+        return (self.paper_value > 1.0) == (self.measured_value > 1.0)
+
+    @property
+    def ratio(self) -> float:
+        return self.measured_value / self.paper_value

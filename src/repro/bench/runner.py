@@ -1,0 +1,57 @@
+"""Benchmark execution: compile each spec under each compiler
+configuration and evaluate the timing model at the spec's problem size."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.driver import CompiledProgram, ProgramTiming, compile_source, time_program
+from ..compiler.options import CompilerConfig
+from .core import BenchmarkSpec
+
+
+@dataclass(slots=True)
+class BenchmarkResult:
+    """One (benchmark, configuration) cell."""
+
+    spec: BenchmarkSpec
+    config: CompilerConfig
+    compiled: CompiledProgram
+    timing: ProgramTiming
+
+    @property
+    def total_ms(self) -> float:
+        return self.timing.total_ms
+
+    @property
+    def registers(self) -> list[int]:
+        return [k.registers for k in self.compiled.kernels]
+
+    @property
+    def max_registers(self) -> int:
+        return max(self.registers, default=0)
+
+    def kernel_registers(self, index: int) -> int:
+        return self.compiled.kernels[index].registers
+
+
+def run_benchmark(spec: BenchmarkSpec, config: CompilerConfig) -> BenchmarkResult:
+    """Compile (fresh parse) and time one benchmark under one config."""
+    compiled = compile_source(spec.source, config)
+    timing = time_program(compiled, dict(spec.env), launches=spec.launches)
+    return BenchmarkResult(spec=spec, config=config, compiled=compiled, timing=timing)
+
+
+def run_configs(
+    spec: BenchmarkSpec, configs: list[CompilerConfig]
+) -> dict[str, BenchmarkResult]:
+    """Run one benchmark under several configurations."""
+    return {cfg.name: run_benchmark(spec, cfg) for cfg in configs}
+
+
+def speedups_over(
+    base: str, results: dict[str, BenchmarkResult]
+) -> dict[str, float]:
+    """Speedup of every configuration relative to ``base``."""
+    base_ms = results[base].total_ms
+    return {name: base_ms / r.total_ms for name, r in results.items()}

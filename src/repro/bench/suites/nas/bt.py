@@ -1,0 +1,101 @@
+"""NAS BT (Block Tri-diagonal), OpenACC C version, class C.
+
+The block solves juggle many per-line coefficient arrays at once, so BT's
+kernels carry the most live state of the NAS suite: enough simultaneous
+64-bit offsets that the ``small`` clause alone buys an occupancy tier —
+the paper's observation that "among LU, SP, and BT, only BT showed
+benefit" from ``small``.  SAFARA then removes the uncoalesced chain loads
+for the suite-best ~2.5× (Figure 10).
+"""
+
+from ..registry import NAS
+from ...core import BenchmarkSpec
+
+_C = "(k*ny + j)*nx + i"
+_CM = "(k*ny + j)*nx + i - 1"
+
+SOURCE = f"""
+kernel nas_bt(const double * restrict a1, const double * restrict a2,
+              const double * restrict a3, const double * restrict a4,
+              const double * restrict a5,
+              const double * restrict b1, const double * restrict b2,
+              const double * restrict b3, const double * restrict b4,
+              const double * restrict b5,
+              double * restrict rhs, double * restrict sol,
+              double c1, double c2, int nx, int ny, int nz) {{
+
+  // x_solve block forward elimination: the 5x5 block multiply reuses each
+  // coefficient element across the five equations — uncoalesced loads read
+  // three times per iteration (intra-iteration reuse), plus i-1 chains.
+  #pragma acc kernels loop gang vector(2) \\
+      small(a1, a2, a3, a4, a5, b1, b2, b3, b4, b5, rhs, sol)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (j = 1; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = 1; i < nx - 1; i++) {{
+        double p1 = a1[{_C}] - c1 * a1[{_CM}]
+                  + a1[{_C}] * b1[{_C}] - a1[{_C}] * b2[{_C}];
+        double p2 = a2[{_C}] - c1 * a2[{_CM}]
+                  + a2[{_C}] * b2[{_C}] - a2[{_C}] * b3[{_C}];
+        double p3 = a3[{_C}] - c1 * a3[{_CM}]
+                  + a3[{_C}] * b3[{_C}] - a3[{_C}] * b4[{_C}];
+        double p4 = a4[{_C}] - c1 * a4[{_CM}]
+                  + a4[{_C}] * b4[{_C}] - a4[{_C}] * b5[{_C}];
+        double p5 = a5[{_C}] - c1 * a5[{_CM}]
+                  + a5[{_C}] * b5[{_C}] - a5[{_C}] * b1[{_C}];
+        rhs[{_C}] = rhs[{_C}] - c2 * (p1 + p2 + p3 + p4 + p5);
+      }}
+    }}
+  }}
+
+  // back substitution over the block line.
+  #pragma acc kernels loop gang vector(4) \\
+      small(a1, a2, a3, a4, a5, b1, b2, b3, b4, b5, rhs, sol)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (j = 1; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = nx - 2; i >= 1; i--) {{
+        double s1 = b1[{_C}] - c1 * b1[(k*ny + j)*nx + i + 1];
+        double s2 = b2[{_C}] - c1 * b2[(k*ny + j)*nx + i + 1];
+        double s3 = b3[{_C}] - c1 * b3[(k*ny + j)*nx + i + 1];
+        sol[{_C}] = rhs[{_C}] - c2 * (s1 + s2 + s3);
+      }}
+    }}
+  }}
+
+  // add: coalesced final update.
+  #pragma acc kernels loop gang vector(4) \\
+      small(a1, a2, a3, a4, a5, b1, b2, b3, b4, b5, rhs, sol)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {{
+      #pragma acc loop seq
+      for (j = 1; j < ny - 1; j++) {{
+        sol[{_C}] = sol[{_C}] + c1 * rhs[{_C}];
+      }}
+    }}
+  }}
+}}
+"""
+
+NAS.register(
+    BenchmarkSpec(
+        suite="nas",
+        name="BT",
+        language="c",
+        description="NPB BT class C: block line solves over ten coefficient "
+        "arrays; uncoalesced chains + the suite's highest register load.",
+        source=SOURCE,
+        env={"nx": 162, "ny": 162, "nz": 162},
+        launches=200,
+        test_env={"nx": 8, "ny": 7, "nz": 6},
+        scalar_args={"c1": 0.1, "c2": 0.05},
+        uses_small=True,
+        pointer_lens={
+            name: "nx*ny*nz"
+            for name in ("a1", "a2", "a3", "a4", "a5", "b1", "b2", "b3", "b4", "b5", "rhs", "sol")
+        },
+    )
+)

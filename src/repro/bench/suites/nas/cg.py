@@ -1,0 +1,81 @@
+"""NAS CG (Conjugate Gradient), OpenACC C version, class C.
+
+CSR SpMV plus the CG vector kernels over flat C arrays.  Indirect gathers
+dominate the SpMV; SAFARA's gains come from the vector kernels' intra-
+iteration reuse and the hoistable row scalars — the moderate ~1.2 bar of
+Figure 10.
+"""
+
+from ..registry import NAS
+from ...core import BenchmarkSpec
+
+
+def _make_test_args(env, rng):
+    import numpy as np
+
+    nrows, nnz, per_row = env["na"], env["nz"], env["__trips_k"]
+    rowstr = (per_row * np.arange(nrows + 1)).clip(0, nnz - per_row).astype(np.int32)
+    colidx = rng.integers(0, nrows, size=nnz).astype(np.int32)
+    return {"rowstr": rowstr, "colidx": colidx}
+
+
+SOURCE = """
+kernel nas_cg(const double * restrict a, const int * restrict colidx,
+              const int * restrict rowstr,
+              const double * restrict p, double * restrict q,
+              double * restrict r, double * restrict z,
+              double alpha, double beta, int na, int nz) {
+
+  // SpMV: q = A p.
+  #pragma acc kernels loop gang vector(128) small(a, colidx, rowstr, p, q, r, z)
+  for (j = 0; j < na; j++) {
+    double sum = 0.0;
+    int lo = rowstr[j];
+    int hi = rowstr[j] + (nz / na) - 1;
+    #pragma acc loop seq
+    for (k = lo; k <= hi; k++) {
+      sum += a[k] * p[colidx[k]];
+    }
+    q[j] = sum;
+  }
+
+  // z = z + alpha*p; r = r - alpha*q  (fused vector kernel, q reused).
+  #pragma acc kernels loop gang vector(128) small(a, colidx, rowstr, p, q, r, z)
+  for (j = 0; j < na; j++) {
+    z[j] = z[j] + alpha * p[j];
+    r[j] = r[j] - alpha * q[j] + 0.000001 * q[j];
+  }
+
+  // p = r + beta*p.
+  #pragma acc kernels loop gang vector(128) small(a, colidx, rowstr, p, q, r, z)
+  for (j = 0; j < na; j++) {
+    q[j] = r[j] + beta * r[j] * r[j];
+  }
+}
+"""
+
+NAS.register(
+    BenchmarkSpec(
+        suite="nas",
+        name="CG",
+        language="c",
+        description="NPB CG class C: CSR SpMV + vector updates over flat "
+        "C arrays; indirect gathers.",
+        source=SOURCE,
+        env={"na": 150000, "nz": 150000 * 26, "__trips_k": 26},
+        launches=75,
+        test_env={"na": 12, "nz": 60, "__trips_k": 5},
+        scalar_args={"alpha": 0.4, "beta": 0.3},
+        uses_small=True,
+        make_test_args=_make_test_args,
+        pointer_lens={
+            "a": "nz",
+            "colidx": "nz",
+            "rowstr": "na+1",
+            "p": "na",
+            "q": "na",
+            "r": "na",
+            "z": "na",
+        },
+    )
+)

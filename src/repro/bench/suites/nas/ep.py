@@ -1,0 +1,54 @@
+"""NAS EP (Embarrassingly Parallel), OpenACC C version, class C.
+
+Gaussian-deviate tallies over independent batches — pure compute, one
+coalesced store per batch.  The flat ~1.0 bars of Figure 10: the control
+case where neither ``small`` nor SAFARA has anything to bite on.
+"""
+
+from ..registry import NAS
+from ...core import BenchmarkSpec
+
+SOURCE = """
+kernel nas_ep(double * restrict qx, double * restrict qy,
+              double a23, double ainv, int nbatch, int nk) {
+
+  #pragma acc kernels loop gang vector(128) small(qx, qy)
+  for (b = 0; b < nbatch; b++) {
+    double seed = 314159265.0 + b * 2.0;
+    double tx = 0.0;
+    double ty = 0.0;
+    #pragma acc loop seq
+    for (k = 0; k < nk; k++) {
+      seed = seed * a23 - floor(seed * a23 * ainv) / ainv;
+      double x1 = 2.0 * seed * ainv - 1.0;
+      seed = seed * a23 - floor(seed * a23 * ainv) / ainv;
+      double x2 = 2.0 * seed * ainv - 1.0;
+      double t = x1 * x1 + x2 * x2;
+      if (t <= 1.0) {
+        double f = sqrt(0.0 - 2.0 * log(t + 0.0000001) / (t + 0.0000001));
+        tx += fabs(x1 * f);
+        ty += fabs(x2 * f);
+      }
+    }
+    qx[b] = tx;
+    qy[b] = ty;
+  }
+}
+"""
+
+NAS.register(
+    BenchmarkSpec(
+        suite="nas",
+        name="EP",
+        language="c",
+        description="NPB EP class C: independent Gaussian-deviate batches; "
+        "compute-bound control case.",
+        source=SOURCE,
+        env={"nbatch": 1 << 17, "nk": 512},
+        launches=1,
+        test_env={"nbatch": 8, "nk": 8},
+        scalar_args={"a23": 1220703125.0, "ainv": 0.00000011920928955078125},
+        uses_small=True,
+        pointer_lens={"qx": "nbatch", "qy": "nbatch"},
+    )
+)

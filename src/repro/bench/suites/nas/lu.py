@@ -1,0 +1,92 @@
+"""NAS LU (Lower-Upper symmetric Gauss-Seidel), OpenACC C version, class C.
+
+The jacld/blts-style sweeps: threads over ``j``/``k`` lines, sequential
+``i`` sweep with heavy reuse of the five flux arrays at ``i-1``/``i`` —
+all strided (uncoalesced) accesses, making LU one of SAFARA's biggest
+winners (~1.8 in Figure 10).
+"""
+
+from ..registry import NAS
+from ...core import BenchmarkSpec
+
+_C = "(k*ny + j)*nx + i"
+_CM = "(k*ny + j)*nx + i - 1"
+
+SOURCE = f"""
+kernel nas_lu(const double * restrict f1, const double * restrict f2,
+              const double * restrict f3, const double * restrict f4,
+              const double * restrict f5,
+              double * restrict v, double * restrict tv,
+              double omega, double c1, int nx, int ny, int nz) {{
+
+  // blts lower-triangular sweep: five chains on the flux arrays.
+  #pragma acc kernels loop gang vector(4) small(f1, f2, f3, f4, f5, v, tv)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (j = 1; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = 1; i < nx - 1; i++) {{
+        double t1 = f1[{_C}] - omega * f1[{_CM}];
+        double t2 = f2[{_C}] - omega * f2[{_CM}];
+        double t3 = f3[{_C}] - omega * f3[{_CM}];
+        double t4 = f4[{_C}] - omega * f4[{_CM}];
+        double t5 = f5[{_C}] - omega * f5[{_CM}];
+        tv[{_C}] = t1 + c1 * (t2 + t3) + c1 * c1 * (t4 + t5);
+      }}
+    }}
+  }}
+
+  // buts upper-triangular sweep (reverse direction chains).
+  #pragma acc kernels loop gang vector(4) small(f1, f2, f3, f4, f5, v, tv)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (j = 1; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = nx - 2; i >= 1; i--) {{
+        double t1 = f1[{_C}] - omega * f1[(k*ny + j)*nx + i + 1];
+        double t2 = f2[{_C}] - omega * f2[(k*ny + j)*nx + i + 1];
+        v[{_C}] = tv[{_C}] - c1 * (t1 + t2);
+      }}
+    }}
+  }}
+
+  // l2norm-style reduction sweep (coalesced).
+  #pragma acc kernels loop gang vector(4) small(f1, f2, f3, f4, f5, v, tv)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {{
+      double acc = 0.0;
+      #pragma acc loop seq
+      for (j = 1; j < ny - 1; j++) {{
+        acc += v[{_C}] * v[{_C}];
+      }}
+      tv[(k*ny + 0)*nx + i] = acc;
+    }}
+  }}
+}}
+"""
+
+NAS.register(
+    BenchmarkSpec(
+        suite="nas",
+        name="LU",
+        language="c",
+        description="NPB LU class C: blts/buts triangular sweeps with five "
+        "uncoalesced flux chains per line.",
+        source=SOURCE,
+        env={"nx": 162, "ny": 162, "nz": 162},
+        launches=300,
+        test_env={"nx": 8, "ny": 7, "nz": 6},
+        scalar_args={"omega": 1.2, "c1": 0.1},
+        uses_small=True,
+        pointer_lens={
+            "f1": "nx*ny*nz",
+            "f2": "nx*ny*nz",
+            "f3": "nx*ny*nz",
+            "f4": "nx*ny*nz",
+            "f5": "nx*ny*nz",
+            "v": "nx*ny*nz",
+            "tv": "nx*ny*nz",
+        },
+    )
+)

@@ -1,0 +1,66 @@
+"""NAS MG (MultiGrid), OpenACC C version, class C.
+
+The resid/psinv 27-point stencils over flat arrays with a sequential
+innermost sweep: the z-plane neighbourhoods form rotating chains SAFARA
+exploits — Figure 10's ~1.15 bar.
+"""
+
+from ..registry import NAS
+from ...core import BenchmarkSpec
+
+_C = "(k*n2 + j)*n1 + i"
+_KM = "((k-1)*n2 + j)*n1 + i"
+_KP = "((k+1)*n2 + j)*n1 + i"
+
+SOURCE = f"""
+kernel nas_mg(const double * restrict u, const double * restrict v,
+              double * restrict r,
+              double c0, double c1, double c2, int n1, int n2, int n3) {{
+
+  // resid: r = v - A u (27-point collapsed to axis terms).
+  #pragma acc kernels loop gang vector(4) small(u, v, r)
+  for (j = 1; j < n2 - 1; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < n1 - 1; i++) {{
+      #pragma acc loop seq
+      for (k = 1; k < n3 - 1; k++) {{
+        double u1 = u[{_KM}] + u[{_KP}]
+                  + u[(k*n2 + (j-1))*n1 + i] + u[(k*n2 + (j+1))*n1 + i]
+                  + u[(k*n2 + j)*n1 + (i-1)] + u[(k*n2 + j)*n1 + (i+1)];
+        r[{_C}] = v[{_C}] - c0 * u[{_C}] - c1 * u1;
+      }}
+    }}
+  }}
+
+  // psinv smoothing pass over the residual.
+  #pragma acc kernels loop gang vector(4) small(u, v, r)
+  for (j = 1; j < n2 - 1; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < n1 - 1; i++) {{
+      #pragma acc loop seq
+      for (k = 1; k < n3 - 1; k++) {{
+        double r1 = r[{_KM}] + r[{_KP}]
+                  + r[(k*n2 + (j-1))*n1 + i] + r[(k*n2 + (j+1))*n1 + i];
+        r[{_C}] = r[{_C}] + c2 * r1;
+      }}
+    }}
+  }}
+}}
+"""
+
+NAS.register(
+    BenchmarkSpec(
+        suite="nas",
+        name="MG",
+        language="c",
+        description="NPB MG class C: resid + psinv stencils with z-plane "
+        "reuse chains over flat C arrays.",
+        source=SOURCE,
+        env={"n1": 512, "n2": 512, "n3": 64},
+        launches=40,
+        test_env={"n1": 8, "n2": 7, "n3": 6},
+        scalar_args={"c0": 1.8, "c1": 0.2, "c2": 0.1},
+        uses_small=True,
+        pointer_lens={"u": "n1*n2*n3", "v": "n1*n2*n3", "r": "n1*n2*n3"},
+    )
+)

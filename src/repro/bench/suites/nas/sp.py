@@ -1,0 +1,88 @@
+"""NAS SP (Scalar Penta-diagonal), OpenACC C version, class C.
+
+The x-direction line solves sweep sequentially along ``i`` with threads
+spread over ``j``/``k`` — every access is strided by the row length
+(uncoalesced), and the penta-diagonal coefficient reads at ``i-1``/``i``/
+``i+1`` form rotating chains on those *expensive* references.  This is
+the paper's "several kernels that contain uncoalesced memory accesses.
+Thus, SAFARA can help by prioritizing their placement in register files"
+— the ~1.4 bar of Figure 10.
+"""
+
+from ..registry import NAS
+from ...core import BenchmarkSpec
+
+_C = "(k*ny + j)*nx + i"
+_CM = "(k*ny + j)*nx + i - 1"
+_CP = "(k*ny + j)*nx + i + 1"
+
+SOURCE = f"""
+kernel nas_sp(const double * restrict lhs, const double * restrict lhsp,
+              const double * restrict lhsm,
+              double * restrict rhs, double * restrict rtmp,
+              double c1, double c2, int nx, int ny, int nz) {{
+
+  // x_solve forward elimination: chains on the three coefficient arrays.
+  #pragma acc kernels loop gang vector(4) small(lhs, lhsp, lhsm, rhs, rtmp)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (j = 1; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = 1; i < nx - 1; i++) {{
+        double fac = 1.0 / (lhs[{_C}] - lhs[{_CM}] * c1 + lhs[{_CP}] * c2);
+        double fp = lhsp[{_C}] - lhsp[{_CM}] * c1;
+        double fm = lhsm[{_C}] - lhsm[{_CM}] * c1;
+        rtmp[{_C}] = fac * (rhs[{_C}] + fp * c2 - fm * c1);
+      }}
+    }}
+  }}
+
+  // x_solve back substitution.
+  #pragma acc kernels loop gang vector(4) small(lhs, lhsp, lhsm, rhs, rtmp)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (j = 1; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = nx - 2; i >= 1; i--) {{
+        rhs[{_C}] = rtmp[{_C}] - lhsp[{_CP}] * rtmp[{_CP}]
+                  - lhsm[{_CP}] * c1 * rtmp[{_CP}];
+      }}
+    }}
+  }}
+
+  // add: coalesced final update.
+  #pragma acc kernels loop gang vector(4) small(lhs, lhsp, lhsm, rhs, rtmp)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {{
+      #pragma acc loop seq
+      for (j = 1; j < ny - 1; j++) {{
+        rhs[{_C}] = rhs[{_C}] + c2 * rtmp[{_C}];
+      }}
+    }}
+  }}
+}}
+"""
+
+NAS.register(
+    BenchmarkSpec(
+        suite="nas",
+        name="SP",
+        language="c",
+        description="NPB SP class C: x-direction line solves; uncoalesced "
+        "sweeps with coefficient chains.",
+        source=SOURCE,
+        env={"nx": 162, "ny": 162, "nz": 162},
+        launches=400,
+        test_env={"nx": 8, "ny": 7, "nz": 6},
+        scalar_args={"c1": 0.1, "c2": 0.05},
+        uses_small=True,
+        pointer_lens={
+            "lhs": "nx*ny*nz",
+            "lhsp": "nx*ny*nz",
+            "lhsm": "nx*ny*nz",
+            "rhs": "nx*ny*nz",
+            "rtmp": "nx*ny*nz",
+        },
+    )
+)

@@ -1,0 +1,39 @@
+"""Suite registries.  Benchmark modules register themselves on import;
+``load_all()`` imports every benchmark module exactly once."""
+
+from __future__ import annotations
+
+import importlib
+
+from ..core import SuiteRegistry
+
+SPEC = SuiteRegistry("spec")
+NAS = SuiteRegistry("nas")
+
+_SPEC_MODULES = (
+    "ostencil",
+    "olbm",
+    "omriq",
+    "md",
+    "palm",
+    "ep",
+    "cg",
+    "seismic",
+    "sp",
+    "csp",
+)
+_NAS_MODULES = ("ep", "cg", "mg", "sp", "lu", "bt")
+
+_loaded = False
+
+
+def load_all() -> tuple[SuiteRegistry, SuiteRegistry]:
+    """Import every benchmark module; returns (SPEC, NAS)."""
+    global _loaded
+    if not _loaded:
+        for mod in _SPEC_MODULES:
+            importlib.import_module(f"{__package__}.spec.{mod}")
+        for mod in _NAS_MODULES:
+            importlib.import_module(f"{__package__}.nas.{mod}")
+        _loaded = True
+    return SPEC, NAS

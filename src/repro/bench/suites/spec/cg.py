@@ -1,0 +1,77 @@
+"""354.cg — conjugate gradient (SPEC ACCEL, Fortran).
+
+Modelled on the CSR sparse matrix-vector product plus the vector updates
+of a CG iteration.  The SpMV row loop is sequential with a data-dependent
+trip count (CSR row extents) and an indirect gather of the dense vector —
+non-affine subscripts the cost model prices at the scattered premium.
+SAFARA's gains come from hoisting the row-invariant scalars and the
+intra-iteration reuse in the vector kernels (modest, like the paper's cg
+bars).
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+
+def _make_test_args(env, rng):
+    """Valid CSR structure at test scale: rowstr/colidx must index within
+    bounds (generic random ints would not)."""
+    import numpy as np
+
+    nrows, nnz = env["nrows"], env["nnz"]
+    per_row = env["__trips_k"]
+    rowstr = np.arange(1, nrows + 2, dtype=np.int32) * 0
+    rowstr[: nrows + 1] = 1 + per_row * np.arange(nrows + 1, dtype=np.int32)
+    rowstr = np.clip(rowstr, 1, max(1, nnz - per_row))[: nrows + 1]
+    colidx = rng.integers(1, nrows + 1, size=nnz).astype(np.int32)
+    return {"rowstr": rowstr.astype(np.int32), "colidx": colidx}
+
+
+SOURCE = """
+kernel cg(const double a[1:nnz], const int colidx[1:nnz], const int rowstr[1:nrows1],
+          const double p[1:nrows], double q[1:nrows], double r[1:nrows],
+          double alpha, int nrows, int nrows1, int nnz) {
+
+  // SpMV: q = A p  (CSR; indirect gather of p).
+  #pragma acc kernels loop gang vector(128)
+  for (j = 1; j <= nrows; j++) {
+    double sum = 0.0;
+    int lo = rowstr[j];
+    int hi = rowstr[j] - 1 + (nnz / nrows);
+    #pragma acc loop seq
+    for (k = lo; k <= hi; k++) {
+      sum += a[k] * p[colidx[k]];
+    }
+    q[j] = sum;
+  }
+
+  // Vector updates: r = r - alpha*q; reuse of q[j] within the iteration.
+  #pragma acc kernels loop gang vector(128)
+  for (j = 1; j <= nrows; j++) {
+    r[j] = r[j] - alpha * q[j] + 0.000001 * q[j] * q[j];
+  }
+}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="354.cg",
+        language="fortran",
+        description="CSR SpMV + CG vector updates; indirect gathers and "
+        "data-dependent row loops.",
+        source=SOURCE,
+        env={
+            "nrows": 150000,
+            "nrows1": 150001,
+            "nnz": 150000 * 26,
+            "__trips_k": 26,
+        },
+        launches=75,
+        test_env={"nrows": 12, "nrows1": 13, "nnz": 48, "__trips_k": 4},
+        scalar_args={"alpha": 0.4},
+        uses_dim=False,
+        uses_small=False,
+        make_test_args=_make_test_args,
+    )
+)

@@ -1,0 +1,81 @@
+"""357.csp — scalar penta-diagonal solver, C version (SPEC ACCEL).
+
+The C port of SP: the same line-solve structure as 356.sp but over flat
+malloc'd arrays with hand-linearised indexing — so, as the paper notes
+for the C benchmarks, the ``dim`` clause is inapplicable and only
+``small`` + SAFARA act.  The x-sweeps remain uncoalesced (threads on
+j/k), keeping the benchmark memory-bound.
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+#: flat index of [k][j][i] in an nx*ny*nz grid.
+_IDX = "(k*ny + j)*nx + i"
+
+SOURCE = f"""
+kernel csp(double * restrict us, double * restrict vs, double * restrict ws,
+           double * restrict qs, double * restrict speed,
+           double * restrict rhs1, double * restrict rhs2,
+           double c1, double c2, int nx, int ny, int nz) {{
+
+  // x-solve forward sweep: sequential along i with an i-chain; threads on
+  // j/k => every access strides by nx or more.
+  #pragma acc kernels loop gang vector(4) small(us, vs, ws, qs, speed, rhs1, rhs2)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (j = 1; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = 1; i < nx - 1; i++) {{
+        double fac = 1.0 / (speed[{_IDX}] - qs[(k*ny + j)*nx + i - 1] * c1);
+        qs[{_IDX}] = fac * (qs[{_IDX}] + us[{_IDX}] * c2);
+        rhs1[{_IDX}] = fac * (rhs1[{_IDX}] + rhs1[(k*ny + j)*nx + i - 1] * c1);
+      }}
+    }}
+  }}
+
+  // rhs update with second differences along i.
+  #pragma acc kernels loop gang vector(4) small(us, vs, ws, qs, speed, rhs1, rhs2)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (j = 1; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = 1; i < nx - 1; i++) {{
+        rhs2[{_IDX}] = rhs2[{_IDX}]
+            + c1 * (us[(k*ny + j)*nx + i + 1] - 2.0 * us[{_IDX}] + us[(k*ny + j)*nx + i - 1])
+            + c2 * (vs[{_IDX}] * ws[{_IDX}] - qs[{_IDX}]);
+      }}
+    }}
+  }}
+
+  // add: coalesced final update (threads on i).
+  #pragma acc kernels loop gang vector(4) small(us, vs, ws, qs, speed, rhs1, rhs2)
+  for (k = 1; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {{
+      #pragma acc loop seq
+      for (j = 1; j < ny - 1; j++) {{
+        us[{_IDX}] = us[{_IDX}] + c1 * rhs1[{_IDX}] + c2 * rhs2[{_IDX}];
+      }}
+    }}
+  }}
+}}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="357.csp",
+        language="c",
+        description="C port of the SP line solver over flat pointers; "
+        "uncoalesced x-sweeps, no dope vectors (dim inapplicable).",
+        source=SOURCE,
+        env={"nx": 162, "ny": 162, "nz": 162},
+        launches=400,
+        test_env={"nx": 8, "ny": 7, "nz": 6},
+        scalar_args={"c1": 0.1, "c2": 0.05},
+        uses_dim=False,
+        uses_small=True,
+        pointer_lens={'us': 'nx*ny*nz', 'vs': 'nx*ny*nz', 'ws': 'nx*ny*nz', 'qs': 'nx*ny*nz', 'speed': 'nx*ny*nz', 'rhs1': 'nx*ny*nz', 'rhs2': 'nx*ny*nz'},
+    )
+)

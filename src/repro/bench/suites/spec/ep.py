@@ -1,0 +1,56 @@
+"""352.ep — embarrassingly parallel random-number kernel (SPEC ACCEL).
+
+A linear-congruential Gaussian-pair generator: virtually all compute, one
+coalesced store per batch, no memory reuse.  The flat ~1.0 bar of Figures
+7 and 9 — the control case showing the optimisations do no harm when
+there is nothing to optimise.
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+SOURCE = """
+kernel ep(double * restrict sx, double * restrict sy,
+          double a23, double ainv, int nbatch, int nk) {
+
+  #pragma acc kernels loop gang vector(128) small(sx, sy)
+  for (b = 0; b < nbatch; b++) {
+    double seed = 271828183.0 + b;
+    double accx = 0.0;
+    double accy = 0.0;
+    #pragma acc loop seq
+    for (k = 0; k < nk; k++) {
+      seed = seed * a23 - floor(seed * a23 * ainv) / ainv;
+      double x1 = 2.0 * seed * ainv - 1.0;
+      seed = seed * a23 - floor(seed * a23 * ainv) / ainv;
+      double x2 = 2.0 * seed * ainv - 1.0;
+      double t = x1 * x1 + x2 * x2;
+      if (t <= 1.0) {
+        double f = sqrt(0.0 - 2.0 * log(t + 0.0000001) / (t + 0.0000001));
+        accx += x1 * f;
+        accy += x2 * f;
+      }
+    }
+    sx[b] = accx;
+    sy[b] = accy;
+  }
+}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="352.ep",
+        language="fortran",
+        description="Embarrassingly parallel Gaussian-deviate batches; "
+        "compute-bound control case (no reuse to exploit).",
+        source=SOURCE,
+        env={"nbatch": 1 << 16, "nk": 256},
+        launches=10,
+        test_env={"nbatch": 8, "nk": 8},
+        scalar_args={"a23": 1220703125.0, "ainv": 0.00000011920928955078125},
+        uses_dim=False,
+        uses_small=True,
+        pointer_lens={'sx': 'nbatch', 'sy': 'nbatch'},
+    )
+)

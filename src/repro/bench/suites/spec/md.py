@@ -1,0 +1,87 @@
+"""350.md — molecular dynamics (SPEC ACCEL, Fortran).
+
+Modelled on a Lennard-Jones force kernel with a fixed-degree neighbour
+list: one thread per particle, sequential loop over neighbours, indirect
+position gathers through the list.  The indirect subscripts are
+non-affine, so the cost model prices them at the scattered-access premium;
+the thread's own coordinates are loop-invariant and SAFARA hoists them
+(the paper's moderate md gains).  The allocatable arrays have *unequal*
+shapes (positions vs. neighbour list), so — matching the paper, which
+applies ``dim`` only to 355/356 — no ``dim`` clause is used.
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+
+def _make_test_args(env, rng):
+    """Neighbour indices must be valid particle numbers in [1, np]."""
+    import numpy as np
+
+    return {
+        "nlist": rng.integers(1, env["np"] + 1, size=(env["nn"], env["np"])).astype(
+            np.int32
+        )
+    }
+
+
+SOURCE = """
+kernel md(const double pos[1:n3], double frc[1:n3],
+          const int nlist[1:nn][1:np], const double cut[1:np],
+          int np, int nn, int n3) {
+
+  // Force accumulation: indirect gathers via the neighbour list.
+  #pragma acc kernels loop gang vector(128)
+  for (i = 1; i <= np; i++) {
+    double xi = pos[3*i - 2];
+    double yi = pos[3*i - 1];
+    double zi = pos[3*i];
+    double fx = 0.0;
+    double fy = 0.0;
+    double fz = 0.0;
+    double virial = 0.0;
+    #pragma acc loop seq
+    for (j = 1; j <= nn; j++) {
+      int nb = nlist[j][i];
+      double dx = xi - pos[3*nb - 2];
+      double dy = yi - pos[3*nb - 1];
+      double dz = zi - pos[3*nb];
+      double r2 = dx*dx + dy*dy + dz*dz + 0.01;
+      double r6 = r2 * r2 * r2;
+      double s = (2.0 / r6 - 1.0) / (r6 * r2) + cut[i];
+      fx += s * dx;
+      fy += s * dy;
+      fz += s * dz;
+      // virial re-reads one neighbour coordinate (intra-iteration reuse
+      // on an indirect gather).
+      virial += s * pos[3*nb - 2] * dx;
+    }
+    frc[3*i - 2] = fx;
+    frc[3*i - 1] = fy;
+    frc[3*i] = fz + 0.000001 * virial;
+  }
+
+  // Half-step velocity update (light streaming kernel).
+  #pragma acc kernels loop gang vector(128)
+  for (i = 1; i <= n3; i++) {
+    frc[i] = frc[i] * 0.5;
+  }
+}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="350.md",
+        language="fortran",
+        description="Lennard-Jones force evaluation with a fixed-degree "
+        "neighbour list; indirect gathers + hoistable per-particle state.",
+        source=SOURCE,
+        env={"np": 1 << 16, "nn": 64, "n3": 3 * (1 << 16)},
+        launches=100,
+        test_env={"np": 10, "nn": 4, "n3": 30},
+        uses_dim=False,
+        uses_small=False,
+        make_test_args=_make_test_args,
+    )
+)

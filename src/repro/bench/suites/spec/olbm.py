@@ -1,0 +1,78 @@
+"""304.olbm — Lattice Boltzmann method (SPEC ACCEL, C).
+
+Modelled on the D3Q19 collide-stream kernel over an array-of-structures
+grid: cell ``c`` stores its 19 distribution values at ``f[c*20 + q]``, so
+every distribution access is **strided by 20 doubles** — uncoalesced, the
+expensive class in the SAFARA cost model.
+
+The macroscopic step reads every distribution once to accumulate density
+and momentum; the collision step re-reads the same values.  Those repeated
+uncoalesced references are exactly the intra-iteration reuse SAFARA
+monetises (the paper's Figure 7/9 show olbm among the bigger SAFARA
+winners).  C pointers → no ``dim``.
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+
+def _f(q):
+    return f"src[c*20 + {q}]"
+
+
+_RHO_SUM = " + ".join(_f(q) for q in range(19))
+#: x-momentum: positive for speeds 1,7,9,11,13; negative for 2,8,10,12,14.
+_UX = " + ".join(_f(q) for q in (1, 7, 9, 11, 13)) + " - " + " - ".join(
+    _f(q) for q in (2, 8, 10, 12, 14)
+)
+_UY = " + ".join(_f(q) for q in (3, 7, 8, 15, 17)) + " - " + " - ".join(
+    _f(q) for q in (4, 9, 10, 16, 18)
+)
+
+_COLLIDE = "\n".join(
+    f"        dst[c*20 + {q}] = (1.0 - omega) * {_f(q)} "
+    f"+ omega * rho * (0.0526 + 0.1578 * (ux + uy));"
+    for q in range(19)
+)
+
+SOURCE = f"""
+kernel olbm(const double * restrict src, double * restrict dst,
+            double omega, int ncells) {{
+
+  // Collide-stream: one thread per cell; each distribution is read for
+  // the moments and re-read for the collision (intra-iteration reuse on
+  // stride-20 references).
+  #pragma acc kernels loop gang vector(128) small(src, dst)
+  for (c = 0; c < ncells; c++) {{
+    double rho = {_RHO_SUM};
+    double ux = ({_UX}) / rho;
+    double uy = ({_UY}) / rho;
+{_COLLIDE}
+    dst[c*20 + 19] = rho;
+  }}
+
+  // Density norm over the grid (light second kernel).
+  #pragma acc kernels loop gang vector(128) small(src, dst)
+  for (c = 0; c < ncells; c++) {{
+    dst[c*20 + 19] = dst[c*20 + 19] - src[c*20 + 19];
+  }}
+}}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="304.olbm",
+        language="c",
+        description="D3Q19 lattice Boltzmann collide-stream over an AoS "
+        "grid; stride-20 (uncoalesced) distributions read twice per cell.",
+        source=SOURCE,
+        env={"ncells": 1 << 20},
+        launches=150,
+        test_env={"ncells": 64},
+        scalar_args={"omega": 1.2},
+        uses_dim=False,
+        uses_small=True,
+        pointer_lens={'src': 'ncells*20', 'dst': 'ncells*20'},
+    )
+)

@@ -1,0 +1,57 @@
+"""314.omriq — MRI Q-matrix computation (SPEC ACCEL, C).
+
+Modelled on the Parboil mri-q kernel: for each image point, accumulate
+``Q += phi * {cos,sin}(2π k·x)`` over all k-space samples.  The inner
+sample loop is sequential; its five per-sample loads are warp-uniform
+broadcasts (every thread reads the same ``kx[s]``), while the per-point
+coordinates are loop-invariant and hoistable.  The kernel is dominated by
+``sin``/``cos`` SFU work, so scalar replacement barely moves it — the
+paper's flat ~1.0 bars for omriq.
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+SOURCE = """
+kernel omriq(const double * restrict x, const double * restrict y,
+             const double * restrict z,
+             const double * restrict kx, const double * restrict ky,
+             const double * restrict kz,
+             const double * restrict phiR, const double * restrict phiI,
+             double * restrict qr, double * restrict qi,
+             int npoints, int nsamples) {
+
+  #pragma acc kernels loop gang vector(256) small(x, y, z, kx, ky, kz, phiR, phiI, qr, qi)
+  for (i = 0; i < npoints; i++) {
+    double accR = 0.0;
+    double accI = 0.0;
+    #pragma acc loop seq
+    for (s = 0; s < nsamples; s++) {
+      double expArg = 6.2831853 * (kx[s] * x[i] + ky[s] * y[i] + kz[s] * z[i]);
+      double cosArg = cos(expArg);
+      double sinArg = sin(expArg);
+      accR += phiR[s] * cosArg - phiI[s] * sinArg;
+      accI += phiI[s] * cosArg + phiR[s] * sinArg;
+    }
+    qr[i] += accR;
+    qi[i] += accI;
+  }
+}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="314.omriq",
+        language="c",
+        description="Parboil mri-q: per-point accumulation of k-space "
+        "contributions; SFU (sin/cos) bound, warp-uniform sample loads.",
+        source=SOURCE,
+        env={"npoints": 1 << 17, "nsamples": 2048},
+        launches=20,
+        test_env={"npoints": 16, "nsamples": 8},
+        uses_dim=False,
+        uses_small=True,
+        pointer_lens={'x': 'npoints', 'y': 'npoints', 'z': 'npoints', 'kx': 'nsamples', 'ky': 'nsamples', 'kz': 'nsamples', 'phiR': 'nsamples', 'phiI': 'nsamples', 'qr': 'npoints', 'qi': 'npoints'},
+    )
+)

@@ -1,0 +1,70 @@
+"""303.ostencil — thermodynamic 3-D stencil (SPEC ACCEL, C).
+
+Modelled on the Parboil stencil kernel: a 7-point Jacobi iteration over a
+flat C array accessed through pointers with hand-linearised indexing.  As
+the paper notes for the C benchmarks ("303, 304, 314 are C benchmarks and
+pointer operations are used in the offload regions; thus a dim clause
+cannot be used here"), there is no dope information — only ``small``
+applies, and SAFARA's win comes from the z-direction reuse chain in the
+sequential k loop.
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+SOURCE = """
+kernel ostencil(const double * restrict a0, double * restrict anext,
+                double c0, double c1, int nx, int ny, int nz) {
+
+  // Main 7-point stencil sweep: j/i parallel, k sequential so the
+  // k-1/k/k+1 planes form a rotating chain.
+  #pragma acc kernels loop gang vector(4) small(a0, anext)
+  for (j = 1; j < ny - 1; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx - 1; i++) {
+      #pragma acc loop seq
+      for (k = 1; k < nz - 1; k++) {
+        anext[(k*ny + j)*nx + i] = c1 *
+            ( a0[((k+1)*ny + j)*nx + i]
+            + a0[((k-1)*ny + j)*nx + i]
+            + a0[(k*ny + (j+1))*nx + i]
+            + a0[(k*ny + (j-1))*nx + i]
+            + a0[(k*ny + j)*nx + (i+1)]
+            + a0[(k*ny + j)*nx + (i-1)] )
+            - a0[(k*ny + j)*nx + i] * c0;
+      }
+    }
+  }
+
+  // Grid copy-back for the next time step (no reuse to exploit: the
+  // Amdahl share that caps whole-benchmark gains).
+  #pragma acc kernels loop gang vector(4) small(a0, anext)
+  for (j = 0; j < ny; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 0; i < nx; i++) {
+      #pragma acc loop seq
+      for (k = 0; k < nz; k++) {
+        anext[(k*ny + j)*nx + i] = anext[(k*ny + j)*nx + i] * 0.999 + a0[(k*ny + j)*nx + i] * 0.001;
+      }
+    }
+  }
+}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="303.ostencil",
+        language="c",
+        description="Parboil-style 7-point 3-D Jacobi stencil over flat C "
+        "pointers; z-plane reuse chain in the sequential k loop.",
+        source=SOURCE,
+        env={"nx": 512, "ny": 512, "nz": 64},
+        launches=100,
+        test_env={"nx": 8, "ny": 7, "nz": 6},
+        scalar_args={"c0": 6.0, "c1": 0.166},
+        uses_dim=False,
+        uses_small=True,
+        pointer_lens={'a0': 'nx*ny*nz', 'anext': 'nx*ny*nz'},
+    )
+)

@@ -1,0 +1,94 @@
+"""351.palm — large-eddy simulation (SPEC ACCEL, Fortran).
+
+Modelled on PALM's prognostic-equation kernels: advection/diffusion
+updates over 3-D allocatable fields with vertical (sequential ``k``)
+derivative chains.  Moderate SAFARA gains; the paper applies the ``dim``
+clause only to 355/356, so — although the fields here do share shapes —
+no ``dim`` clause appears in the source, and the benchmark measures what
+``small`` + SAFARA alone achieve on Fortran allocatables.
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+_S = "[1:nzt][1:nyn][1:nxr]"
+
+SOURCE = f"""
+kernel palm(double u{_S}, double v{_S}, double w{_S},
+            double pt{_S}, const double km{_S},
+            double tend{_S},
+            double dx, double dt, int nxr, int nyn, int nzt) {{
+
+  // Advection tendency of potential temperature (vertical chain on w/pt).
+  #pragma acc kernels loop gang vector(2) small(u, v, w, pt, km, tend)
+  for (j = 2; j < nyn; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 2; i < nxr; i++) {{
+      #pragma acc loop seq
+      for (k = 2; k < nzt; k++) {{
+        double flux = w[k][j][i] * (pt[k][j][i] - pt[k-1][j][i]);
+        double adv_x = pt[k][j][i+1] - pt[k][j][i-1];
+        double adv_y = pt[k][j+1][i] - pt[k][j-1][i];
+        tend[k][j][i] = flux / dx + (adv_x + adv_y) / (2.0 * dx);
+      }}
+    }}
+  }}
+
+  // Diffusion with eddy viscosity (vertical chain on km/u).
+  #pragma acc kernels loop gang vector(2) small(u, v, w, pt, km, tend)
+  for (j = 2; j < nyn; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 2; i < nxr; i++) {{
+      #pragma acc loop seq
+      for (k = 2; k < nzt; k++) {{
+        double dud = km[k][j][i] * (u[k+1][j][i] - 2.0 * u[k][j][i] + u[k-1][j][i]);
+        tend[k][j][i] += dud / (dx * dx);
+      }}
+    }}
+  }}
+
+  // Pressure-correction sweep: streaming, no reuse (the large share of
+  // PALM outside the advection/diffusion kernels).
+  #pragma acc kernels loop gang vector(2) small(u, v, w, pt, km, tend)
+  for (j = 2; j < nyn; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 2; i < nxr; i++) {{
+      #pragma acc loop seq
+      for (k = 2; k < nzt; k++) {{
+        u[k][j][i] = u[k][j][i] - dt * tend[k][j][i];
+        v[k][j][i] = v[k][j][i] - dt * tend[k][j][i] * 0.5;
+        w[k][j][i] = w[k][j][i] - dt * tend[k][j][i] * 0.25;
+      }}
+    }}
+  }}
+
+  // Prognostic update sweep.
+  #pragma acc kernels loop gang vector(2) small(u, v, w, pt, km, tend)
+  for (j = 2; j < nyn; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 2; i < nxr; i++) {{
+      #pragma acc loop seq
+      for (k = 2; k < nzt; k++) {{
+        pt[k][j][i] += dt * tend[k][j][i];
+      }}
+    }}
+  }}
+}}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="351.palm",
+        language="fortran",
+        description="PALM-style LES prognostic kernels: vertical advection/"
+        "diffusion chains over shared-shape 3-D allocatables.",
+        source=SOURCE,
+        env={"nxr": 256, "nyn": 256, "nzt": 64},
+        launches=100,
+        test_env={"nxr": 8, "nyn": 7, "nzt": 6},
+        scalar_args={"dx": 2.0, "dt": 0.05},
+        uses_dim=False,
+        uses_small=True,
+    )
+)

@@ -1,0 +1,212 @@
+"""355.seismic — seismic wave propagation (SPEC ACCEL, Fortran).
+
+Modelled on the SEISMIC_CPML finite-difference time-domain code:
+fourth-order staggered-grid velocity/stress updates over many same-shaped
+3-D allocatable arrays.  This is the paper's flagship (Section V-C/V-D):
+
+* each hot kernel touches 6–12 allocatable arrays → huge dope-vector
+  register cost (Table I: 76–134 base registers);
+* the ``dim`` clause collapses those dope sets (all arrays share one
+  shape) and ``small`` halves the offset width → Table I's 40–48 "w dim"
+  column;
+* SAFARA finds span-3 rotating chains along the sequential ``k`` loop
+  (fourth-order differences touch k+1..k-2), each costing four double
+  temporaries; the register bill crosses occupancy tiers while most of
+  the kernels' loads are *outside* the chains — so SAFARA alone can slow
+  the benchmark (Figure 7) until the clauses free the registers
+  (Figure 9's 2.08×).
+
+Array layout note: the Fortran arrays are written here in row-major
+``[k][j][i]`` order with ``i`` innermost, preserving the original
+coalescing structure (Fortran's fastest-varying first dimension maps to
+our fastest-varying last dimension).
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+#: All field arrays share the one allocated shape — exactly the situation
+#: the dim clause was designed for.
+_SHAPE = "[1:nz][1:ny][1:nx]"
+_DIMS = "1:nz, 1:ny, 1:nx"
+
+_ALL = "vx, vy, vz, sxx, syy, szz, sxy, sxz, syz, mdx, mdy, mdz, lam, mu, rho"
+
+_CLAUSES = f"dim(({_DIMS})({_ALL})) small({_ALL})"
+
+#: Fourth-order staggered-grid difference along each axis (c1 = 9/8,
+#: c2 = -1/24 — the SEISMIC_CPML coefficients).
+def _dx(a):
+    return (
+        f"(1.125 * ({a}[k][j][i] - {a}[k][j][i-1]) "
+        f"- 0.0416666 * ({a}[k][j][i+1] - {a}[k][j][i-2])) / h"
+    )
+
+
+def _dy(a):
+    return (
+        f"(1.125 * ({a}[k][j][i] - {a}[k][j-1][i]) "
+        f"- 0.0416666 * ({a}[k][j+1][i] - {a}[k][j-2][i])) / h"
+    )
+
+
+def _dz(a):
+    return (
+        f"(1.125 * ({a}[k][j][i] - {a}[k-1][j][i]) "
+        f"- 0.0416666 * ({a}[k+1][j][i] - {a}[k-2][j][i])) / h"
+    )
+
+
+SOURCE = f"""
+kernel seismic(
+    double vx{_SHAPE}, double vy{_SHAPE}, double vz{_SHAPE},
+    double sxx{_SHAPE}, double syy{_SHAPE}, double szz{_SHAPE},
+    double sxy{_SHAPE}, double sxz{_SHAPE}, double syz{_SHAPE},
+    double mdx{_SHAPE}, double mdy{_SHAPE}, double mdz{_SHAPE},
+    const double lam{_SHAPE}, const double mu{_SHAPE}, const double rho{_SHAPE},
+    double h, double dt, int nx, int ny, int nz) {{
+
+  // HOT1 — stress update (normal components): 4th-order divergence of the
+  // velocity field; the dvz_dz term is a span-3 k-chain.
+  #pragma acc kernels loop gang vector(4) {_CLAUSES}
+  for (j = 3; j < ny - 1; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 3; i < nx - 1; i++) {{
+      #pragma acc loop seq
+      for (k = 3; k < nz - 1; k++) {{
+        double dvx_dx = {_dx("vx")};
+        double dvy_dy = {_dy("vy")};
+        double dvz_dz = {_dz("vz")};
+        double lam_c = lam[k][j][i];
+        double mu_c = mu[k][j][i];
+        double trace = dvx_dx + dvy_dy + dvz_dz;
+        sxx[k][j][i] += dt * (lam_c * trace + 2.0 * mu_c * dvx_dx);
+        syy[k][j][i] += dt * (lam_c * trace + 2.0 * mu_c * dvy_dy);
+        szz[k][j][i] += dt * (lam_c * trace + 2.0 * mu_c * dvz_dz);
+      }}
+    }}
+  }}
+
+  // HOT2 — stress update (shear components): two span-3 k-chains
+  // (dvx_dz, dvy_dz) plus four cross-derivatives.
+  #pragma acc kernels loop gang vector(4) {_CLAUSES}
+  for (j = 3; j < ny - 1; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 3; i < nx - 1; i++) {{
+      #pragma acc loop seq
+      for (k = 3; k < nz - 1; k++) {{
+        double dvy_dx = {_dx("vy")};
+        double dvx_dy = {_dy("vx")};
+        double dvz_dx = {_dx("vz")};
+        double dvx_dz = {_dz("vx")};
+        double dvz_dy = {_dy("vz")};
+        double dvy_dz = {_dz("vy")};
+        double mu_c = mu[k][j][i];
+        sxy[k][j][i] += dt * mu_c * (dvy_dx + dvx_dy);
+        sxz[k][j][i] += dt * mu_c * (dvz_dx + dvx_dz);
+        syz[k][j][i] += dt * mu_c * (dvz_dy + dvy_dz);
+      }}
+    }}
+  }}
+
+  // HOT3 — x-velocity update: stress divergence with one k-chain (sxz).
+  #pragma acc kernels loop gang vector(4) {_CLAUSES}
+  for (j = 3; j < ny - 1; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 3; i < nx - 1; i++) {{
+      #pragma acc loop seq
+      for (k = 3; k < nz - 1; k++) {{
+        double dsxx_dx = {_dx("sxx")};
+        double dsxy_dy = {_dy("sxy")};
+        double dsxz_dz = {_dz("sxz")};
+        double m = mdx[k][j][i];
+        vx[k][j][i] += dt * (dsxx_dx + dsxy_dy + dsxz_dz + m) / rho[k][j][i];
+        mdx[k][j][i] = 0.9 * m + 0.1 * dsxx_dx;
+      }}
+    }}
+  }}
+
+  // HOT4 — y-velocity update: one k-chain (syz).
+  #pragma acc kernels loop gang vector(4) {_CLAUSES}
+  for (j = 3; j < ny - 1; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 3; i < nx - 1; i++) {{
+      #pragma acc loop seq
+      for (k = 3; k < nz - 1; k++) {{
+        double dsxy_dx = {_dx("sxy")};
+        double dsyy_dy = {_dy("syy")};
+        double dsyz_dz = {_dz("syz")};
+        double m = mdy[k][j][i];
+        vy[k][j][i] += dt * (dsxy_dx + dsyy_dy + dsyz_dz + m) / rho[k][j][i];
+        mdy[k][j][i] = 0.9 * m + 0.1 * dsyy_dy;
+      }}
+    }}
+  }}
+
+  // HOT5 — z-velocity update: the paper's Figure 8 kernel — value_dz sums
+  // three k-chains.
+  #pragma acc kernels loop gang vector(4) {_CLAUSES}
+  for (j = 3; j < ny - 1; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 3; i < nx - 1; i++) {{
+      #pragma acc loop seq
+      for (k = 3; k < nz - 1; k++) {{
+        double value_dz = {_dz("sxz")}
+                        + {_dz("syz")}
+                        + {_dz("szz")};
+        vz[k][j][i] += dt * (value_dz + mdz[k][j][i]) / rho[k][j][i];
+      }}
+    }}
+  }}
+
+  // HOT6 — PML memory-variable update: three k-chains over the velocity
+  // fields.
+  #pragma acc kernels loop gang vector(4) {_CLAUSES}
+  for (j = 3; j < ny - 1; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 3; i < nx - 1; i++) {{
+      #pragma acc loop seq
+      for (k = 3; k < nz - 1; k++) {{
+        double decay = 1.0 - dt * 0.25;
+        mdx[k][j][i] = decay * mdx[k][j][i] + dt * (vx[k][j][i] - vx[k-1][j][i]) / h;
+        mdy[k][j][i] = decay * mdy[k][j][i] + dt * (vy[k][j][i] - vy[k-1][j][i]) / h;
+        mdz[k][j][i] = decay * mdz[k][j][i] + dt * (vz[k][j][i] - vz[k-1][j][i]) / h;
+      }}
+    }}
+  }}
+
+  // HOT7 — energy accumulation (read-mostly sweep, lightest kernel).
+  #pragma acc kernels loop gang vector(4) {_CLAUSES}
+  for (j = 3; j < ny - 1; j++) {{
+    #pragma acc loop gang vector(64)
+    for (i = 3; i < nx - 1; i++) {{
+      double cell = 0.0;
+      #pragma acc loop seq
+      for (k = 3; k < nz - 1; k++) {{
+        double v2 = vx[k][j][i] * vx[k][j][i]
+                  + vy[k][j][i] * vy[k][j][i]
+                  + vz[k][j][i] * vz[k][j][i];
+        cell += 0.5 * rho[k][j][i] * v2;
+      }}
+      mdz[1][j][i] = cell;
+    }}
+  }}
+}}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="355.seismic",
+        language="fortran",
+        description="Seismic wave propagation (SEISMIC_CPML-style 4th-order "
+        "FDTD); 15 same-shape 3-D allocatable arrays; the dim/small showcase.",
+        source=SOURCE,
+        env={"nx": 512, "ny": 320, "nz": 128},
+        launches=200,
+        test_env={"nx": 10, "ny": 9, "nz": 8},
+        scalar_args={"h": 0.5, "dt": 0.01},
+        uses_dim=True,
+        uses_small=True,
+    )
+)

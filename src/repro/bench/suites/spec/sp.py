@@ -1,0 +1,238 @@
+"""356.sp — scalar penta-diagonal solver (SPEC ACCEL, Fortran).
+
+Modelled on the SP pseudo-application: ten frequently-used allocatable
+arrays with **two** distinct shapes (the paper's Section V-D description):
+
+* shape A ``[1:nz][1:ny][1:nx]`` — seven per-cell fields
+  (us, vs, ws, qs, speed, square, ainv);
+* shape B ``[1:n5][1:nz][1:ny][1:nx]`` — three 4-D state arrays
+  (u, rhs, forcing).
+
+The ``dim`` clause declares one group per shape; kernels that touch fewer
+than two arrays of any one group gain nothing from it (Table II's "NA"
+rows).  The x-direction line solves sweep sequentially along ``i`` with
+threads spread over ``j``/``k`` — middle-dimension thread indexing, i.e.
+**uncoalesced** accesses; per Section V-C that latency is the benchmark's
+real bottleneck ("this will require to change the benchmark algorithm"),
+so register savings barely move the needle on time while Table II's
+register columns move a lot.
+"""
+
+from ..registry import SPEC
+from ...core import BenchmarkSpec
+
+_A = "[1:nz][1:ny][1:nx]"
+_B = "[1:n5][1:nz][1:ny][1:nx]"
+
+_DIM = (
+    "dim((1:nz, 1:ny, 1:nx)(us, vs, ws, qs, speed, square, ainv), "
+    "(1:n5, 1:nz, 1:ny, 1:nx)(u, rhs, forcing))"
+)
+_SMALL = "small(us, vs, ws, qs, speed, square, ainv, u, rhs, forcing)"
+
+SOURCE = f"""
+kernel sp(double us{_A}, double vs{_A}, double ws{_A}, double qs{_A},
+          double speed{_A}, double square{_A}, double ainv{_A},
+          double u{_B}, double rhs{_B}, const double forcing{_B},
+          const double cv[5][5], double lhs[5][5],
+          double c1, double c2, double dt,
+          int nx, int ny, int nz, int n5) {{
+
+  // HOT1 — compute_rhs init: copies forcing into rhs; one shape-B array
+  // pair... but forcing/rhs are the same group — keep it to rhs alone so
+  // this is a Table II 'NA' row (single allocatable array).
+  #pragma acc kernels loop gang vector(2) {_SMALL}
+  for (k = 2; k < nz; k++) {{
+    #pragma acc loop gang vector(32)
+    for (j = 2; j < ny; j++) {{
+      #pragma acc loop seq
+      for (i = 2; i < nx; i++) {{
+        rhs[1][k][j][i] = rhs[1][k][j][i] * dt;
+        rhs[2][k][j][i] = rhs[2][k][j][i] * dt + c1 * rhs[1][k][j][i];
+        rhs[3][k][j][i] = rhs[3][k][j][i] * dt + c2 * rhs[2][k][j][i];
+      }}
+    }}
+  }}
+
+  // HOT2 — velocity magnitudes: two shape-A arrays (dim applies).
+  #pragma acc kernels loop gang vector(2) {_DIM} {_SMALL}
+  for (k = 2; k < nz; k++) {{
+    #pragma acc loop gang vector(32)
+    for (j = 2; j < ny; j++) {{
+      #pragma acc loop seq
+      for (i = 2; i < nx; i++) {{
+        double r = us[k][j][i];
+        vs[k][j][i] = r * r + 2.0 * r * c1 + vs[k][j][i] * c2;
+      }}
+    }}
+  }}
+
+  // HOT3 — txinvr-style: one shape-A + one shape-B array (different
+  // groups, one member each -> 'NA').
+  #pragma acc kernels loop gang vector(2) {_SMALL}
+  for (k = 2; k < nz; k++) {{
+    #pragma acc loop gang vector(32)
+    for (j = 2; j < ny; j++) {{
+      #pragma acc loop seq
+      for (i = 2; i < nx; i++) {{
+        double sp1 = speed[k][j][i];
+        u[1][k][j][i] = u[1][k][j][i] + c1 * sp1;
+        u[2][k][j][i] = u[2][k][j][i] - c2 * sp1 * sp1;
+        u[3][k][j][i] = u[3][k][j][i] + sp1 / (1.0 + sp1 * sp1);
+      }}
+    }}
+  }}
+
+  // HOT4 — add: two shape-B arrays (dim applies to the 4-D group).
+  #pragma acc kernels loop gang vector(2) {_DIM} {_SMALL}
+  for (k = 2; k < nz; k++) {{
+    #pragma acc loop gang vector(32)
+    for (j = 2; j < ny; j++) {{
+      #pragma acc loop seq
+      for (i = 2; i < nx; i++) {{
+        u[1][k][j][i] += rhs[1][k][j][i];
+        u[2][k][j][i] += rhs[2][k][j][i];
+        u[3][k][j][i] += rhs[3][k][j][i];
+        u[4][k][j][i] += rhs[4][k][j][i];
+        u[5][k][j][i] += rhs[5][k][j][i];
+      }}
+    }}
+  }}
+
+  // HOT5 — offset-dominated sweep over four shape-A arrays: almost all
+  // registers are address arithmetic, so small nearly halves the count
+  // (Table II: 74 -> 37 -> 32).
+  #pragma acc kernels loop gang vector(2) {_DIM} {_SMALL}
+  for (k = 2; k < nz; k++) {{
+    #pragma acc loop gang vector(32)
+    for (j = 2; j < ny; j++) {{
+      #pragma acc loop seq
+      for (i = 2; i < nx; i++) {{
+        qs[k][j][i] = us[k][j][i] + vs[k][j][i] + ws[k][j][i];
+      }}
+    }}
+  }}
+
+  // HOT6 — block inversion over *static* 5x5 workspaces: no allocatable
+  // arrays at all, so neither clause changes anything (57/57/NA).
+  #pragma acc kernels loop gang vector(128)
+  for (m = 0; m < 4; m++) {{
+    #pragma acc loop seq
+    for (p = 0; p < 4; p++) {{
+      #pragma acc loop seq
+      for (q = 0; q < 4; q++) {{
+        lhs[p][q] = lhs[p][q] - cv[p][m] * cv[m][q] * c1
+                  + cv[p][q] * cv[q][m] * c2;
+      }}
+    }}
+  }}
+
+  // HOT7 — x-solve forward sweep: three shape-A arrays, sequential along
+  // i (threads on j/k => uncoalesced), i-chains for SAFARA.
+  #pragma acc kernels loop gang vector(2) {_DIM} {_SMALL}
+  for (k = 2; k < nz; k++) {{
+    #pragma acc loop gang vector(32)
+    for (j = 2; j < ny; j++) {{
+      #pragma acc loop seq
+      for (i = 2; i < nx; i++) {{
+        double fac = 1.0 / (speed[k][j][i] - ainv[k][j][i-1] * c1);
+        ainv[k][j][i] = fac * c2;
+        qs[k][j][i] = fac * (qs[k][j][i] + qs[k][j][i-1] * c1);
+      }}
+    }}
+  }}
+
+  // HOT8 — the monster kernel (Table II: 211 base registers): all ten
+  // allocatable arrays, 4th-order x-differences, uncoalesced sweep.
+  #pragma acc kernels loop gang vector(2) {_DIM} {_SMALL}
+  for (k = 3; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(32)
+    for (j = 3; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = 3; i < nx - 1; i++) {{
+        double uij = us[k][j][i];
+        double up1 = us[k][j][i+1];
+        double um1 = us[k][j][i-1];
+        double vij = vs[k][j][i];
+        double wij = ws[k][j][i];
+        double qij = qs[k][j][i] + square[k][j][i];
+        double spd = speed[k][j][i] * ainv[k][j][i];
+        rhs[1][k][j][i] = forcing[1][k][j][i]
+            + c1 * (up1 - 2.0 * uij + um1)
+            - c2 * (u[1][k][j][i+1] - u[1][k][j][i-1])
+            + spd * qij;
+        rhs[2][k][j][i] = forcing[2][k][j][i]
+            + c1 * (vs[k][j+1][i] - 2.0 * vij + vs[k][j-1][i])
+            - c2 * (u[2][k][j][i+1] - u[2][k][j][i-1])
+            + spd * vij * qij;
+        rhs[3][k][j][i] = forcing[3][k][j][i]
+            + c1 * (ws[k+1][j][i] - 2.0 * wij + ws[k-1][j][i])
+            - c2 * (u[3][k][j][i+1] - u[3][k][j][i-1])
+            + spd * wij * qij;
+        rhs[4][k][j][i] = forcing[4][k][j][i]
+            + c1 * (qs[k][j][i+1] - 2.0 * qs[k][j][i] + qs[k][j][i-1])
+            - c2 * (u[4][k][j][i+1] - u[4][k][j][i-1])
+            + spd * uij * vij;
+        rhs[5][k][j][i] = forcing[5][k][j][i]
+            + c1 * (square[k][j][i+1] - 2.0 * square[k][j][i] + square[k][j][i-1])
+            - c2 * (u[5][k][j][i+1] - u[5][k][j][i-1])
+            + spd * uij * wij;
+      }}
+    }}
+  }}
+
+  // HOT9 — y-solve: nearly as heavy (Table II: 184), eight arrays.
+  #pragma acc kernels loop gang vector(2) {_DIM} {_SMALL}
+  for (k = 3; k < nz - 1; k++) {{
+    #pragma acc loop gang vector(32)
+    for (j = 3; j < ny - 1; j++) {{
+      #pragma acc loop seq
+      for (i = 3; i < nx - 1; i++) {{
+        double vij = vs[k][j][i];
+        double qij = qs[k][j][i];
+        rhs[1][k][j][i] = rhs[1][k][j][i]
+            + c1 * (us[k][j][i+1] - 2.0 * us[k][j][i] + us[k][j][i-1])
+            + c2 * vij * qij * speed[k][j][i];
+        rhs[2][k][j][i] = rhs[2][k][j][i]
+            + c1 * (vs[k][j][i+1] - 2.0 * vij + vs[k][j][i-1])
+            + c2 * qij * ainv[k][j][i];
+        rhs[3][k][j][i] = rhs[3][k][j][i]
+            + c1 * (ws[k][j][i+1] - 2.0 * ws[k][j][i] + ws[k][j][i-1])
+            + c2 * square[k][j][i] * vij;
+      }}
+    }}
+  }}
+
+  // HOT10 — pinvr-style single-array sweep ('NA', small ~no-op).
+  #pragma acc kernels loop gang vector(2) {_SMALL}
+  for (k = 2; k < nz; k++) {{
+    #pragma acc loop gang vector(32)
+    for (j = 2; j < ny; j++) {{
+      #pragma acc loop seq
+      for (i = 2; i < nx; i++) {{
+        double r1 = rhs[1][k][j][i];
+        double r2 = rhs[2][k][j][i];
+        rhs[1][k][j][i] = c1 * r1 + c2 * r2;
+        rhs[2][k][j][i] = c1 * r2 - c2 * r1;
+      }}
+    }}
+  }}
+}}
+"""
+
+SPEC.register(
+    BenchmarkSpec(
+        suite="spec",
+        name="356.sp",
+        language="fortran",
+        description="SP pseudo-application: ten allocatable arrays in two "
+        "shapes, uncoalesced x-sweeps; Table II's register study.",
+        source=SOURCE,
+        env={"nx": 162, "ny": 162, "nz": 162, "n5": 5},
+        launches=[400, 400, 400, 400, 400, 400, 400, 60, 60, 400],
+        test_env={"nx": 8, "ny": 8, "nz": 8, "n5": 5},
+        scalar_args={"c1": 0.1, "c2": 0.05, "dt": 0.01},
+        uses_dim=True,
+        uses_small=True,
+    )
+)

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile FILE``
+    Compile a MiniACC file under one or more configurations; print the
+    PTXAS reports and (given ``--env``) the timing-model verdicts.
+    ``--dump-vir`` shows the virtual ISA, ``--cuda`` the CUDA-like source.
+
+``experiments [NAME ...]``
+    Regenerate the paper's tables/figures (default: all).
+
+``bench``
+    List the modelled SPEC ACCEL / NAS benchmarks.
+
+``microbench``
+    Run the Wong-style latency survey on the simulated device.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.experiments import ALL_EXPERIMENTS
+from .bench.suites.registry import load_all
+from .compiler.driver import compile_source, time_program
+from .compiler.options import ALL_CONFIGS, BASE, SMALL_DIM_SAFARA
+
+
+def _parse_env(pairs: list[str]) -> dict[str, int]:
+    env: dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--env expects name=value, got {pair!r}")
+        name, value = pair.split("=", 1)
+        env[name] = int(value)
+    return env
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    config_names = args.config or [BASE.name, SMALL_DIM_SAFARA.name]
+    env = _parse_env(args.env)
+    for name in config_names:
+        config = ALL_CONFIGS.get(name)
+        if config is None:
+            known = ", ".join(sorted(ALL_CONFIGS))
+            raise SystemExit(f"unknown config {name!r}; known: {known}")
+        program = compile_source(source, config)
+        print(f"== {config.name} ==")
+        for kernel in program.kernels:
+            line = f"  {kernel.ptxas.summary()}"
+            if kernel.safara is not None:
+                line += (
+                    f"  [SAFARA: {kernel.safara.groups_replaced} groups, "
+                    f"{kernel.backend_compilations} backend compiles]"
+                )
+            print(line)
+            if args.dump_vir:
+                print(kernel.vir.dump())
+        if env:
+            timing = time_program(program, env, launches=args.launches)
+            for kt in timing.kernels:
+                print(
+                    f"    {kt.name}: {kt.time_ms:.3f} ms "
+                    f"(occupancy {kt.occupancy.occupancy:.2f}, {kt.bound}-bound)"
+                )
+            print(f"  total: {timing.total_ms:.3f} ms")
+        if args.cuda:
+            from .codegen.cuda_text import render_cuda
+            from .ir.builder import build_module
+            from .lang.parser import parse_program
+
+            fn = build_module(parse_program(source)).functions[0]
+            for index, region in enumerate(fn.regions(), start=1):
+                print(render_cuda(region, fn.symtab, config.codegen_options(),
+                                  name=f"{fn.name}_k{index}"))
+        print()
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    names = args.names or list(ALL_EXPERIMENTS)
+    for name in names:
+        fn = ALL_EXPERIMENTS.get(name)
+        if fn is None:
+            known = ", ".join(ALL_EXPERIMENTS)
+            raise SystemExit(f"unknown experiment {name!r}; known: {known}")
+        print(fn().render())
+        print()
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    spec, nas = load_all()
+    for suite in (spec, nas):
+        print(f"== {suite.suite.upper()} ==")
+        for b in suite.all():
+            clauses = []
+            if b.uses_small:
+                clauses.append("small")
+            if b.uses_dim:
+                clauses.append("dim")
+            tag = f" [{', '.join(clauses)}]" if clauses else ""
+            print(f"  {b.name:14s} ({b.language}){tag}: {b.description}")
+    return 0
+
+
+def cmd_microbench(args: argparse.Namespace) -> int:
+    from .gpu.microbench import measure_all
+
+    print("latency survey (simulated Tesla K20Xm):")
+    for m in measure_all():
+        print(f"  {m}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAFARA + dim/small OpenACC reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a MiniACC file")
+    p.add_argument("file", help="MiniACC source file ('-' for stdin)")
+    p.add_argument(
+        "--config",
+        action="append",
+        help=f"configuration name (repeatable); known: {', '.join(sorted(ALL_CONFIGS))}",
+    )
+    p.add_argument("--env", action="append", default=[], help="problem size name=value")
+    p.add_argument("--launches", type=int, default=1)
+    p.add_argument("--dump-vir", action="store_true", help="print the virtual ISA")
+    p.add_argument("--cuda", action="store_true", help="print CUDA-like source")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
+    p.add_argument("names", nargs="*", help=f"subset of: {', '.join(ALL_EXPERIMENTS)}")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("bench", help="list the modelled benchmarks")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("microbench", help="run the latency survey")
+    p.set_defaults(func=cmd_microbench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Code generation: the VIR virtual ISA (PTX stand-in), the region
+lowering pass, and a readable CUDA-like source renderer."""
+
+from .cuda_text import CudaRenderer, render_cuda
+from .opencl_text import OpenClRenderer, render_opencl
+from .kernelgen import CodegenOptions, KernelGenerator, generate_kernel
+from .vir import (
+    Instr,
+    LaunchConfig,
+    MARKER_OPS,
+    MEMORY_OPS,
+    Op,
+    VirKernel,
+    VReg,
+    VRegAllocator,
+)
+
+__all__ = [
+    "CodegenOptions",
+    "CudaRenderer",
+    "OpenClRenderer",
+    "render_cuda",
+    "render_opencl",
+    "Instr",
+    "KernelGenerator",
+    "LaunchConfig",
+    "MARKER_OPS",
+    "MEMORY_OPS",
+    "Op",
+    "VReg",
+    "VRegAllocator",
+    "VirKernel",
+    "generate_kernel",
+]

@@ -1,0 +1,676 @@
+"""Lowering of OpenACC offload regions to the VIR virtual ISA.
+
+This is the GPU half of the OpenUH pipeline (Figure 2 of the paper): the
+region's parallel loops become the launch topology, sequential loops become
+per-thread loops, and every array reference expands into dope-vector
+loads + offset arithmetic + a memory access — the code whose register cost
+the ``dim`` and ``small`` clauses attack:
+
+* **dope vectors** (Section IV-A): a VLA/allocatable array of rank *n*
+  needs *n* lower bounds + *n−1* row lengths as compiler temporaries
+  (5 for the paper's 3-D Fortran example).  With the ``dim`` clause,
+  arrays of one group share a single set — and, when their subscripts
+  match, a single offset value (the paper's ``offset0`` listing).
+
+* **offset width** (Section IV-B): offsets are 64-bit by default (two
+  hardware registers each); arrays proven/declared ``small`` use 32-bit
+  arithmetic, halving that cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.coalescing import AccessInfo, AccessPattern, classify_access
+from ..analysis.loopinfo import analyze_loops
+from ..analysis.memspace import MemSpace, classify_memspaces
+from ..ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cast,
+    Expr,
+    FloatConst,
+    IntConst,
+    Select,
+    UnOp,
+    VarRef,
+    expr_type,
+)
+from ..ir.stmt import Assign, If, LocalDecl, Loop, Region, Stmt
+from ..ir.symbols import Symbol, SymbolTable
+from ..lang.directives import LoopDirective
+from ..transforms.dim_clause import DopeClasses, compute_dope_classes
+from ..transforms.small_clause import small_arrays
+from .vir import Instr, LaunchConfig, Op, VirKernel, VReg, VRegAllocator
+
+
+@dataclass(slots=True)
+class CodegenOptions:
+    """Code generation switches (one compiler configuration)."""
+
+    #: Honor the proposed ``dim`` clause (share dope vectors / offsets).
+    honor_dim: bool = True
+    #: Honor the proposed ``small`` clause (32-bit offsets).
+    honor_small: bool = True
+    #: Lower read-only data through the Kepler read-only cache.
+    readonly_cache: bool = True
+    #: Reuse identical offset computations (address CSE).
+    cse_offsets: bool = True
+    #: Merge statement-level adjacent loads (last subscripts differing by
+    #: one) into a single two-element vector load — the paper's
+    #: future-work "memory vectorization".
+    vectorize_loads: bool = False
+    #: vector_length when a vector clause has no size.
+    default_vector_length: int = 128
+
+
+class KernelGenerator:
+    """Generates one :class:`VirKernel` from one offload region."""
+
+    def __init__(
+        self,
+        region: Region,
+        symtab: SymbolTable,
+        options: CodegenOptions | None = None,
+        name: str | None = None,
+    ):
+        self.region = region
+        self.symtab = symtab
+        self.options = options or CodegenOptions()
+        self.name = name or region.name_hint
+        self.ra = VRegAllocator()
+        self.instrs: list[Instr] = []
+        self.scalar_regs: dict[Symbol, VReg] = {}
+        self.base_regs: dict[Symbol, VReg] = {}
+        self.dope_regs: dict[tuple[Symbol, int, str], VReg] = {}
+        # Stack-scoped offset cache: (array-or-class-rep, indices, width).
+        self._offset_scopes: list[dict] = [{}]
+        # Per-statement vector-load fusion state.
+        self._vec_partner: dict = {}
+        self._vec_loaded: dict = {}
+        self.info = analyze_loops(region)
+        self.vector_var = self.info.vector_var
+        self.divergent = frozenset(self.info.divergent_symbols())
+        self.spaces = classify_memspaces(
+            region, has_readonly_cache=self.options.readonly_cache
+        )
+        if self.options.honor_small:
+            self.small = small_arrays(region, symtab)
+        else:
+            # Static detection still applies (the compiler always knows
+            # static shapes); only the clause information is dropped.
+            self.small = {
+                s
+                for s in symtab.arrays()
+                if s.array
+                and s.array.static_size_bytes() is not None
+                and s.array.static_size_bytes() < 4 * 1024**3
+            }
+        if self.options.honor_dim:
+            self.dope_classes = compute_dope_classes(region, symtab)
+        else:
+            self.dope_classes = DopeClasses()
+
+    # -- public ---------------------------------------------------------------
+    def generate(self) -> VirKernel:
+        launch = self._build_launch()
+        self._launch_tpb = launch.threads_per_block
+        self.smem_bytes = 0
+        self._emit_prologue()
+        self._emit_stmts(self.region.body)
+        self._emit(Instr(Op.RET))
+        return VirKernel(
+            name=self.name,
+            instrs=self.instrs,
+            launch=launch,
+            vreg_count=self.ra.count,
+            smem_bytes=self.smem_bytes,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+    def _emit(self, instr: Instr) -> Instr:
+        self.instrs.append(instr)
+        return instr
+
+    def _offset_cache(self) -> dict:
+        return self._offset_scopes[-1]
+
+    def _push_scope(self) -> None:
+        self._offset_scopes.append(dict(self._offset_scopes[-1]))
+
+    def _pop_scope(self) -> None:
+        self._offset_scopes.pop()
+
+    def _offset_width(self, sym: Symbol) -> int:
+        return 32 if sym in self.small else 64
+
+    def _scalar_reg(self, sym: Symbol) -> VReg:
+        reg = self.scalar_regs.get(sym)
+        if reg is None:
+            reg = self.ra.fresh(bits=sym.stype.bits, hint=sym.name)
+            self.scalar_regs[sym] = reg
+        return reg
+
+    # -- prologue ----------------------------------------------------------
+    def _referenced_arrays(self) -> list[Symbol]:
+        from ..analysis.memspace import referenced_arrays
+
+        return sorted(referenced_arrays(self.region), key=lambda s: s.name)
+
+    def _emit_prologue(self) -> None:
+        """Parameter, base-pointer and dope-vector loads."""
+        for sym in self._referenced_arrays():
+            base = self.ra.fresh(bits=64, hint=f"{sym.name}_base")
+            self.base_regs[sym] = base
+            self._emit(Instr(Op.LD_PARAM, dst=base, array=sym, comment=f"&{sym.name}"))
+            self._emit_dope_loads(sym)
+
+    def _emit_dope_loads(self, sym: Symbol) -> None:
+        """Materialise the dope temporaries one array needs.
+
+        Rank-n VLA: lower bounds for dims 0..n-1 (skipped when statically
+        zero) and row lengths for dims 1..n-1 (skipped when static).  With
+        ``dim`` sharing, only the class representative's set is loaded.
+        """
+        if sym.array is None or sym.array.is_pointer or not sym.array.dims:
+            return
+        rep = self.dope_classes.representative(sym)
+        width = self._offset_width(sym)
+        for d in range(len(rep.array.dims)):
+            if not self._lower_is_immediate(rep, d):
+                self._dope_reg(rep, d, "lb", width)
+            if d >= 1 and not isinstance(rep.array.dims[d].extent, int):
+                self._dope_reg(rep, d, "len", width)
+
+    @staticmethod
+    def _lower_is_immediate(rep: Symbol, d: int) -> bool:
+        """Can dimension ``d``'s lower bound be folded at compile time?
+
+        For *dynamic* arrays (any runtime extent — Fortran allocatables /
+        C VLAs) a declared non-zero lower bound lives in the run-time dope
+        vector: the paper's ``(i - t0)`` temporaries exist even when the
+        program text says ``1:nx``.  A literal 0 is the C guarantee and
+        always folds; fully static arrays fold everything.
+        """
+        dim = rep.array.dims[d]
+        if not isinstance(dim.lower, int):
+            return False
+        if dim.lower == 0:
+            return True
+        return not rep.array.is_vla
+
+    def _dope_reg(self, rep: Symbol, dim: int, kind: str, width: int) -> VReg:
+        key = (rep, dim, kind)
+        reg = self.dope_regs.get(key)
+        if reg is None:
+            reg = self.ra.fresh(bits=width, hint=f"{rep.name}_{kind}{dim}")
+            self.dope_regs[key] = reg
+            self._emit(
+                Instr(
+                    Op.LD_DOPE,
+                    dst=reg,
+                    array=rep,
+                    dope_dim=dim,
+                    dope_kind=kind,
+                    comment=f"{rep.name}.{kind}[{dim}]",
+                )
+            )
+        return reg
+
+    # -- launch topology -----------------------------------------------------
+    def _build_launch(self) -> LaunchConfig:
+        vector_loops: list[Loop] = []
+        gang_loops: list[Loop] = []
+        tpb = 1
+        for loop in self.info.parallel_loops:
+            d = loop.directive
+            if d is not None and d.vector is not None:
+                vector_loops.append(loop)
+                size = d.vector
+                if isinstance(size, bool) or not isinstance(size, int):
+                    size = self.options.default_vector_length
+                tpb *= size
+            else:
+                gang_loops.append(loop)
+        if not vector_loops and self.info.parallel_loops:
+            tpb = self.options.default_vector_length
+        return LaunchConfig(
+            threads_per_block=max(1, min(tpb, 1024)),
+            vector_loops=vector_loops,
+            gang_loops=gang_loops,
+        )
+
+    # -- statements -----------------------------------------------------------
+    def _emit_stmts(self, stmts: list[Stmt]) -> None:
+        for stmt in stmts:
+            self._emit_stmt(stmt)
+
+    def _emit_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self._scan_vector_pairs(stmt)
+            value = self._eval(stmt.value)
+            if isinstance(stmt.target, VarRef):
+                dst = self._scalar_reg(stmt.target.sym)
+                self._emit(
+                    Instr(
+                        Op.MOV,
+                        dst=dst,
+                        srcs=(value,),
+                        is_float=stmt.target.sym.stype.is_float,
+                    )
+                )
+            else:
+                self._emit_store(stmt.target, value)
+        elif isinstance(stmt, LocalDecl):
+            if stmt.init is not None:
+                self._scan_vector_pairs(stmt)
+                value = self._eval(stmt.init)
+                dst = self._scalar_reg(stmt.sym)
+                self._emit(
+                    Instr(Op.MOV, dst=dst, srcs=(value,), is_float=stmt.sym.stype.is_float)
+                )
+            else:
+                self._scalar_reg(stmt.sym)
+        elif isinstance(stmt, If):
+            cond = self._eval(stmt.cond)
+            self._emit(Instr(Op.IF_BEGIN, srcs=(cond,)))
+            self._push_scope()
+            self._emit_stmts(stmt.then_body)
+            self._pop_scope()
+            if stmt.else_body:
+                self._emit(Instr(Op.IF_ELSE))
+                self._push_scope()
+                self._emit_stmts(stmt.else_body)
+                self._pop_scope()
+            self._emit(Instr(Op.IF_END))
+        elif isinstance(stmt, Loop):
+            if stmt.is_parallel:
+                self._emit_parallel_loop(stmt)
+            else:
+                self._emit_seq_loop(stmt)
+        else:
+            raise TypeError(f"cannot lower statement {type(stmt).__name__}")
+
+    def _emit_parallel_loop(self, loop: Loop) -> None:
+        """Map one parallel loop onto the thread topology:
+        ``var = init + global_id * step`` with a bounds guard."""
+        d = loop.directive
+        tid = self.ra.fresh(hint=f"tid_{loop.var.name}")
+        if d is not None and d.vector is not None:
+            ctaid = self.ra.fresh(hint=f"ctaid_{loop.var.name}")
+            ntid = self.ra.fresh(hint=f"ntid_{loop.var.name}")
+            raw = self.ra.fresh(hint=f"gid_{loop.var.name}")
+            self._emit(Instr(Op.TID, dst=tid))
+            self._emit(Instr(Op.CTAID, dst=ctaid))
+            self._emit(Instr(Op.NTID, dst=ntid))
+            self._emit(Instr(Op.MAD, dst=raw, srcs=(ctaid, ntid, tid)))
+        else:
+            raw = self.ra.fresh(hint=f"gid_{loop.var.name}")
+            self._emit(Instr(Op.CTAID, dst=raw))
+        var_reg = self._scalar_reg(loop.var)
+        init = self._eval(loop.init)
+        if loop.step == 1:
+            self._emit(Instr(Op.ADD, dst=var_reg, srcs=(init, raw)))
+        else:
+            step_reg = self._imm(loop.step)
+            self._emit(Instr(Op.MAD, dst=var_reg, srcs=(raw, step_reg, init)))
+        bound = self._eval(loop.bound)
+        pred = self.ra.fresh(hint=f"guard_{loop.var.name}")
+        self._emit(Instr(Op.SETP, dst=pred, srcs=(var_reg, bound), func=loop.cond_op))
+        self._emit(Instr(Op.IF_BEGIN, srcs=(pred,), comment="thread guard"))
+        self._push_scope()
+        self._emit_stmts(loop.body)
+        self._pop_scope()
+        self._emit(Instr(Op.IF_END))
+        if d is not None and d.reductions:
+            self._emit_reduction_epilogue(loop)
+
+    def _emit_reduction_epilogue(self, loop: Loop) -> None:
+        """Block-level tree reduction for ``reduction(op:var)`` clauses.
+
+        Each reduction variable gets one element of shared memory per
+        thread; ``log2(tpb)`` rounds of barrier + shared load/add/store
+        combine the block's partials, and lane 0 issues the global update.
+        This charges the real costs OpenACC reduction lowering pays:
+        shared-memory capacity (which caps occupancy), barriers, and the
+        final global traffic.
+        """
+        import math as _math
+
+        d = loop.directive
+        tpb = getattr(self, "_launch_tpb", 0) or self.options.default_vector_length
+        rounds = max(1, int(_math.ceil(_math.log2(max(tpb, 2)))))
+        uniform = AccessInfo(AccessPattern.COALESCED, 1)
+        for red in d.reductions:
+            sym = None
+            for s in self.symtab:
+                if s.name == red.var and not s.is_array:
+                    sym = s
+                    break
+            elem_bits = sym.stype.bits if sym is not None else 64
+            self.smem_bytes += tpb * (elem_bits // 8)
+            acc = (
+                self._scalar_reg(sym)
+                if sym is not None
+                else self.ra.fresh(bits=elem_bits, hint="red_acc")
+            )
+            self._emit(
+                Instr(
+                    Op.ST,
+                    srcs=(acc,),
+                    space=MemSpace.SHARED,
+                    access=uniform,
+                    width_bits=elem_bits,
+                    comment=f"reduction({red.op}:{red.var}) partial",
+                )
+            )
+            for _ in range(rounds):
+                self._emit(Instr(Op.BAR, comment="reduction barrier"))
+                tmp = self.ra.fresh(bits=elem_bits, hint="red")
+                self._emit(
+                    Instr(
+                        Op.LD,
+                        dst=tmp,
+                        space=MemSpace.SHARED,
+                        access=uniform,
+                        width_bits=elem_bits,
+                        comment="reduction peer",
+                    )
+                )
+                self._emit(
+                    Instr(Op.ADD, dst=acc, srcs=(acc, tmp), is_float=elem_bits == 64)
+                )
+                self._emit(
+                    Instr(
+                        Op.ST,
+                        srcs=(acc,),
+                        space=MemSpace.SHARED,
+                        access=uniform,
+                        width_bits=elem_bits,
+                    )
+                )
+            # Lane 0 publishes the block result.
+            self._emit(
+                Instr(
+                    Op.ST,
+                    srcs=(acc,),
+                    space=MemSpace.GLOBAL,
+                    access=AccessInfo(AccessPattern.UNIFORM, 0),
+                    width_bits=elem_bits,
+                    comment=f"reduction({red.op}:{red.var}) block result",
+                )
+            )
+
+    def _emit_seq_loop(self, loop: Loop) -> None:
+        var_reg = self._scalar_reg(loop.var)
+        init = self._eval(loop.init)
+        self._emit(Instr(Op.MOV, dst=var_reg, srcs=(init,)))
+        bound = self._eval(loop.bound)
+        self._emit(Instr(Op.LOOP_BEGIN, loop=loop, srcs=(bound,)))
+        self._push_scope()
+        # Loop-variant offsets must not leak across iterations.
+        self._offset_scopes[-1] = {}
+        self._emit_stmts(loop.body)
+        step_reg = self._imm(abs(loop.step))
+        op = Op.ADD if loop.step > 0 else Op.SUB
+        self._emit(Instr(op, dst=var_reg, srcs=(var_reg, step_reg)))
+        pred = self.ra.fresh(hint=f"p_{loop.var.name}")
+        self._emit(Instr(Op.SETP, dst=pred, srcs=(var_reg, bound), func=loop.cond_op))
+        self._pop_scope()
+        self._emit(Instr(Op.LOOP_END, loop=loop, srcs=(pred,)))
+
+    # -- memory access --------------------------------------------------------
+    def _emit_store(self, ref: ArrayRef, value: VReg) -> None:
+        offset = self._offset_of(ref)
+        base = self.base_regs[ref.sym]
+        elem = ref.sym.array.elem
+        self._emit(
+            Instr(
+                Op.ST,
+                srcs=(base, offset, value),
+                array=ref.sym,
+                space=MemSpace.GLOBAL,
+                access=classify_access(ref, self.vector_var, self.divergent),
+                width_bits=elem.bits,
+                comment=f"{ref.sym.name}[...]",
+            )
+        )
+
+    def _scan_vector_pairs(self, stmt) -> None:
+        """Find adjacent read pairs (same array, last subscripts exactly
+        one apart) within one statement for vector-load fusion."""
+        self._vec_partner = {}
+        self._vec_loaded = {}
+        if not self.options.vectorize_loads:
+            return
+        from ..analysis.subscripts import subscript_forms
+        from ..ir.expr import array_refs as _array_refs
+
+        exprs = []
+        if isinstance(stmt, Assign):
+            exprs.append(stmt.value)
+            if isinstance(stmt.target, ArrayRef):
+                exprs.extend(stmt.target.indices)
+        elif isinstance(stmt, LocalDecl) and stmt.init is not None:
+            exprs.append(stmt.init)
+        refs: list[ArrayRef] = []
+        for e in exprs:
+            for r in _array_refs(e):
+                if r not in refs:
+                    refs.append(r)
+        taken: set[int] = set()
+        for i, lo in enumerate(refs):
+            if i in taken:
+                continue
+            flo = subscript_forms(lo)
+            if flo is None:
+                continue
+            for j, hi in enumerate(refs):
+                if j == i or j in taken or hi.sym is not lo.sym:
+                    continue
+                if len(hi.indices) != len(lo.indices):
+                    continue
+                fhi = subscript_forms(hi)
+                if fhi is None:
+                    continue
+                if any((fh - fl).terms and k < len(flo) - 1
+                       for k, (fh, fl) in enumerate(zip(fhi, flo))):
+                    continue
+                diff = fhi[-1] - flo[-1]
+                if diff.is_constant and diff.const == 1:
+                    self._vec_partner[lo] = ("lo", hi)
+                    self._vec_partner[hi] = ("hi", lo)
+                    taken.add(i)
+                    taken.add(j)
+                    break
+
+    def _emit_load(self, ref: ArrayRef) -> VReg:
+        cached = self._vec_loaded.get(ref)
+        if cached is not None:
+            return cached
+        elem = ref.sym.array.elem
+        pair = self._vec_partner.get(ref) if self.options.vectorize_loads else None
+        if pair is not None:
+            # Fused two-element load (ld.v2 in PTX terms): one transaction,
+            # one latency, both lanes defined at once, addressed from the
+            # LOW element.
+            role, other = pair
+            lo_ref = ref if role == "lo" else other
+            hi_ref = other if role == "lo" else ref
+            offset = self._offset_of(lo_ref)
+            base = self.base_regs[ref.sym]
+            dst_lo = self.ra.fresh(bits=elem.bits, hint=f"{ref.sym.name}_v")
+            dst_hi = self.ra.fresh(bits=elem.bits, hint=f"{ref.sym.name}_v2")
+            self._emit(
+                Instr(
+                    Op.LD,
+                    dst=dst_lo,
+                    dst2=dst_hi,
+                    srcs=(base, offset),
+                    array=ref.sym,
+                    space=self.spaces.get(ref.sym, MemSpace.GLOBAL),
+                    access=classify_access(lo_ref, self.vector_var, self.divergent),
+                    width_bits=elem.bits * 2,
+                    comment=f"{ref.sym.name}[...].v2",
+                )
+            )
+            self._vec_loaded[lo_ref] = dst_lo
+            self._vec_loaded[hi_ref] = dst_hi
+            return self._vec_loaded[ref]
+        offset = self._offset_of(ref)
+        base = self.base_regs[ref.sym]
+        dst = self.ra.fresh(bits=elem.bits, hint=f"{ref.sym.name}_v")
+        self._emit(
+            Instr(
+                Op.LD,
+                dst=dst,
+                srcs=(base, offset),
+                array=ref.sym,
+                space=self.spaces.get(ref.sym, MemSpace.GLOBAL),
+                access=classify_access(ref, self.vector_var, self.divergent),
+                width_bits=elem.bits,
+                comment=f"{ref.sym.name}[...]",
+            )
+        )
+        return dst
+
+    def _offset_of(self, ref: ArrayRef) -> VReg:
+        """Flattened element offset of ``ref`` in the array's offset width.
+
+        Identical subscripts on arrays of one dope class share one offset
+        register (the ``dim`` optimisation), looked up through the
+        stack-scoped CSE cache.
+        """
+        sym = ref.sym
+        rep = self.dope_classes.representative(sym)
+        width = self._offset_width(sym)
+        key = (rep, ref.indices, width)
+        if self.options.cse_offsets:
+            cached = self._offset_cache().get(key)
+            if cached is not None:
+                return cached
+        offset = self._compute_offset(ref, rep, width)
+        if self.options.cse_offsets:
+            self._offset_cache()[key] = offset
+        return offset
+
+    def _compute_offset(self, ref: ArrayRef, rep: Symbol, width: int) -> VReg:
+        sym = ref.sym
+        assert sym.array is not None
+        if sym.array.is_pointer:
+            idx = self._eval(ref.indices[0])
+            return self._to_width(idx, width)
+        dims = rep.array.dims if rep.array and rep.array.dims else sym.array.dims
+        acc: VReg | None = None
+        for d, (index_expr, dim) in enumerate(zip(ref.indices, dims)):
+            idx = self._to_width(self._eval(index_expr), width)
+            # idx - lb
+            if self._lower_is_immediate(rep, d):
+                if dim.lower != 0:
+                    tmp = self.ra.fresh(bits=width, hint="idx")
+                    self._emit(Instr(Op.SUB, dst=tmp, srcs=(idx,), imm=dim.lower))
+                    idx = tmp
+            else:
+                lb = self._dope_reg(rep, d, "lb", width)
+                tmp = self.ra.fresh(bits=width, hint="idx")
+                self._emit(Instr(Op.SUB, dst=tmp, srcs=(idx, lb)))
+                idx = tmp
+            if acc is None:
+                acc = idx
+                continue
+            # acc = acc * len_d + idx
+            out = self.ra.fresh(bits=width, hint="off")
+            if isinstance(dim.extent, int):
+                self._emit(Instr(Op.MAD, dst=out, srcs=(acc, idx), imm=dim.extent))
+            else:
+                length = self._dope_reg(rep, d, "len", width)
+                self._emit(Instr(Op.MAD, dst=out, srcs=(acc, length, idx)))
+            acc = out
+        assert acc is not None
+        return acc
+
+    def _to_width(self, reg: VReg, width: int) -> VReg:
+        if reg.bits == width:
+            return reg
+        out = self.ra.fresh(bits=width, hint="cvt")
+        self._emit(Instr(Op.CVT, dst=out, srcs=(reg,)))
+        return out
+
+    def _imm(self, value: int | float, bits: int = 32, is_float: bool = False) -> VReg:
+        reg = self.ra.fresh(bits=bits, hint="imm")
+        self._emit(Instr(Op.MOV_IMM, dst=reg, imm=value, is_float=is_float))
+        return reg
+
+    # -- expressions --------------------------------------------------------
+    def _eval(self, e: Expr) -> VReg:
+        if isinstance(e, IntConst):
+            return self._imm(e.value, bits=e.stype.bits)
+        if isinstance(e, FloatConst):
+            return self._imm(e.value, bits=e.stype.bits, is_float=True)
+        if isinstance(e, VarRef):
+            return self._scalar_reg(e.sym)
+        if isinstance(e, ArrayRef):
+            return self._emit_load(e)
+        if isinstance(e, UnOp):
+            src = self._eval(e.operand)
+            dst = self.ra.fresh(bits=src.bits, hint="neg")
+            op = Op.NEG if e.op == "-" else Op.NOT
+            self._emit(Instr(op, dst=dst, srcs=(src,), is_float=expr_type(e).is_float))
+            return dst
+        if isinstance(e, BinOp):
+            return self._eval_binop(e)
+        if isinstance(e, Select):
+            cond = self._eval(e.cond)
+            a = self._eval(e.then)
+            b = self._eval(e.otherwise)
+            dst = self.ra.fresh(bits=max(a.bits, b.bits), hint="sel")
+            self._emit(Instr(Op.SELP, dst=dst, srcs=(cond, a, b)))
+            return dst
+        if isinstance(e, Cast):
+            src = self._eval(e.operand)
+            dst = self.ra.fresh(bits=e.to_type.bits, hint="cvt")
+            self._emit(Instr(Op.CVT, dst=dst, srcs=(src,), is_float=e.to_type.is_float))
+            return dst
+        if isinstance(e, Call):
+            args = tuple(self._eval(a) for a in e.args)
+            result_bits = expr_type(e).bits
+            dst = self.ra.fresh(bits=result_bits, hint=e.func)
+            self._emit(
+                Instr(Op.MATH, dst=dst, srcs=args, func=e.func, is_float=True)
+            )
+            return dst
+        raise TypeError(f"cannot lower expression {type(e).__name__}")
+
+    _BINOPS = {
+        "+": Op.ADD,
+        "-": Op.SUB,
+        "*": Op.MUL,
+        "/": Op.DIV,
+        "%": Op.REM,
+        "&&": Op.AND,
+        "||": Op.OR,
+    }
+
+    def _eval_binop(self, e: BinOp) -> VReg:
+        lhs = self._eval(e.left)
+        rhs = self._eval(e.right)
+        etype = expr_type(e)
+        if e.op in ("<", "<=", ">", ">=", "==", "!="):
+            dst = self.ra.fresh(hint="p")
+            self._emit(Instr(Op.SETP, dst=dst, srcs=(lhs, rhs), func=e.op))
+            return dst
+        op = self._BINOPS[e.op]
+        dst = self.ra.fresh(bits=etype.bits, hint="t")
+        self._emit(Instr(op, dst=dst, srcs=(lhs, rhs), is_float=etype.is_float))
+        return dst
+
+
+def generate_kernel(
+    region: Region,
+    symtab: SymbolTable,
+    options: CodegenOptions | None = None,
+    name: str | None = None,
+) -> VirKernel:
+    """Lower one offload region to VIR."""
+    return KernelGenerator(region, symtab, options, name).generate()

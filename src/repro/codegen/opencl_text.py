@@ -1,0 +1,78 @@
+"""OpenCL rendering of offload regions.
+
+OpenUH's WHIRL2CUDA/OpenCL tool (paper Figure 2) emits both CUDA and
+OpenCL kernels; this is the OpenCL twin of
+:mod:`repro.codegen.cuda_text`.  Differences from the CUDA renderer:
+
+* ``__kernel void`` signature with ``__global`` pointer qualifiers
+  (``const __global ... restrict`` for read-only arrays);
+* thread indices via ``get_group_id``/``get_local_size``/
+  ``get_local_id`` (dimension numbers instead of ``.x/.y/.z``).
+"""
+
+from __future__ import annotations
+
+from ..ir.stmt import Loop, Region
+from ..ir.symbols import SymbolTable
+from .cuda_text import CudaRenderer
+from .kernelgen import CodegenOptions
+
+
+class OpenClRenderer(CudaRenderer):
+    def render(self) -> str:
+        from ..analysis.memspace import referenced_arrays
+
+        arrays = sorted(referenced_arrays(self.region), key=lambda s: s.name)
+        params = []
+        for sym in arrays:
+            const = "const " if sym.is_const else ""
+            restrict = " restrict" if sym.is_restrict or sym.is_const else ""
+            params.append(f"{const}__global {sym.array.elem}*{restrict} {sym.name}")
+        scalar_params = sorted(
+            {
+                s.name
+                for s in self.symtab
+                if not s.is_array and s.kind.value == "param"
+            }
+        )
+        params += [f"{self.symtab.require(n).stype} {n}" for n in scalar_params]
+        self._lines.append(f"__kernel void {self.name}({', '.join(params)})")
+        self._lines.append("{")
+        for stmt in self.region.body:
+            self._stmt(stmt)
+        self._lines.append("}")
+        return "\n".join(self._lines)
+
+    def _parallel_loop(self, loop: Loop) -> None:
+        axis = min(self._axis, 2)
+        self._axis += 1
+        var = loop.var.name
+        d = loop.directive
+        if d is not None and d.vector is not None:
+            gid = (
+                f"get_group_id({axis}) * get_local_size({axis}) + "
+                f"get_local_id({axis})"
+            )
+        else:
+            gid = f"get_group_id({axis})"
+        step = f" * {loop.step}" if loop.step != 1 else ""
+        from ..ir.printer import format_expr
+
+        self._emit(f"int {var} = {format_expr(loop.init)} + ({gid}){step};")
+        self._emit(f"if ({var} {loop.cond_op} {format_expr(loop.bound)}) {{")
+        self._indent += 1
+        for s in loop.body:
+            self._stmt(s)
+        self._indent -= 1
+        self._emit("}")
+        self._axis -= 1
+
+
+def render_opencl(
+    region: Region,
+    symtab: SymbolTable,
+    options: CodegenOptions | None = None,
+    name: str = "kernel_region",
+) -> str:
+    """Render one offload region as OpenCL source text."""
+    return OpenClRenderer(region, symtab, options, name).render()

@@ -1,0 +1,56 @@
+"""Compiler driver: configurations, the compile pipeline, runtime clause
+guards, and reporting."""
+
+from .guards import (
+    ClauseVerdict,
+    ClauseViolation,
+    GuardedKernel,
+    compile_guarded,
+    verify_clauses,
+)
+from .driver import (
+    CompiledKernel,
+    CompiledProgram,
+    ProgramTiming,
+    compile_function,
+    compile_source,
+    time_program,
+)
+from .options import (
+    ALL_CONFIGS,
+    BASE,
+    CARR_KENNEDY,
+    CompilerConfig,
+    PGI,
+    SAFARA_ONLY,
+    SMALL,
+    SMALL_DIM,
+    SMALL_DIM_SAFARA,
+    UNROLL_SAFARA,
+    VECTOR_SAFARA,
+)
+
+__all__ = [
+    "ALL_CONFIGS",
+    "BASE",
+    "CARR_KENNEDY",
+    "ClauseVerdict",
+    "ClauseViolation",
+    "CompiledKernel",
+    "CompiledProgram",
+    "CompilerConfig",
+    "PGI",
+    "ProgramTiming",
+    "SAFARA_ONLY",
+    "SMALL",
+    "SMALL_DIM",
+    "SMALL_DIM_SAFARA",
+    "UNROLL_SAFARA",
+    "VECTOR_SAFARA",
+    "GuardedKernel",
+    "compile_function",
+    "compile_guarded",
+    "verify_clauses",
+    "compile_source",
+    "time_program",
+]

@@ -1,0 +1,117 @@
+"""Compiler configurations — the experimental arms of the evaluation.
+
+Each :class:`CompilerConfig` is one bar group in the paper's figures:
+
+* ``BASE``          — OpenUH with the paper's optimisations disabled;
+* ``SAFARA_ONLY``   — Figure 7 (SAFARA without the new clauses);
+* ``SMALL``         — the ``small`` clause alone;
+* ``SMALL_DIM``     — ``small`` + ``dim``;
+* ``SMALL_DIM_SAFARA`` — everything (Figures 9/10's rightmost bars);
+* ``CARR_KENNEDY``  — the classic algorithm, for the ablation benches;
+* ``PGI``           — the commercial-comparator model of Figures 11/12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..analysis.cost_model import LatencyModel
+from ..codegen.kernelgen import CodegenOptions
+from ..gpu.arch import GpuArch, KEPLER_K20XM
+
+
+@dataclass(frozen=True, slots=True)
+class CompilerConfig:
+    """One complete compiler configuration."""
+
+    name: str
+    #: Honor the proposed clauses in the source.
+    honor_small: bool = False
+    honor_dim: bool = False
+    #: Run SAFARA (feedback-driven, latency-aware scalar replacement).
+    safara: bool = False
+    #: Run the classic Carr-Kennedy baseline instead.
+    carr_kennedy: bool = False
+    #: Restrict Carr-Kennedy to intra-iteration groups (used by the PGI
+    #: model: a production compiler that will not sequentialise loops but
+    #: also has no latency-aware inter-iteration machinery).
+    ck_intra_only: bool = False
+    ck_register_budget: int = 32
+    #: Use the read-only data cache for eligible arrays.
+    readonly_cache: bool = True
+    #: Per-thread register cap handed to ptxas (None = arch maximum).
+    register_limit: int | None = None
+    #: Unroll innermost sequential loops by this factor before scalar
+    #: replacement (1 = off).  The paper's future-work combination.
+    unroll_factor: int = 1
+    #: Merge adjacent loads into vector (128-bit) loads during codegen —
+    #: the future-work "memory vectorization".
+    vectorize_loads: bool = False
+    #: Relative quality of the backend's scalar code (PGI's mature backend
+    #: emits slightly tighter address code than the research compiler).
+    issue_efficiency: float = 1.0
+    arch: GpuArch = KEPLER_K20XM
+    latency: LatencyModel | None = None
+
+    def codegen_options(self) -> CodegenOptions:
+        return CodegenOptions(
+            honor_dim=self.honor_dim,
+            honor_small=self.honor_small,
+            readonly_cache=self.readonly_cache and self.arch.has_readonly_cache,
+            vectorize_loads=self.vectorize_loads,
+        )
+
+    def with_arch(self, arch: GpuArch) -> "CompilerConfig":
+        return replace(self, arch=arch)
+
+
+BASE = CompilerConfig(name="OpenUH(base)")
+SAFARA_ONLY = CompilerConfig(name="OpenUH(SAFARA)", safara=True)
+SMALL = CompilerConfig(name="OpenUH(small)", honor_small=True)
+SMALL_DIM = CompilerConfig(name="OpenUH(small+dim)", honor_small=True, honor_dim=True)
+SMALL_DIM_SAFARA = CompilerConfig(
+    name="OpenUH(SAFARA+small+dim)", honor_small=True, honor_dim=True, safara=True
+)
+CARR_KENNEDY = CompilerConfig(name="OpenUH(Carr-Kennedy)", carr_kennedy=True)
+#: The commercial-comparator model: solid baseline codegen (efficiency
+#: factor), conservative intra-iteration replacement only, ignores the
+#: proposed clauses entirely (they are not in the OpenACC standard).
+PGI = CompilerConfig(
+    name="PGI",
+    carr_kennedy=True,
+    ck_intra_only=True,
+    ck_register_budget=16,
+    issue_efficiency=0.85,
+)
+
+#: Future-work configurations (paper Section VII): unrolling and memory
+#: vectorization composed with the full optimisation stack.
+UNROLL_SAFARA = CompilerConfig(
+    name="OpenUH(SAFARA+clauses+unroll)",
+    honor_small=True,
+    honor_dim=True,
+    safara=True,
+    unroll_factor=2,
+)
+VECTOR_SAFARA = CompilerConfig(
+    name="OpenUH(SAFARA+clauses+vec)",
+    honor_small=True,
+    honor_dim=True,
+    safara=True,
+    vectorize_loads=True,
+)
+
+ALL_CONFIGS = {
+    cfg.name: cfg
+    for cfg in (
+        BASE,
+        SAFARA_ONLY,
+        SMALL,
+        SMALL_DIM,
+        SMALL_DIM_SAFARA,
+        CARR_KENNEDY,
+        PGI,
+        UNROLL_SAFARA,
+        VECTOR_SAFARA,
+    )
+}

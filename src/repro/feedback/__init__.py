@@ -1,0 +1,5 @@
+"""Register-usage feedback: the PTXAS-info loop driving SAFARA."""
+
+from .driver import FeedbackCompiler, optimize_region
+
+__all__ = ["FeedbackCompiler", "optimize_region"]

@@ -1,0 +1,76 @@
+"""The compile → assemble → feed-back loop (paper Section III-B.2).
+
+``FeedbackCompiler`` is the bridge SAFARA needs: each call lowers the
+region's *current* IR to VIR, runs the ptxas-simulator, and returns the
+``PTXAS Info`` record.  The history of reports is kept so experiments can
+show the iteration-by-iteration register climb the paper describes
+("backend compilation is performed multiple times").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.cost_model import LatencyModel
+from ..codegen.kernelgen import CodegenOptions, generate_kernel
+from ..gpu.arch import GpuArch, KEPLER_K20XM
+from ..gpu.registers import PtxasInfo, ptxas_info
+from ..ir.stmt import Region
+from ..ir.symbols import SymbolTable
+from ..transforms.safara import SafaraReport, apply_safara
+
+
+@dataclass(slots=True)
+class FeedbackCompiler:
+    """Callable register-feedback oracle over the simulated backend."""
+
+    symtab: SymbolTable
+    options: CodegenOptions = field(default_factory=CodegenOptions)
+    arch: GpuArch = KEPLER_K20XM
+    register_limit: int | None = None
+    name: str | None = None
+    history: list[PtxasInfo] = field(default_factory=list)
+
+    def __call__(self, region: Region) -> PtxasInfo:
+        kernel = generate_kernel(region, self.symtab, self.options, name=self.name)
+        info = ptxas_info(kernel, self.arch, self.register_limit)
+        self.history.append(info)
+        return info
+
+    @property
+    def compilations(self) -> int:
+        """Backend invocations so far (each one is a 'ptxas run')."""
+        return len(self.history)
+
+
+def optimize_region(
+    region: Region,
+    symtab: SymbolTable,
+    options: CodegenOptions | None = None,
+    arch: GpuArch = KEPLER_K20XM,
+    register_limit: int | None = None,
+    latency: LatencyModel | None = None,
+    name: str | None = None,
+) -> tuple[SafaraReport, FeedbackCompiler]:
+    """Run the full SAFARA feedback optimisation on one region.
+
+    Returns the SAFARA trace and the feedback compiler (whose ``history``
+    holds every intermediate PTXAS report).
+    """
+    options = options or CodegenOptions()
+    feedback = FeedbackCompiler(
+        symtab=symtab,
+        options=options,
+        arch=arch,
+        register_limit=register_limit,
+        name=name,
+    )
+    report = apply_safara(
+        region,
+        symtab,
+        feedback,
+        register_limit=register_limit or arch.max_registers_per_thread,
+        has_readonly_cache=options.readonly_cache and arch.has_readonly_cache,
+        latency=latency or arch.latency,
+    )
+    return report, feedback

@@ -1,0 +1,65 @@
+"""The simulated GPU substrate: architecture models, the ptxas-simulator
+register allocator, occupancy/memory/timing models, latency microbenchmarks
+and the functional interpreter."""
+
+from .arch import FERMI_LIKE, KEPLER_K20XM, GpuArch
+from .device import (
+    LaunchRecord,
+    SimulatedDevice,
+    TransferEstimate,
+    estimate_transfers,
+)
+from .interpreter import (
+    ExecutionStats,
+    Interpreter,
+    InterpreterError,
+    numpy_dtype,
+    run_kernel,
+)
+from .memory import access_latency, warp_transaction_bytes, warp_transactions
+from .microbench import LatencyMeasurement, measure_all, measure_latency
+from .occupancy import Occupancy, compute_occupancy
+from .registers import (
+    AllocationResult,
+    LiveInterval,
+    PtxasInfo,
+    allocate,
+    compute_live_intervals,
+    max_pressure,
+    ptxas_info,
+)
+from .timing import KernelTiming, ThreadProfile, estimate_time, profile_thread
+
+__all__ = [
+    "AllocationResult",
+    "ExecutionStats",
+    "FERMI_LIKE",
+    "GpuArch",
+    "Interpreter",
+    "InterpreterError",
+    "KEPLER_K20XM",
+    "KernelTiming",
+    "LaunchRecord",
+    "SimulatedDevice",
+    "TransferEstimate",
+    "estimate_transfers",
+    "LatencyMeasurement",
+    "LiveInterval",
+    "Occupancy",
+    "PtxasInfo",
+    "ThreadProfile",
+    "access_latency",
+    "allocate",
+    "compute_live_intervals",
+    "compute_occupancy",
+    "estimate_time",
+    "max_pressure",
+    "measure_all",
+    "measure_latency",
+    "numpy_dtype",
+    "profile_thread",
+    "ptxas_info",
+    "run_kernel",
+    "warp_transaction_bytes",
+    "warp_transactions",
+]

@@ -1,0 +1,113 @@
+"""GPU architecture descriptions.
+
+``KEPLER_K20XM`` models the paper's evaluation device (Tesla K20Xm,
+Section V-A): SMX counts, register files, occupancy limits and the memory
+latencies/bandwidths the timing model and the SAFARA cost model consume.
+Latency figures follow the Wong et al. microbenchmarking methodology the
+paper cites ([19]) applied to Kepler-class parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.cost_model import LatencyModel
+
+
+@dataclass(frozen=True, slots=True)
+class GpuArch:
+    """Static description of one GPU generation."""
+
+    name: str
+    num_sms: int
+    #: 32-bit registers per SM.
+    registers_per_sm: int
+    #: Hard per-thread register limit (255 on Kepler — Section II-B).
+    max_registers_per_thread: int
+    #: Register allocation granularity (regs rounded up per thread).
+    register_granularity: int
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    warp_size: int
+    shared_mem_per_sm: int
+    #: Clock in MHz (for converting cycles to seconds).
+    clock_mhz: float
+    #: Global memory bandwidth in GB/s.
+    mem_bandwidth_gbs: float
+    #: Single-precision CUDA cores per SM (f64 throughput is a fraction).
+    cores_per_sm: int
+    f64_throughput_ratio: float
+    has_readonly_cache: bool
+    #: Memory transaction size in bytes (L2 segment).
+    transaction_bytes: int
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    def round_registers(self, regs: int) -> int:
+        """ptxas rounds per-thread register counts to the allocation
+        granularity."""
+        g = self.register_granularity
+        return ((max(regs, 1) + g - 1) // g) * g
+
+
+#: The paper's evaluation GPU (Tesla K20Xm, GK110).
+KEPLER_K20XM = GpuArch(
+    name="Tesla K20Xm",
+    num_sms=14,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    register_granularity=4,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=16,
+    warp_size=32,
+    shared_mem_per_sm=48 * 1024,
+    clock_mhz=732.0,
+    mem_bandwidth_gbs=250.0,
+    cores_per_sm=192,
+    f64_throughput_ratio=1.0 / 3.0,
+    has_readonly_cache=True,
+    transaction_bytes=128,
+    latency=LatencyModel(
+        global_mem=440.0,
+        readonly_cache=160.0,
+        constant_cache=48.0,
+        shared_mem=48.0,
+        local_mem=440.0,
+        uncoalesced_factor=8.0,
+    ),
+)
+
+#: A pre-Kepler profile (no read-only cache, 63-register limit) — used by
+#: tests and the ablation benches to show the algorithm adapts to the
+#: architecture description.
+FERMI_LIKE = GpuArch(
+    name="Fermi-class",
+    num_sms=16,
+    registers_per_sm=32768,
+    max_registers_per_thread=63,
+    register_granularity=4,
+    max_threads_per_sm=1536,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=8,
+    warp_size=32,
+    shared_mem_per_sm=48 * 1024,
+    clock_mhz=1150.0,
+    mem_bandwidth_gbs=144.0,
+    cores_per_sm=32,
+    f64_throughput_ratio=0.5,
+    has_readonly_cache=False,
+    transaction_bytes=128,
+    latency=LatencyModel(
+        global_mem=550.0,
+        readonly_cache=550.0,
+        constant_cache=48.0,
+        shared_mem=50.0,
+        local_mem=550.0,
+        uncoalesced_factor=8.0,
+    ),
+)

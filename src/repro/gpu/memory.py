@@ -1,0 +1,68 @@
+"""Warp-level memory transaction model.
+
+Converts one warp-wide access (pattern + element width) into the bytes of
+memory traffic it generates — the quantity behind both the bandwidth bound
+of the timing model and the coalescing premium in the SAFARA cost model.
+
+Kepler services global accesses in 128-byte L2 lines but can fetch 32-byte
+sectors for scattered patterns; the rules below follow the CUDA best
+practices description of those cases.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.coalescing import AccessInfo, AccessPattern
+from ..analysis.memspace import MemSpace
+from .arch import GpuArch, KEPLER_K20XM
+
+#: Sector size used for scattered (uncoalesced) accesses.
+SECTOR_BYTES = 32
+
+
+def warp_transaction_bytes(
+    access: AccessInfo,
+    width_bits: int,
+    arch: GpuArch = KEPLER_K20XM,
+) -> int:
+    """Bytes moved for one warp-wide access of ``width_bits`` elements."""
+    width = max(width_bits // 8, 1)
+    warp = arch.warp_size
+    if access.pattern is AccessPattern.COALESCED:
+        span = warp * width
+        return math.ceil(span / arch.transaction_bytes) * arch.transaction_bytes
+    if access.pattern is AccessPattern.UNIFORM:
+        return SECTOR_BYTES  # one sector broadcast to the warp
+    # Uncoalesced: each thread lands in its own region once the stride
+    # exceeds a sector; cap at one sector per lane.
+    stride = access.stride_elems
+    if stride is None:
+        sectors = warp
+    else:
+        span = warp * max(stride, 1) * width
+        sectors = min(warp, math.ceil(span / SECTOR_BYTES))
+        sectors = max(sectors, math.ceil(warp * width / SECTOR_BYTES))
+    return sectors * SECTOR_BYTES
+
+
+def warp_transactions(
+    access: AccessInfo,
+    width_bits: int,
+    arch: GpuArch = KEPLER_K20XM,
+) -> int:
+    """Number of discrete transactions for one warp-wide access."""
+    if access.pattern is AccessPattern.COALESCED:
+        span = arch.warp_size * max(width_bits // 8, 1)
+        return math.ceil(span / arch.transaction_bytes)
+    return warp_transaction_bytes(access, width_bits, arch) // SECTOR_BYTES
+
+
+def access_latency(
+    space: MemSpace,
+    access: AccessInfo,
+    arch: GpuArch = KEPLER_K20XM,
+) -> float:
+    """Effective warp latency of one access (delegates to the arch's
+    latency model — shared with the SAFARA cost model by construction)."""
+    return arch.latency.access_latency(space, access)

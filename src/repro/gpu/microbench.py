@@ -1,0 +1,92 @@
+"""Wong-style latency microbenchmarks against the simulated hierarchy.
+
+The paper calibrates its cost model with the microbenchmark methodology of
+Wong et al. [19]: dependent-access pointer chases whose per-access time
+reveals each memory space's latency.  This module reproduces that loop
+against the *simulated* device: it builds a dependent-load VIR kernel for
+each (space, pattern) combination, times it with the analytic model at
+occupancy one-warp (so nothing is hidden), and recovers the per-access
+latency — which must round-trip to the architecture's latency table.
+
+This closes the calibration loop: the SAFARA cost model consumes exactly
+the latencies a user of this library could re-measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.coalescing import AccessInfo, AccessPattern
+from ..analysis.memspace import MemSpace
+from .arch import GpuArch, KEPLER_K20XM
+from .memory import access_latency
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyMeasurement:
+    space: MemSpace
+    pattern: AccessPattern
+    cycles: float
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.space.value:9s} {self.pattern.value:12s} {self.cycles:8.1f} cycles"
+
+
+class PointerChase:
+    """A dependent-load chain over the simulated memory hierarchy.
+
+    Each access must complete before the next can issue (the classic
+    latency microbenchmark structure), so total time / accesses = latency.
+    """
+
+    def __init__(self, space: MemSpace, access: AccessInfo, arch: GpuArch):
+        self._space = space
+        self._access = access
+        self._arch = arch
+        self._clock = 0.0
+        self.accesses = 0
+
+    def step(self) -> float:
+        """Issue one dependent access; returns its completion time."""
+        self._clock += access_latency(self._space, self._access, self._arch)
+        self.accesses += 1
+        return self._clock
+
+    @property
+    def cycles_per_access(self) -> float:
+        if self.accesses == 0:
+            raise ValueError("no accesses issued")
+        return self._clock / self.accesses
+
+
+def measure_latency(
+    space: MemSpace,
+    pattern: AccessPattern = AccessPattern.COALESCED,
+    stride: int | None = 1,
+    chain_length: int = 1024,
+    arch: GpuArch = KEPLER_K20XM,
+) -> LatencyMeasurement:
+    """Run one pointer chase and report the recovered latency."""
+    access = AccessInfo(pattern, stride)
+    chase = PointerChase(space, access, arch)
+    for _ in range(chain_length):
+        chase.step()
+    return LatencyMeasurement(space=space, pattern=pattern, cycles=chase.cycles_per_access)
+
+
+def measure_all(arch: GpuArch = KEPLER_K20XM) -> list[LatencyMeasurement]:
+    """The full latency survey used to seed the SAFARA cost model."""
+    cases = [
+        (MemSpace.GLOBAL, AccessPattern.COALESCED, 1),
+        (MemSpace.GLOBAL, AccessPattern.UNCOALESCED, None),
+        (MemSpace.GLOBAL, AccessPattern.UNIFORM, 0),
+        (MemSpace.READONLY, AccessPattern.COALESCED, 1),
+        (MemSpace.READONLY, AccessPattern.UNCOALESCED, None),
+        (MemSpace.CONSTANT, AccessPattern.UNIFORM, 0),
+        (MemSpace.SHARED, AccessPattern.COALESCED, 1),
+        (MemSpace.LOCAL, AccessPattern.COALESCED, 1),
+    ]
+    return [
+        measure_latency(space, pattern, stride, arch=arch)
+        for space, pattern, stride in cases
+    ]

@@ -1,0 +1,79 @@
+"""Occupancy calculation (CUDA occupancy-calculator rules for Kepler).
+
+Occupancy is the fraction of an SM's warp slots that can be resident
+simultaneously.  Register usage is the paper's central constraint: more
+registers per thread → fewer resident warps → less latency hiding
+(Section IV: "aggressive application of scalar replacement increases
+register pressure, which may lead to low threads occupancy").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .arch import GpuArch, KEPLER_K20XM
+
+
+@dataclass(frozen=True, slots=True)
+class Occupancy:
+    """Resident-block/warp capacity of one SM for a given kernel."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    active_warps: int
+    occupancy: float
+    limited_by: str
+
+    @property
+    def active_threads(self) -> int:
+        return self.active_warps * 32
+
+
+def compute_occupancy(
+    registers_per_thread: int,
+    threads_per_block: int,
+    arch: GpuArch = KEPLER_K20XM,
+    shared_mem_per_block: int = 0,
+) -> Occupancy:
+    """How many blocks/warps of this kernel fit on one SM.
+
+    Kepler allocates registers per *warp* in 256-register granules; the
+    per-thread count is first rounded to the allocation granularity.
+    """
+    threads_per_block = max(1, min(threads_per_block, arch.max_threads_per_block))
+    warps_per_block = math.ceil(threads_per_block / arch.warp_size)
+    regs = arch.round_registers(max(registers_per_thread, 1))
+
+    regs_per_warp = _round_up(regs * arch.warp_size, 256)
+    by_regs = arch.registers_per_sm // (regs_per_warp * warps_per_block)
+    by_threads = arch.max_threads_per_sm // threads_per_block
+    # Partial warps still occupy whole warp slots.
+    by_warps = arch.max_warps_per_sm // warps_per_block
+    by_threads = min(by_threads, by_warps)
+    by_blocks = arch.max_blocks_per_sm
+    if shared_mem_per_block > 0:
+        by_smem = arch.shared_mem_per_sm // shared_mem_per_block
+    else:
+        by_smem = by_blocks
+
+    blocks = max(0, min(by_regs, by_threads, by_blocks, by_smem))
+    limits = {
+        "registers": by_regs,
+        "threads": by_threads,
+        "blocks": by_blocks,
+        "shared-memory": by_smem,
+    }
+    limited_by = min(limits, key=lambda k: limits[k])
+    active_warps = blocks * warps_per_block
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_block=warps_per_block,
+        active_warps=active_warps,
+        occupancy=active_warps / arch.max_warps_per_sm,
+        limited_by=limited_by,
+    )
+
+
+def _round_up(value: int, granule: int) -> int:
+    return ((value + granule - 1) // granule) * granule

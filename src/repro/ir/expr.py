@@ -1,0 +1,262 @@
+"""IR expression trees.
+
+Expressions are immutable, structurally hashable dataclasses — the scalar
+replacement machinery relies on structural equality of array subscripts
+("same reference") and on pure-functional rewriting (``map_children``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from .symbols import Symbol
+from .types import BOOL, F64, I32, ScalarType, promote
+
+#: Arithmetic / relational / logical operators carried by BinOp.
+ARITH_OPS = frozenset({"+", "-", "*", "/", "%"})
+REL_OPS = frozenset({"<", "<=", ">", ">=", "==", "!="})
+LOGIC_OPS = frozenset({"&&", "||"})
+
+
+@dataclass(frozen=True, slots=True)
+class Expr:
+    """Base class of all IR expressions."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def map_children(self, fn: Callable[["Expr"], "Expr"]) -> "Expr":
+        """Return a copy with ``fn`` applied to each direct child."""
+        return self
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of this expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class IntConst(Expr):
+    value: int
+    stype: ScalarType = I32
+
+
+@dataclass(frozen=True, slots=True)
+class FloatConst(Expr):
+    value: float
+    stype: ScalarType = F64
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef(Expr):
+    """A read of a scalar variable."""
+
+    sym: Symbol
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayRef(Expr):
+    """An array element access ``sym[indices...]``.
+
+    For raw pointer symbols there is exactly one (already linearised)
+    index expression.
+    """
+
+    sym: Symbol
+    indices: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.indices
+
+    def map_children(self, fn: Callable[[Expr], Expr]) -> "ArrayRef":
+        return replace(self, indices=tuple(fn(i) for i in self.indices))
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def map_children(self, fn: Callable[[Expr], Expr]) -> "BinOp":
+        return replace(self, left=fn(self.left), right=fn(self.right))
+
+
+@dataclass(frozen=True, slots=True)
+class UnOp(Expr):
+    op: str  # '-' | '!'
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def map_children(self, fn: Callable[[Expr], Expr]) -> "UnOp":
+        return replace(self, operand=fn(self.operand))
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Expr):
+    """Math intrinsic call (sqrt, exp, pow, min, max, ...)."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def map_children(self, fn: Callable[[Expr], Expr]) -> "Call":
+        return replace(self, args=tuple(fn(a) for a in self.args))
+
+
+@dataclass(frozen=True, slots=True)
+class Cast(Expr):
+    to_type: ScalarType
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def map_children(self, fn: Callable[[Expr], Expr]) -> "Cast":
+        return replace(self, operand=fn(self.operand))
+
+
+@dataclass(frozen=True, slots=True)
+class Select(Expr):
+    """Ternary ``cond ? a : b`` (both arms evaluated type-wise)."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.then, self.otherwise)
+
+    def map_children(self, fn: Callable[[Expr], Expr]) -> "Select":
+        return replace(
+            self, cond=fn(self.cond), then=fn(self.then), otherwise=fn(self.otherwise)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Type inference
+# ---------------------------------------------------------------------------
+
+
+def expr_type(e: Expr) -> ScalarType:
+    """Compute the result type of an IR expression."""
+    if isinstance(e, (IntConst, FloatConst)):
+        return e.stype
+    if isinstance(e, VarRef):
+        return e.sym.stype
+    if isinstance(e, ArrayRef):
+        assert e.sym.array is not None
+        return e.sym.array.elem
+    if isinstance(e, BinOp):
+        if e.op in REL_OPS or e.op in LOGIC_OPS:
+            return BOOL
+        return promote(expr_type(e.left), expr_type(e.right))
+    if isinstance(e, UnOp):
+        return BOOL if e.op == "!" else expr_type(e.operand)
+    if isinstance(e, Cast):
+        return e.to_type
+    if isinstance(e, Select):
+        return promote(expr_type(e.then), expr_type(e.otherwise))
+    if isinstance(e, Call):
+        if not e.args:
+            return F64
+        arg_t = expr_type(e.args[0])
+        for a in e.args[1:]:
+            arg_t = promote(arg_t, expr_type(a))
+        # Transcendental intrinsics promote integers to double.
+        if e.func not in ("min", "max", "abs") and not arg_t.is_float:
+            return F64
+        return arg_t
+    raise TypeError(f"unknown expression node {type(e).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Rewriting helpers
+# ---------------------------------------------------------------------------
+
+
+def rewrite(e: Expr, rule: Callable[[Expr], Expr | None]) -> Expr:
+    """Bottom-up rewriting: apply ``rule`` to each node after its children.
+
+    ``rule`` returns a replacement node or ``None`` to keep the node.
+    """
+    e = e.map_children(lambda c: rewrite(c, rule))
+    out = rule(e)
+    return e if out is None else out
+
+
+def substitute(e: Expr, mapping: dict[Expr, Expr]) -> Expr:
+    """Replace whole sub-expressions by structural lookup (bottom-up).
+
+    Used by scalar replacement to swap array references for temporaries.
+    """
+
+    def rule(node: Expr) -> Expr | None:
+        return mapping.get(node)
+
+    return rewrite(e, rule)
+
+
+def fold_constants(e: Expr) -> Expr:
+    """Bottom-up integer constant folding (+, -, * and unary minus).
+
+    Used to tidy compiler-generated subscripts (preheader preloads of the
+    rotating-register transformation) so the output matches the paper's
+    listings; float arithmetic is never folded (rounding must match the
+    target exactly).
+    """
+
+    def rule(node: Expr) -> Expr | None:
+        if isinstance(node, UnOp) and node.op == "-" and isinstance(node.operand, IntConst):
+            return IntConst(-node.operand.value, node.operand.stype)
+        if isinstance(node, BinOp):
+            lhs, rhs = node.left, node.right
+            if isinstance(lhs, IntConst) and isinstance(rhs, IntConst):
+                if node.op == "+":
+                    return IntConst(lhs.value + rhs.value)
+                if node.op == "-":
+                    return IntConst(lhs.value - rhs.value)
+                if node.op == "*":
+                    return IntConst(lhs.value * rhs.value)
+            if isinstance(rhs, IntConst) and rhs.value == 0 and node.op in ("+", "-"):
+                return lhs
+            if isinstance(lhs, IntConst) and lhs.value == 0 and node.op == "+":
+                return rhs
+            # Reassociate (x ± c1) ± c2 into x ± (c1 ± c2).
+            if (
+                node.op in ("+", "-")
+                and isinstance(rhs, IntConst)
+                and isinstance(lhs, BinOp)
+                and lhs.op in ("+", "-")
+                and isinstance(lhs.right, IntConst)
+            ):
+                c1 = lhs.right.value if lhs.op == "+" else -lhs.right.value
+                c2 = rhs.value if node.op == "+" else -rhs.value
+                total = c1 + c2
+                if total == 0:
+                    return lhs.left
+                if total > 0:
+                    return BinOp("+", lhs.left, IntConst(total))
+                return BinOp("-", lhs.left, IntConst(-total))
+        return None
+
+    return rewrite(e, rule)
+
+
+def array_refs(e: Expr) -> list[ArrayRef]:
+    """All array references inside ``e`` (pre-order)."""
+    return [n for n in e.walk() if isinstance(n, ArrayRef)]
+
+
+def scalar_reads(e: Expr) -> list[VarRef]:
+    """All scalar reads inside ``e`` (pre-order)."""
+    return [n for n in e.walk() if isinstance(n, VarRef)]

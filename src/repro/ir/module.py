@@ -1,0 +1,46 @@
+"""Top-level IR containers: kernel functions and modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .stmt import Region, Stmt, regions_in
+from .symbols import Symbol, SymbolTable
+
+
+@dataclass(slots=True)
+class KernelFunction:
+    """The IR of one MiniACC ``kernel`` declaration.
+
+    A kernel function is host code containing zero or more OpenACC offload
+    :class:`~repro.ir.stmt.Region` nodes; each region becomes one GPU
+    kernel.
+    """
+
+    name: str
+    params: list[Symbol]
+    symtab: SymbolTable
+    body: list[Stmt] = field(default_factory=list)
+
+    def regions(self) -> list[Region]:
+        """All offload regions, in source order."""
+        return regions_in(self.body)
+
+    def array_params(self) -> list[Symbol]:
+        return [p for p in self.params if p.is_array]
+
+    def scalar_params(self) -> list[Symbol]:
+        return [p for p in self.params if not p.is_array]
+
+
+@dataclass(slots=True)
+class Module:
+    """A compiled MiniACC translation unit."""
+
+    functions: list[KernelFunction] = field(default_factory=list)
+
+    def function(self, name: str) -> KernelFunction:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

@@ -1,0 +1,217 @@
+"""Pretty-printer: IR back to MiniACC-like source text.
+
+Used by the examples and tests to show transformation results the way the
+paper shows its before/after listings (Figures 3–6).  The output is valid
+MiniACC except that compiler-generated temporaries keep their uniqued
+names.
+"""
+
+from __future__ import annotations
+
+from .expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cast,
+    Expr,
+    FloatConst,
+    IntConst,
+    Select,
+    UnOp,
+    VarRef,
+)
+from .module import KernelFunction
+from .stmt import Assign, If, LocalDecl, Loop, Region, Stmt
+from .symbols import Symbol
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def format_expr(e: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(e, IntConst):
+        return str(e.value)
+    if isinstance(e, FloatConst):
+        text = repr(e.value)
+        if e.stype.bits == 32:
+            text += "f"
+        return text
+    if isinstance(e, VarRef):
+        return e.sym.name
+    if isinstance(e, ArrayRef):
+        return e.sym.name + "".join(f"[{format_expr(i)}]" for i in e.indices)
+    if isinstance(e, UnOp):
+        return f"{e.op}{format_expr(e.operand, 7)}"
+    if isinstance(e, BinOp):
+        prec = _PRECEDENCE[e.op]
+        text = (
+            f"{format_expr(e.left, prec)} {e.op} {format_expr(e.right, prec + 1)}"
+        )
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, Call):
+        return f"{e.func}({', '.join(format_expr(a) for a in e.args)})"
+    if isinstance(e, Cast):
+        return f"({e.to_type}){format_expr(e.operand, 7)}"
+    if isinstance(e, Select):
+        text = (
+            f"{format_expr(e.cond, 1)} ? {format_expr(e.then)} : "
+            f"{format_expr(e.otherwise)}"
+        )
+        return f"({text})" if parent_prec > 0 else text
+    raise TypeError(f"unknown expression {type(e).__name__}")
+
+
+def _format_directive_loop(stmt: Loop) -> str | None:
+    d = stmt.directive
+    if d is None:
+        return None
+    parts = ["#pragma acc loop"]
+    for clause in ("gang", "worker", "vector"):
+        val = getattr(d, clause)
+        if val is True:
+            parts.append(clause)
+        elif val is not None:
+            parts.append(f"{clause}({val})")
+    if d.seq:
+        parts.append("seq")
+    if d.independent:
+        parts.append("independent")
+    if d.collapse > 1:
+        parts.append(f"collapse({d.collapse})")
+    for red in d.reductions:
+        parts.append(f"reduction({red.op}:{red.var})")
+    if d.private:
+        parts.append(f"private({', '.join(d.private)})")
+    return " ".join(parts)
+
+
+def _format_region_directive(region: Region) -> str:
+    d = region.directive
+    parts = [f"#pragma acc {d.construct}"]
+    for name, arrays in d.data.items():
+        parts.append(f"{name}({', '.join(arrays)})")
+    if d.num_gangs is not None:
+        parts.append(f"num_gangs({d.num_gangs})")
+    if d.vector_length is not None:
+        parts.append(f"vector_length({d.vector_length})")
+    for group in d.dim_groups:
+        dims = "".join(f"[{s.extent}]" for s in group.dims)
+        parts.append(f"dim({dims}({', '.join(group.arrays)}))")
+    if d.small:
+        parts.append(f"small({', '.join(d.small)})")
+    return " ".join(parts)
+
+
+class Printer:
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._indent = 0
+
+    def _emit(self, text: str) -> None:
+        self._lines.append("  " * self._indent + text)
+
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, LocalDecl):
+            init = f" = {format_expr(stmt.init)}" if stmt.init is not None else ""
+            self._emit(f"{stmt.sym.stype} {stmt.sym.name}{init};")
+        elif isinstance(stmt, Assign):
+            self._emit(f"{format_expr(stmt.target)} = {format_expr(stmt.value)};")
+        elif isinstance(stmt, If):
+            self._emit(f"if ({format_expr(stmt.cond)}) {{")
+            self._indent += 1
+            for s in stmt.then_body:
+                self._stmt(s)
+            self._indent -= 1
+            if stmt.else_body:
+                self._emit("} else {")
+                self._indent += 1
+                for s in stmt.else_body:
+                    self._stmt(s)
+                self._indent -= 1
+            self._emit("}")
+        elif isinstance(stmt, Loop):
+            pragma = _format_directive_loop(stmt)
+            if pragma:
+                self._emit(pragma)
+            step = stmt.step
+            if step == 1:
+                inc = f"{stmt.var.name}++"
+            elif step == -1:
+                inc = f"{stmt.var.name}--"
+            elif step > 0:
+                inc = f"{stmt.var.name} += {step}"
+            else:
+                inc = f"{stmt.var.name} -= {-step}"
+            self._emit(
+                f"for ({stmt.var.name} = {format_expr(stmt.init)}; "
+                f"{stmt.var.name} {stmt.cond_op} {format_expr(stmt.bound)}; {inc}) {{"
+            )
+            self._indent += 1
+            for s in stmt.body:
+                self._stmt(s)
+            self._indent -= 1
+            self._emit("}")
+        elif isinstance(stmt, Region):
+            self._emit(_format_region_directive(stmt))
+            self._emit("{")
+            self._indent += 1
+            for s in stmt.body:
+                self._stmt(s)
+            self._indent -= 1
+            self._emit("}")
+        else:
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+    def print_function(self, fn: KernelFunction) -> str:
+        params = ", ".join(_format_param(p) for p in fn.params)
+        self._emit(f"kernel {fn.name}({params}) {{")
+        self._indent += 1
+        for s in fn.body:
+            self._stmt(s)
+        self._indent -= 1
+        self._emit("}")
+        return "\n".join(self._lines)
+
+    def print_stmts(self, stmts: list[Stmt]) -> str:
+        for s in stmts:
+            self._stmt(s)
+        return "\n".join(self._lines)
+
+
+def _format_param(p: Symbol) -> str:
+    const = "const " if p.is_const else ""
+    if p.array is None:
+        return f"{const}{p.stype} {p.name}"
+    if p.array.is_pointer:
+        restrict = " restrict" if p.is_restrict else ""
+        return f"{const}{p.array.elem} *{restrict} {p.name}"
+    dims = []
+    for d in p.array.dims:
+        extent = d.extent.name if isinstance(d.extent, Symbol) else str(d.extent)
+        lower = d.lower.name if isinstance(d.lower, Symbol) else str(d.lower)
+        dims.append(f"[{extent}]" if lower == "0" else f"[{lower}:{extent}]")
+    return f"{const}{p.array.elem} {p.name}{''.join(dims)}"
+
+
+def format_function(fn: KernelFunction) -> str:
+    """Render a whole kernel function as MiniACC-like source."""
+    return Printer().print_function(fn)
+
+
+def format_stmts(stmts) -> str:
+    """Render a statement list (e.g. a transformed loop body)."""
+    return Printer().print_stmts(list(stmts))

@@ -1,0 +1,63 @@
+"""Scalar type system for the MiniACC IR.
+
+The type lattice is tiny on purpose — the paper's transformations only care
+about (a) float vs integer, (b) 32-bit vs 64-bit width, because a 64-bit
+value occupies **two** 32-bit GPU registers (Section IV-B: the motivation
+for the ``small`` clause).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarType:
+    """A primitive machine type."""
+
+    name: str
+    bits: int
+    is_float: bool
+
+    @property
+    def registers(self) -> int:
+        """Number of 32-bit GPU registers needed to hold one value.
+
+        Kepler general-purpose registers are 32 bits wide; 64-bit values
+        occupy a consecutive pair (paper Section IV-B).
+        """
+        return max(1, self.bits // 32)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+F32 = ScalarType("float", 32, True)
+F64 = ScalarType("double", 64, True)
+I32 = ScalarType("int", 32, False)
+I64 = ScalarType("long", 64, False)
+BOOL = ScalarType("bool", 32, False)
+
+#: MiniACC surface type names to IR types.
+NAMED_TYPES: dict[str, ScalarType] = {
+    "float": F32,
+    "double": F64,
+    "int": I32,
+    "long": I64,
+}
+
+
+def promote(a: ScalarType, b: ScalarType) -> ScalarType:
+    """Usual arithmetic conversions, reduced to this four-type lattice."""
+    if a.is_float or b.is_float:
+        if (a.is_float and a.bits == 64) or (b.is_float and b.bits == 64):
+            return F64
+        return F32
+    if a.bits == 64 or b.bits == 64:
+        return I64
+    return I32
+
+
+def type_from_name(name: str) -> ScalarType:
+    """Resolve a surface type name (raises ``KeyError`` on bad names)."""
+    return NAMED_TYPES[name]

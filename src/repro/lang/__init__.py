@@ -1,0 +1,90 @@
+"""MiniACC front end: lexer, parser, AST and OpenACC directive handling.
+
+MiniACC is a small C-like kernel language standing in for the C/Fortran
+front ends of the OpenUH compiler.  It supports multi-dimensional array
+parameters with symbolic extents and optional lower bounds (modelling
+Fortran allocatable arrays and C VLAs), affine loop nests, and the OpenACC
+directive subset the paper uses — extended with the proposed ``dim`` and
+``small`` clauses.
+"""
+
+from .ast_nodes import (
+    AssignStmt,
+    Binary,
+    CallExpr,
+    DeclStmt,
+    DimDecl,
+    Expr,
+    FloatLit,
+    ForStmt,
+    IfStmt,
+    Index,
+    IntLit,
+    KernelDecl,
+    Name,
+    ParamDecl,
+    Program,
+    RegionStmt,
+    ReturnStmt,
+    Stmt,
+    Ternary,
+    Unary,
+)
+from .directives import (
+    AccDirective,
+    ComputeDirective,
+    DimGroup,
+    DimSpec,
+    LoopDirective,
+    Reduction,
+    parse_directive,
+)
+from .errors import (
+    DirectiveError,
+    LexError,
+    MiniAccError,
+    ParseError,
+    SemanticError,
+    SourceLocation,
+)
+from .lexer import Lexer, tokenize
+from .parser import parse_program
+
+__all__ = [
+    "AccDirective",
+    "AssignStmt",
+    "Binary",
+    "CallExpr",
+    "ComputeDirective",
+    "DeclStmt",
+    "DimDecl",
+    "DimGroup",
+    "DimSpec",
+    "DirectiveError",
+    "Expr",
+    "FloatLit",
+    "ForStmt",
+    "IfStmt",
+    "Index",
+    "IntLit",
+    "KernelDecl",
+    "LexError",
+    "Lexer",
+    "LoopDirective",
+    "MiniAccError",
+    "Name",
+    "ParamDecl",
+    "ParseError",
+    "Program",
+    "Reduction",
+    "RegionStmt",
+    "ReturnStmt",
+    "SemanticError",
+    "SourceLocation",
+    "Stmt",
+    "Ternary",
+    "Unary",
+    "parse_directive",
+    "parse_program",
+    "tokenize",
+]

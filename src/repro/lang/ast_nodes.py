@@ -1,0 +1,253 @@
+"""Source-level AST for MiniACC.
+
+The AST is deliberately close to the concrete syntax; the IR builder
+(:mod:`repro.ir.builder`) performs name resolution, type checking and loop
+normalisation.  Nodes are plain dataclasses with source locations so the
+whole front end is easy to test structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .directives import AccDirective, ComputeDirective, LoopDirective
+from .errors import SourceLocation
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Expr:
+    """Base class for source-level expressions."""
+
+
+@dataclass(frozen=True, slots=True)
+class IntLit(Expr):
+    value: int
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(frozen=True, slots=True)
+class FloatLit(Expr):
+    value: float
+    is_single: bool = False  # 'f' suffix
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(frozen=True, slots=True)
+class Name(Expr):
+    ident: str
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(frozen=True, slots=True)
+class Index(Expr):
+    """``base[i0][i1]...`` — array subscripting (possibly partial)."""
+
+    base: Expr
+    indices: tuple[Expr, ...]
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(frozen=True, slots=True)
+class Unary(Expr):
+    op: str  # '-', '!', '+'
+    operand: Expr
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(frozen=True, slots=True)
+class Binary(Expr):
+    op: str  # '+', '-', '*', '/', '%', '<', '<=', '>', '>=', '==', '!=', '&&', '||'
+    left: Expr
+    right: Expr
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(frozen=True, slots=True)
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(frozen=True, slots=True)
+class CallExpr(Expr):
+    """Intrinsic math call: sqrt, fabs, exp, log, sin, cos, pow, min, max."""
+
+    func: str
+    args: tuple[Expr, ...]
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Stmt:
+    """Base class for source-level statements."""
+
+
+@dataclass(slots=True)
+class DeclStmt(Stmt):
+    """Local scalar declaration, e.g. ``double t = 0.0;``."""
+
+    type_name: str
+    name: str
+    init: Expr | None
+    is_const: bool = False
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(slots=True)
+class AssignStmt(Stmt):
+    """``lhs = rhs;`` or compound ``lhs op= rhs;`` (op in +,-,*,/)."""
+
+    target: Expr  # Name or Index
+    value: Expr
+    op: str | None = None  # None for '=', else '+', '-', '*', '/'
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(slots=True)
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt] = field(default_factory=list)
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(slots=True)
+class ForStmt(Stmt):
+    """``for (var = lo; var < hi; var += step) body``.
+
+    The parser normalises the three header clauses into ``var``, bounds and
+    a step; ``directive`` is the ``loop`` pragma attached immediately above
+    (if any).
+    """
+
+    var: str
+    init: Expr
+    cond_op: str  # '<', '<=', '>', '>='
+    bound: Expr
+    step: Expr  # positive or negative integer expression
+    body: list[Stmt] = field(default_factory=list)
+    directive: LoopDirective | None = None
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(slots=True)
+class RegionStmt(Stmt):
+    """An OpenACC compute region: a ``kernels``/``parallel`` pragma applied
+    to the following loop or block."""
+
+    directive: ComputeDirective
+    body: list[Stmt] = field(default_factory=list)
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(slots=True)
+class ReturnStmt(Stmt):
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DimDecl:
+    """One declared array dimension: extent plus optional lower bound.
+
+    ``extent`` is an :class:`Expr` (an ``IntLit`` for static arrays, a
+    ``Name`` for VLA/allocatable arrays).  A non-zero ``lower`` models
+    Fortran allocatable arrays, whose dope vectors store lower bound and
+    length per dimension (Section IV-A of the paper).
+    """
+
+    extent: Expr
+    lower: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ParamDecl:
+    """A kernel parameter.
+
+    Forms accepted::
+
+        double x                  -- scalar
+        const double a[nx][ny]    -- VLA-style array (dope vector)
+        double b[1:nx][1:ny]      -- allocatable-style with lower bounds
+        double * restrict p       -- raw pointer (C benchmarks; no dim info)
+    """
+
+    type_name: str
+    name: str
+    dims: tuple[DimDecl, ...] = ()
+    is_pointer: bool = False
+    is_const: bool = False
+    is_restrict: bool = False
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims) or self.is_pointer
+
+
+@dataclass(slots=True)
+class KernelDecl:
+    """A top-level ``kernel name(params) { body }`` declaration.
+
+    This models a host function containing one or more OpenACC offload
+    regions — the unit the OpenUH compiler translates.
+    """
+
+    name: str
+    params: tuple[ParamDecl, ...]
+    body: list[Stmt]
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(slots=True)
+class Program:
+    """A parsed MiniACC translation unit."""
+
+    kernels: list[KernelDecl]
+
+    def kernel(self, name: str) -> KernelDecl:
+        """Look up a kernel by name (raises ``KeyError`` if missing)."""
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(name)
+
+
+__all__ = [
+    "AccDirective",
+    "AssignStmt",
+    "Binary",
+    "CallExpr",
+    "DeclStmt",
+    "DimDecl",
+    "Expr",
+    "FloatLit",
+    "ForStmt",
+    "IfStmt",
+    "Index",
+    "IntLit",
+    "KernelDecl",
+    "Name",
+    "ParamDecl",
+    "Program",
+    "RegionStmt",
+    "ReturnStmt",
+    "Stmt",
+    "Ternary",
+    "Unary",
+]

@@ -1,0 +1,47 @@
+"""Diagnostics for the MiniACC front end.
+
+All front-end failures raise a subclass of :class:`MiniAccError` carrying a
+:class:`SourceLocation` so callers (and tests) can point at the offending
+token.  The compiler driver converts these into user-facing diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A position in a MiniACC source buffer (1-based line / column)."""
+
+    line: int = 0
+    column: int = 0
+    filename: str = "<string>"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class MiniAccError(Exception):
+    """Base class for every error produced by the MiniACC front end."""
+
+    def __init__(self, message: str, loc: SourceLocation | None = None):
+        self.loc = loc or SourceLocation()
+        self.message = message
+        super().__init__(f"{self.loc}: {message}")
+
+
+class LexError(MiniAccError):
+    """An unrecognised character or malformed literal."""
+
+
+class ParseError(MiniAccError):
+    """A syntax error in declarations, statements or expressions."""
+
+
+class DirectiveError(MiniAccError):
+    """A malformed or misplaced ``#pragma acc`` directive."""
+
+
+class SemanticError(MiniAccError):
+    """A name/type error found while lowering the AST to IR."""

@@ -1,0 +1,169 @@
+"""Hand-written lexer for MiniACC.
+
+Design notes
+------------
+* ``#pragma`` lines become a single :attr:`TokenKind.PRAGMA` token carrying
+  the raw text after ``#``; the directive sub-grammar is handled by
+  :mod:`repro.lang.directives`.  Directive continuation lines ending in a
+  backslash are joined, mirroring the C preprocessor.
+* ``//`` and ``/* ... */`` comments are skipped; the latter may span lines.
+* Numeric literals support decimal integers, floats with exponents, and the
+  ``f``/``F`` suffix (recorded in the literal text so the parser can pick
+  ``float`` vs ``double`` constants).
+"""
+
+from __future__ import annotations
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, MULTI_CHAR_OPS, SINGLE_CHAR_OPS, Token, TokenKind
+
+
+class Lexer:
+    """Converts MiniACC source text into a list of :class:`Token`."""
+
+    def __init__(self, source: str, filename: str = "<string>"):
+        self._src = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    # -- low-level helpers -------------------------------------------------
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self._line, self._col, self._filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self._pos + offset
+        return self._src[idx] if idx < len(self._src) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._src):
+                return
+            if self._src[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    # -- token scanners ----------------------------------------------------
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments (but stop before ``#``)."""
+        while self._pos < len(self._src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while self._pos < len(self._src) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self._pos >= len(self._src):
+                    raise LexError("unterminated block comment", start)
+                self._advance(2)
+            else:
+                return
+
+    def _scan_pragma(self) -> Token:
+        loc = self._loc()
+        self._advance()  # consume '#'
+        parts: list[str] = []
+        while True:
+            start = self._pos
+            while self._pos < len(self._src) and self._peek() != "\n":
+                self._advance()
+            line = self._src[start : self._pos].rstrip()
+            if line.endswith("\\"):
+                parts.append(line[:-1])
+                self._advance()  # newline
+                continue
+            parts.append(line)
+            break
+        text = " ".join(p.strip() for p in parts).strip()
+        return Token(TokenKind.PRAGMA, text, loc)
+
+    def _scan_number(self) -> Token:
+        loc = self._loc()
+        start = self._pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        elif self._peek() == "." and not self._peek(1).isalpha():
+            is_float = True
+            self._advance()
+        if self._peek() and self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) and self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() and self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self._src[start : self._pos]
+        nxt = self._peek()
+        if nxt and nxt in "fF":
+            is_float = True
+            self._advance()
+            text += "f"
+        elif nxt and nxt in "lL":
+            self._advance()
+            text += "L"
+        kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+        return Token(kind, text, loc)
+
+    def _scan_word(self) -> Token:
+        loc = self._loc()
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._src[start : self._pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, loc)
+
+    # -- public API ----------------------------------------------------------
+    def tokens(self) -> list[Token]:
+        """Lex the whole buffer, returning tokens ending with ``EOF``."""
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self._pos >= len(self._src):
+                out.append(Token(TokenKind.EOF, "", self._loc()))
+                return out
+            ch = self._peek()
+            if ch == "#":
+                out.append(self._scan_pragma())
+            elif ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                out.append(self._scan_number())
+            elif ch.isalpha() or ch == "_":
+                out.append(self._scan_word())
+            else:
+                loc = self._loc()
+                for spelling, kind in MULTI_CHAR_OPS:
+                    if self._src.startswith(spelling, self._pos):
+                        self._advance(len(spelling))
+                        out.append(Token(kind, spelling, loc))
+                        break
+                else:
+                    kind = SINGLE_CHAR_OPS.get(ch)
+                    if kind is None:
+                        raise LexError(f"unexpected character {ch!r}", loc)
+                    self._advance()
+                    out.append(Token(kind, ch, loc))
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source, filename).tokens()

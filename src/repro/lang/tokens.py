@@ -1,0 +1,139 @@
+"""Token definitions for the MiniACC lexer.
+
+MiniACC is the small C-like kernel language this reproduction uses in place
+of the paper's C/Fortran front ends.  The token set covers everything the
+SPEC/NAS-style benchmark kernels need: numeric literals, identifiers, the
+usual C operator zoo, and a dedicated ``PRAGMA`` token whose value is the
+raw directive text (parsed separately by :mod:`repro.lang.directives`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories produced by :class:`repro.lang.lexer.Lexer`."""
+
+    IDENT = "ident"
+    INT_LIT = "int"
+    FLOAT_LIT = "float"
+    KEYWORD = "keyword"
+    PRAGMA = "pragma"
+
+    # Punctuation / operators.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    COLON = ":"
+    QUESTION = "?"
+
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND_AND = "&&"
+    OR_OR = "||"
+    NOT = "!"
+    AMP = "&"
+
+    EOF = "<eof>"
+
+
+#: Reserved words.  ``kernel`` introduces a device-visible function (our
+#: stand-in for a translation unit handed to the OpenACC compiler).
+KEYWORDS = frozenset(
+    {
+        "kernel",
+        "void",
+        "float",
+        "double",
+        "int",
+        "long",
+        "const",
+        "restrict",
+        "for",
+        "if",
+        "else",
+        "return",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_CHAR_OPS: tuple[tuple[str, TokenKind], ...] = (
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.AND_AND),
+    ("||", TokenKind.OR_OR),
+)
+
+SINGLE_CHAR_OPS: dict[str, TokenKind] = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    "?": TokenKind.QUESTION,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+    "&": TokenKind.AMP,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexeme with its source location.
+
+    ``value`` holds the identifier/keyword spelling, the literal text for
+    numbers, or the raw directive body for :attr:`TokenKind.PRAGMA`.
+    """
+
+    kind: TokenKind
+    value: str
+    loc: SourceLocation
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.value!r}, {self.loc})"

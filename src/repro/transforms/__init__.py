@@ -1,0 +1,48 @@
+"""Transformations: scalar replacement (Carr-Kennedy baseline and SAFARA)
+plus the proposed ``dim``/``small`` clause semantics."""
+
+from .autopar import AutoparReport, auto_parallelize
+from .carr_kennedy import CarrKennedyReport, apply_carr_kennedy
+from .dim_clause import DopeClasses, compute_dope_classes
+from .licm import LicmReport, apply_licm
+from .safara import (
+    SafaraIteration,
+    SafaraReport,
+    apply_safara,
+    collect_candidates,
+)
+from .scalar_replacement import (
+    ReplacementError,
+    ReplacementResult,
+    can_replace,
+    replace_group,
+)
+from .small_clause import SMALL_LIMIT_BYTES, offset_bits, small_arrays
+from .unroll import UnrollError, UnrollReport, apply_unrolling, can_unroll, unroll_loop
+
+__all__ = [
+    "AutoparReport",
+    "auto_parallelize",
+    "CarrKennedyReport",
+    "DopeClasses",
+    "LicmReport",
+    "apply_licm",
+    "ReplacementError",
+    "ReplacementResult",
+    "SMALL_LIMIT_BYTES",
+    "SafaraIteration",
+    "SafaraReport",
+    "apply_carr_kennedy",
+    "apply_safara",
+    "can_replace",
+    "collect_candidates",
+    "compute_dope_classes",
+    "offset_bits",
+    "replace_group",
+    "small_arrays",
+    "UnrollError",
+    "UnrollReport",
+    "apply_unrolling",
+    "can_unroll",
+    "unroll_loop",
+]

@@ -1,0 +1,92 @@
+"""Automatic parallelisation of ``kernels`` regions.
+
+Paper Section II-C: "the ``parallel`` construct provides more control to
+the user while the ``kernels`` one offers more control to the compiler."
+OpenUH's kernels lowering (paper reference [16]) analyses the loop nest,
+proves independence with the dependence tests, and chooses the gang/vector
+mapping itself.  This pass implements that behaviour for loops the user
+left undirected inside a ``kernels`` region:
+
+* the outermost provably-parallel loop becomes a ``gang`` loop;
+* a directly nested provably-parallel loop becomes the ``vector`` loop
+  (the coalescing axis), with the default vector length;
+* everything else stays sequential — including loops whose independence
+  cannot be proven (unknown distances are conservative, so a loop with an
+  indirect store stays sequential rather than racing).
+
+Loops that already carry a ``loop`` directive are never touched: explicit
+user mapping wins, exactly as in OpenACC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.dependence import is_parallelizable
+from ..analysis.loopinfo import analyze_loops
+from ..ir.stmt import Loop, Region
+from ..lang.directives import LoopDirective
+
+
+@dataclass(slots=True)
+class AutoparReport:
+    gang_loops: list[Loop] = field(default_factory=list)
+    vector_loops: list[Loop] = field(default_factory=list)
+    kept_sequential: list[Loop] = field(default_factory=list)
+
+    @property
+    def parallelized(self) -> int:
+        return len(self.gang_loops) + len(self.vector_loops)
+
+
+def auto_parallelize(
+    region: Region, default_vector_length: int = 128
+) -> AutoparReport:
+    """Map undirected loops of a ``kernels`` region onto the GPU topology."""
+    report = AutoparReport()
+    if region.directive.construct != "kernels":
+        return report  # 'parallel': mapping is the user's job.
+    info = analyze_loops(region)
+
+    # Consider only loops whose every ancestor is undirected too — once a
+    # *user* directive appears anywhere above, we stay out of that subtree
+    # (directives this pass itself assigns do not count).
+    auto_assigned: set[int] = set()
+
+    def user_directed(loop: Loop) -> bool:
+        return loop.directive is not None and loop.loop_id not in auto_assigned
+
+    for loop in info.loops:
+        if user_directed(loop) or any(user_directed(a) for a in info.enclosing(loop)):
+            continue
+        parents = info.enclosing(loop)
+        mapped_parents = [p for p in parents if p.is_parallel]
+        if not is_parallelizable(loop):
+            report.kept_sequential.append(loop)
+            continue
+        if not mapped_parents:
+            # Outermost parallel level: gang; if it is also the innermost
+            # loop of the nest, give it the vector dimension too.
+            if info.inner_loops(loop):
+                loop.directive = LoopDirective(gang=True)
+            else:
+                loop.directive = LoopDirective(
+                    gang=True, vector=default_vector_length
+                )
+                report.vector_loops.append(loop)
+            auto_assigned.add(loop.loop_id)
+            report.gang_loops.append(loop)
+        elif not any(
+            p.directive is not None and p.directive.vector is not None
+            for p in mapped_parents
+        ):
+            # One parallel ancestor without a vector axis yet: this loop
+            # becomes the vector (coalescing) dimension.
+            loop.directive = LoopDirective(vector=default_vector_length)
+            auto_assigned.add(loop.loop_id)
+            report.vector_loops.append(loop)
+        else:
+            # Gang and vector axes already assigned: deeper parallel loops
+            # run sequentially per thread (the common OpenUH choice).
+            report.kept_sequential.append(loop)
+    return report

@@ -1,0 +1,119 @@
+"""The classic Carr-Kennedy scalar-replacement baseline (paper Section III-A).
+
+This is the algorithm the paper improves upon.  Its two GPU-hostile traits
+are reproduced faithfully because the evaluation depends on them:
+
+1. **It ignores loop parallelism.**  Inter-iteration replacement is applied
+   wherever reuse exists — including OpenACC-parallel loops, which the
+   rotating-register pattern then *sequentialises* (Figures 3–4).  The
+   resulting loop is marked ``sequentialized`` so the launch model executes
+   its iterations on a single thread, exposing the performance cliff.
+
+2. **Its register-pressure moderation is use-count based.**  Candidates are
+   ranked purely by ``reference_count`` — no memory-latency awareness — and
+   replaced until a fixed register budget is spent (the original paper's
+   moderation model parameterised the number of available CPU registers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.loopinfo import analyze_loops
+from ..analysis.reuse import GroupKind, find_reuse_groups
+from ..ir.module import KernelFunction
+from ..ir.stmt import If, Loop, Region, Stmt
+from ..ir.symbols import SymbolTable
+from .scalar_replacement import ReplacementResult, can_replace, replace_group
+
+
+@dataclass(slots=True)
+class CarrKennedyReport:
+    """What the baseline did to one region."""
+
+    replacements: list[ReplacementResult] = field(default_factory=list)
+    registers_spent: int = 0
+    sequentialized_loops: list[Loop] = field(default_factory=list)
+
+    @property
+    def groups_replaced(self) -> int:
+        return len(self.replacements)
+
+
+def apply_carr_kennedy(
+    region: Region,
+    symtab: SymbolTable,
+    register_budget: int = 32,
+    intra_only: bool = False,
+) -> CarrKennedyReport:
+    """Run the baseline over every loop of an offload region.
+
+    ``register_budget`` is the number of 32-bit registers the moderation
+    model may spend on scalar-replacement temporaries.  ``intra_only``
+    restricts replacement to intra-iteration groups (used to model
+    conservative production compilers that never rotate registers across
+    iterations).
+    """
+    report = CarrKennedyReport()
+    info = analyze_loops(region)
+    # Innermost-first (deepest loops carry the most reuse), mirroring the
+    # original algorithm's processing of innermost loop bodies.
+    loops = sorted(info.loops, key=lambda l: -info.depths[l.loop_id])
+    for loop in loops:
+        _apply_to_loop(region, loop, symtab, report, register_budget, intra_only)
+    return report
+
+
+def _parent_stmts(region: Region, loop: Loop) -> list[Stmt]:
+    """The statement list directly containing ``loop``."""
+
+    def search(stmts: list[Stmt]) -> list[Stmt] | None:
+        if loop in stmts:
+            return stmts
+        for s in stmts:
+            if isinstance(s, Loop):
+                found = search(s.body)
+                if found is not None:
+                    return found
+            elif isinstance(s, If):
+                found = search(s.then_body) or search(s.else_body)
+                if found is not None:
+                    return found
+        return None
+
+    found = search(region.body)
+    if found is None:
+        raise ValueError("loop not found in region")
+    return found
+
+
+def _apply_to_loop(
+    region: Region,
+    loop: Loop,
+    symtab: SymbolTable,
+    report: CarrKennedyReport,
+    register_budget: int,
+    intra_only: bool = False,
+) -> None:
+    groups = find_reuse_groups(loop)
+    if intra_only:
+        groups = [g for g in groups if g.kind is GroupKind.INTRA]
+    # Use-count priority: the original moderation metric (Section III-A.2:
+    # "the metric used is how many memory accesses can be removed").
+    groups.sort(key=lambda g: (-g.ref_count, g.generator.order))
+    parent = _parent_stmts(region, loop)
+    for group in groups:
+        if not can_replace(group, allow_inter=True):
+            continue
+        elem_regs = group.array.array.elem.registers if group.array.array else 1
+        need = group.temporaries_needed() * elem_regs
+        if report.registers_spent + need > register_budget:
+            continue
+        was_parallel = loop.is_parallel
+        result = replace_group(parent, loop, group, symtab)
+        report.replacements.append(result)
+        report.registers_spent += need
+        if result.group.kind is GroupKind.INTER and was_parallel:
+            loop.sequentialized = True
+            if loop not in report.sequentialized_loops:
+                report.sequentialized_loops.append(loop)

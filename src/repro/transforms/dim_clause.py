@@ -1,0 +1,155 @@
+"""Semantics of the proposed ``dim`` clause (paper Section IV-A).
+
+``dim`` declares that a set of allocatable/VLA arrays share identical
+dimensions, letting the backend emit **one** offset computation (one set of
+dope-vector temporaries) for the whole group instead of one per array —
+reducing both instruction count and register pressure.
+
+This module computes *dope classes*: a partition of the region's arrays
+such that all members of a class provably share dimension data.  The code
+generator then materialises dope temporaries once per class
+(:mod:`repro.codegen.kernelgen`).
+
+Arrays are also auto-unioned when their declared dimensions are
+*statically identical* symbols/constants — the paper notes the compiler
+can exploit this when it can prove equality; the clause exists for the
+cases it cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.directives import DimGroup, DimSpec
+from ..lang.errors import SemanticError
+from ..ir.stmt import Region
+from ..ir.symbols import Dim, Symbol, SymbolTable
+
+
+@dataclass(slots=True)
+class DopeClasses:
+    """Partition of array symbols into shared-dope classes.
+
+    ``class_of[sym]`` is a small integer id; arrays mapped to the same id
+    share one offset computation.  Arrays without an entry each get their
+    own dope (the default).
+    """
+
+    class_of: dict[Symbol, int] = field(default_factory=dict)
+    members: dict[int, list[Symbol]] = field(default_factory=dict)
+
+    def share(self, a: Symbol, b: Symbol) -> bool:
+        ca = self.class_of.get(a)
+        return ca is not None and ca == self.class_of.get(b)
+
+    def representative(self, sym: Symbol) -> Symbol:
+        """The class leader whose dope temporaries everyone reuses."""
+        cid = self.class_of.get(sym)
+        if cid is None:
+            return sym
+        return self.members[cid][0]
+
+
+def _dims_statically_equal(a: tuple[Dim, ...], b: tuple[Dim, ...]) -> bool:
+    """Provably identical shapes *without* runtime information.
+
+    Only fully static (integer-literal) shapes qualify.  Arrays whose
+    bounds are runtime scalars are **never** auto-unioned, even when their
+    declarations name the same bound variables: at run time each VLA /
+    allocatable array carries its own dope vector, and the compiler "has no
+    idea whether these arrays have the same dimension" (paper Section
+    IV-A) — that is precisely the information gap the ``dim`` clause fills.
+    """
+    if len(a) != len(b):
+        return False
+    for da, db in zip(a, b):
+        if not (da.is_static and db.is_static):
+            return False
+        if da.extent != db.extent or da.lower != db.lower:
+            return False
+    return True
+
+
+def _check_group_against_decls(
+    group: DimGroup, symtab: SymbolTable
+) -> list[Symbol]:
+    """Resolve group member names; verify ranks and any static dimension
+    info the user supplied (Section IV: the compiler can verify clause
+    correctness where it is statically possible)."""
+    syms: list[Symbol] = []
+    for name in group.arrays:
+        sym = symtab.lookup(name)
+        if sym is None or sym.array is None:
+            raise SemanticError(f"dim clause names unknown array {name!r}")
+        if sym.array.is_pointer:
+            raise SemanticError(
+                f"dim clause cannot apply to pointer {name!r} (no dope vector)"
+            )
+        if group.dims and len(sym.array.dims) != len(group.dims):
+            raise SemanticError(
+                f"dim clause rank {len(group.dims)} does not match array "
+                f"{name!r} of rank {len(sym.array.dims)}"
+            )
+        _check_static_dims(group.dims, sym)
+        syms.append(sym)
+    return syms
+
+
+def _check_static_dims(specs: tuple[DimSpec, ...], sym: Symbol) -> None:
+    for spec, dim in zip(specs, sym.array.dims):
+        if isinstance(spec.extent, int) and isinstance(dim.extent, int):
+            if spec.extent != dim.extent:
+                raise SemanticError(
+                    f"dim clause declares extent {spec.extent} but array "
+                    f"{sym.name!r} has static extent {dim.extent}"
+                )
+
+
+def compute_dope_classes(
+    region: Region, symtab: SymbolTable, auto_union_static: bool = True
+) -> DopeClasses:
+    """Build the dope-sharing partition for one offload region.
+
+    * every ``dim`` clause group forms a class;
+    * with ``auto_union_static`` (default), arrays whose declared dims are
+      *statically identical* (same bound symbols / same constants) are also
+      unioned — the compiler does not need the user's help for those.
+    """
+    classes = DopeClasses()
+    next_id = 0
+
+    def assign(syms: list[Symbol]) -> None:
+        nonlocal next_id
+        existing = [classes.class_of[s] for s in syms if s in classes.class_of]
+        cid = existing[0] if existing else next_id
+        if not existing:
+            next_id += 1
+        classes.members.setdefault(cid, [])
+        for s in syms:
+            if s not in classes.class_of:
+                classes.class_of[s] = cid
+                classes.members[cid].append(s)
+
+    for group in region.directive.dim_groups:
+        syms = _check_group_against_decls(group, symtab)
+        if len(syms) >= 1:
+            assign(syms)
+
+    if auto_union_static:
+        arrays = [
+            s
+            for s in symtab.arrays()
+            if s.array is not None and not s.array.is_pointer and s.array.dims
+        ]
+        for i, a in enumerate(arrays):
+            for b in arrays[i + 1 :]:
+                if a in classes.class_of and b in classes.class_of:
+                    continue
+                if _dims_statically_equal(a.array.dims, b.array.dims):
+                    if a in classes.class_of:
+                        assign([a, b])
+                    elif b in classes.class_of:
+                        assign([b, a])
+                    else:
+                        assign([a, b])
+    return classes

@@ -1,0 +1,58 @@
+"""Loop-invariant load motion (LICM) — part of the *baseline* pipeline.
+
+The paper's base compiler is OpenUH at ``-O3``, whose global optimizer
+(WOPT, Figure 2) already hoists loop-invariant loads.  Running this pass
+in every configuration keeps the evaluation honest: SAFARA is credited
+only for the reuse the baseline cannot already exploit (intra-iteration
+duplicates and inter-iteration chains), not for ordinary invariant
+hoisting.
+
+Only *read-only* invariant references are hoisted out of *sequential*
+loops (hoisting from a parallel loop is meaningless — each thread runs
+one iteration; hoisting written references past a possibly-zero-trip loop
+would be unsound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.loopinfo import analyze_loops
+from ..analysis.reuse import GroupKind, find_reuse_groups
+from ..ir.stmt import Loop, Region
+from ..ir.symbols import SymbolTable
+from .carr_kennedy import _parent_stmts
+from .scalar_replacement import ReplacementResult, replace_group
+
+
+@dataclass(slots=True)
+class LicmReport:
+    hoisted: list[ReplacementResult] = field(default_factory=list)
+
+    @property
+    def loads_hoisted(self) -> int:
+        return len(self.hoisted)
+
+
+def apply_licm(region: Region, symtab: SymbolTable) -> LicmReport:
+    """Hoist read-only loop-invariant loads out of sequential loops,
+    innermost-first so multi-level invariants bubble all the way up."""
+    report = LicmReport()
+    changed = True
+    while changed:
+        changed = False
+        info = analyze_loops(region)
+        loops = sorted(info.loops, key=lambda l: -info.depths[l.loop_id])
+        for loop in loops:
+            if loop.is_parallel:
+                continue
+            for group in find_reuse_groups(loop):
+                if group.kind is not GroupKind.INVARIANT or group.has_write:
+                    continue
+                parent = _parent_stmts(region, loop)
+                result = replace_group(parent, loop, group, symtab)
+                report.hoisted.append(result)
+                changed = True
+            if changed:
+                break
+    return report

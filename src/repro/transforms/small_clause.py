@@ -1,0 +1,45 @@
+"""Semantics of the proposed ``small`` clause (paper Section IV-B).
+
+On 64-bit hosts, array offsets default to 64-bit integers, and a 64-bit
+value occupies **two** 32-bit GPU registers.  ``small(A)`` promises that
+``A`` spans less than 4 GB, so its flattened offset fits in a 32-bit
+integer — halving the register cost of every offset computation on ``A``.
+
+Two sources mark an array small:
+
+* the explicit clause;
+* static shape detection — when the array's size is a compile-time
+  constant under 4 GB the compiler proves it itself (the paper: "when the
+  array is a static array ... the compiler can detect the array size").
+"""
+
+from __future__ import annotations
+
+from ..lang.errors import SemanticError
+from ..ir.stmt import Region
+from ..ir.symbols import Symbol, SymbolTable
+
+#: The 4 GB boundary under which 32-bit offsets are safe (byte offsets are
+#: signed in generated code, but elements are >= 4 bytes, so 2**32 bytes is
+#: the paper's stated threshold).
+SMALL_LIMIT_BYTES = 4 * 1024**3
+
+
+def small_arrays(region: Region, symtab: SymbolTable) -> set[Symbol]:
+    """Arrays of the region that may use 32-bit offset arithmetic."""
+    out: set[Symbol] = set()
+    for name in region.directive.small:
+        sym = symtab.lookup(name)
+        if sym is None or sym.array is None:
+            raise SemanticError(f"small clause names unknown array {name!r}")
+        out.add(sym)
+    for sym in symtab.arrays():
+        size = sym.array.static_size_bytes() if sym.array else None
+        if size is not None and size < SMALL_LIMIT_BYTES:
+            out.add(sym)
+    return out
+
+
+def offset_bits(sym: Symbol, small: set[Symbol]) -> int:
+    """Width of the offset arithmetic for one array (64 unless small)."""
+    return 32 if sym in small else 64

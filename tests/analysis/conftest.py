@@ -1,0 +1,54 @@
+"""Shared fixtures for analysis tests: small MiniACC programs lowered to IR."""
+
+import pytest
+
+from repro.ir import build_module
+from repro.lang import parse_program
+
+
+@pytest.fixture
+def lower():
+    """Parse + lower a MiniACC source string; returns the first kernel IR."""
+
+    def _lower(src, name=None):
+        mod = build_module(parse_program(src))
+        return mod.functions[0] if name is None else mod.function(name)
+
+    return _lower
+
+
+@pytest.fixture
+def fig5(lower):
+    """The paper's Figure 5 running example."""
+    return lower(
+        """
+        kernel fig5(double a[isz2][jsz2], const double b[jsz2][isz2],
+                    double c[jsz2], double d[jsz2],
+                    int ISIZE, int JSIZE, int isz2, int jsz2) {
+          #pragma acc kernels loop gang vector(64)
+          for (j = 1; j <= JSIZE; j++) {
+            c[j] = b[j][0] + b[j][1];
+            d[j] = c[j] * b[j][0];
+            #pragma acc loop seq
+            for (i = 1; i <= ISIZE; i++) {
+              a[i][j] += a[i-1][j] + b[j][i-1] + a[i+1][j] + b[j][i+1];
+            }
+          }
+        }
+        """
+    )
+
+
+@pytest.fixture
+def fig3(lower):
+    """The paper's Figure 3: independent iterations, b[i] and b[i+1]."""
+    return lower(
+        """
+        kernel fig3(double a[sz], const double b[sz], int SIZE, int sz) {
+          #pragma acc kernels loop gang vector(128)
+          for (i = 1; i <= SIZE; i++) {
+            a[i] = (b[i] + b[i+1]) / 2;
+          }
+        }
+        """
+    )

@@ -1,0 +1,175 @@
+"""Unit tests for coalescing classification (paper Section III-A.2)."""
+
+from repro.analysis import AccessPattern, analyze_loops, classify_access
+from repro.ir import Assign, array_refs, walk_stmts
+
+
+def refs_in(fn):
+    region = fn.regions()[0]
+    out = {}
+    for stmt in walk_stmts(region.body):
+        if isinstance(stmt, Assign):
+            for ref in array_refs(stmt.value):
+                out.setdefault(ref.sym.name, []).append(ref)
+            if hasattr(stmt.target, "indices"):
+                out.setdefault(stmt.target.sym.name, []).append(stmt.target)
+    return out
+
+
+class TestFigure5Classification:
+    """The paper's key example: a[i][j] coalesced in j (vector var),
+    b[j][i] uncoalesced."""
+
+    def test_a_coalesced(self, fig5):
+        info = analyze_loops(fig5.regions()[0])
+        refs = refs_in(fig5)
+        for ref in refs["a"]:
+            assert classify_access(ref, info.vector_var).pattern is AccessPattern.COALESCED
+
+    def test_b_uncoalesced_in_inner_loop(self, fig5):
+        info = analyze_loops(fig5.regions()[0])
+        refs = refs_in(fig5)
+        patterns = {
+            classify_access(r, info.vector_var).pattern for r in refs["b"]
+        }
+        assert AccessPattern.UNCOALESCED in patterns
+
+
+class TestPatterns:
+    def test_unit_stride_coalesced(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc kernels loop gang vector(128)
+              for (i = 0; i < n; i++) { a[i] = b[i]; }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        for ref in refs_in(fn)["b"]:
+            acc = classify_access(ref, info.vector_var)
+            assert acc.pattern is AccessPattern.COALESCED
+            assert acc.stride_elems == 1
+
+    def test_constant_offset_still_coalesced(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc kernels loop gang vector(128)
+              for (i = 1; i < n; i++) { a[i] = b[i-1]; }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        (ref,) = refs_in(fn)["b"]
+        assert classify_access(ref, info.vector_var).pattern is AccessPattern.COALESCED
+
+    def test_stride_two_uncoalesced(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n2], int n, int n2) {
+              #pragma acc kernels loop gang vector(128)
+              for (i = 0; i < n; i++) { a[i] = b[2*i]; }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        (ref,) = refs_in(fn)["b"]
+        acc = classify_access(ref, info.vector_var)
+        assert acc.pattern is AccessPattern.UNCOALESCED
+        assert acc.stride_elems == 2
+
+    def test_row_access_uncoalesced_with_static_stride(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[128][64], const double b[128][64], int n) {
+              #pragma acc kernels loop gang vector(128)
+              for (i = 0; i < n; i++) {
+                #pragma acc loop seq
+                for (j = 0; j < 64; j++) {
+                  a[i][j] = b[i][j];
+                }
+              }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        assert info.vector_var.name == "i"
+        (ref,) = refs_in(fn)["b"]
+        acc = classify_access(ref, info.vector_var)
+        assert acc.pattern is AccessPattern.UNCOALESCED
+        assert acc.stride_elems == 64
+
+    def test_row_access_symbolic_stride_unknown_extent(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n][m], const double b[n][m], int n, int m) {
+              #pragma acc kernels loop gang vector(128)
+              for (i = 0; i < n; i++) {
+                #pragma acc loop seq
+                for (j = 0; j < m; j++) {
+                  a[i][j] = b[i][j];
+                }
+              }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        (ref,) = refs_in(fn)["b"]
+        acc = classify_access(ref, info.vector_var)
+        assert acc.pattern is AccessPattern.UNCOALESCED
+        assert acc.stride_elems is None
+
+    def test_uniform_access(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n, int j) {
+              #pragma acc kernels loop gang vector(128)
+              for (i = 0; i < n; i++) { a[i] = b[j]; }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        (ref,) = refs_in(fn)["b"]
+        assert classify_access(ref, info.vector_var).pattern is AccessPattern.UNIFORM
+
+    def test_non_affine_unknown(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc kernels loop gang vector(128)
+              for (i = 0; i < n; i++) { a[i] = b[i % 4]; }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        (ref,) = refs_in(fn)["b"]
+        assert classify_access(ref, info.vector_var).pattern is AccessPattern.UNKNOWN
+
+    def test_no_vector_var_uniform(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc kernels
+              {
+                #pragma acc loop seq
+                for (i = 0; i < n; i++) { a[i] = b[i]; }
+              }
+            }
+            """
+        )
+        (ref,) = refs_in(fn)["b"]
+        assert classify_access(ref, None).pattern is AccessPattern.UNIFORM
+
+    def test_pointer_linear_index(self, lower):
+        fn = lower(
+            """
+            kernel k(double * restrict a, double * restrict b, int n, int m) {
+              #pragma acc kernels loop gang vector(128)
+              for (i = 0; i < n; i++) { a[i] = b[i + 3]; }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        (ref,) = refs_in(fn)["b"]
+        assert classify_access(ref, info.vector_var).pattern is AccessPattern.COALESCED

@@ -1,0 +1,141 @@
+"""Unit tests for dependence analysis and parallelisability checks."""
+
+from repro.analysis import (
+    DepKind,
+    analyze_loops,
+    dependences,
+    is_parallelizable,
+    loop_carried_dependences,
+)
+
+
+def only_loop(fn):
+    info = analyze_loops(fn.regions()[0]) if fn.regions() else None
+    if info is not None:
+        return info.loops[0]
+    return fn.body[0]
+
+
+class TestDependenceKinds:
+    def test_flow_dependence(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc loop seq
+              for (i = 1; i < n; i++) {
+                a[i] = a[i-1] + 1.0;
+              }
+            }
+            """
+        )
+        deps = dependences(fn.body[0])
+        kinds = {d.kind for d in deps}
+        assert DepKind.FLOW in kinds
+        flow = next(d for d in deps if d.kind is DepKind.FLOW)
+        assert flow.distance == 1
+        assert flow.is_loop_carried
+
+    def test_anti_dependence(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n - 1; i++) {
+                a[i] = a[i+1] + 1.0;
+              }
+            }
+            """
+        )
+        deps = dependences(fn.body[0])
+        assert any(d.kind is DepKind.ANTI and d.is_loop_carried for d in deps)
+
+    def test_output_dependence(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], int n, int j) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) {
+                a[j] = 1.0;
+                a[j] = 2.0;
+              }
+            }
+            """
+        )
+        deps = dependences(fn.body[0])
+        assert any(d.kind is DepKind.OUTPUT for d in deps)
+
+    def test_input_dependences_excluded_by_default(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc loop seq
+              for (i = 1; i < n; i++) {
+                a[i] = b[i] + b[i-1];
+              }
+            }
+            """
+        )
+        deps = dependences(fn.body[0])
+        assert not any(d.kind is DepKind.INPUT for d in deps)
+        deps = dependences(fn.body[0], include_input=True)
+        assert any(d.kind is DepKind.INPUT for d in deps)
+
+
+class TestParallelizability:
+    def test_independent_loop(self, fig3):
+        loop = analyze_loops(fig3.regions()[0]).loops[0]
+        assert is_parallelizable(loop)
+
+    def test_recurrence_not_parallelizable(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc loop seq
+              for (i = 1; i < n; i++) {
+                a[i] = a[i-1] * 0.5;
+              }
+            }
+            """
+        )
+        assert not is_parallelizable(fn.body[0])
+
+    def test_figure5_inner_loop_sequential(self, fig5):
+        info = analyze_loops(fig5.regions()[0])
+        iloop = next(l for l in info.loops if l.var.name == "i")
+        assert not is_parallelizable(iloop)
+
+    def test_figure5_outer_loop_parallelizable(self, fig5):
+        info = analyze_loops(fig5.regions()[0])
+        jloop = next(l for l in info.loops if l.var.name == "j")
+        # All j-dependences are distance 0 in j.
+        assert is_parallelizable(jloop)
+
+    def test_disjoint_constant_subscripts_independent(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n][4], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) {
+                a[i][0] = 1.0;
+                a[i][1] = a[i][2] + 1.0;
+              }
+            }
+            """
+        )
+        assert is_parallelizable(fn.body[0])
+
+    def test_unknown_distance_conservative(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const int idx[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) {
+                a[idx[i]] = 1.0;
+                a[i] = a[i] + 2.0;
+              }
+            }
+            """
+        )
+        carried = loop_carried_dependences(fn.body[0])
+        assert any(d.distance is None for d in carried)
+        assert not is_parallelizable(fn.body[0])

@@ -1,0 +1,152 @@
+"""Tests for loop-nest structure analysis and warp-divergence detection."""
+
+from repro.analysis import analyze_loops
+from repro.ir import build_module
+from repro.lang import parse_program
+
+
+def region_info(src):
+    fn = build_module(parse_program(src)).functions[0]
+    return analyze_loops(fn.regions()[0])
+
+
+NEST_SRC = """
+kernel k(double a[n][m], int n, int m) {
+  #pragma acc kernels loop gang
+  for (j = 0; j < m; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 0; i < n; i++) {
+      #pragma acc loop seq
+      for (t = 0; t < 4; t++) {
+        a[i][j] = a[i][j] + t;
+      }
+    }
+  }
+}
+"""
+
+
+class TestStructure:
+    def test_loop_enumeration(self):
+        info = region_info(NEST_SRC)
+        assert [l.var.name for l in info.loops] == ["j", "i", "t"]
+        assert [info.depths[l.loop_id] for l in info.loops] == [0, 1, 2]
+
+    def test_parents(self):
+        info = region_info(NEST_SRC)
+        j, i, t = info.loops
+        assert info.parents[j.loop_id] is None
+        assert info.parents[i.loop_id] is j
+        assert info.parents[t.loop_id] is i
+        assert info.enclosing(t) == [j, i]
+
+    def test_parallel_vs_seq(self):
+        info = region_info(NEST_SRC)
+        assert [l.var.name for l in info.parallel_loops] == ["j", "i"]
+        assert [l.var.name for l in info.seq_loops] == ["t"]
+
+    def test_vector_loop_is_deepest_with_vector_clause(self):
+        info = region_info(NEST_SRC)
+        assert info.vector_var.name == "i"
+
+    def test_inner_loops(self):
+        info = region_info(NEST_SRC)
+        j = info.loops[0]
+        assert {l.var.name for l in info.inner_loops(j)} == {"i", "t"}
+
+    def test_loop_of_var(self):
+        info = region_info(NEST_SRC)
+        t = info.loops[2]
+        assert info.loop_of_var(t.var) is t
+
+
+class TestDivergenceAnalysis:
+    def test_uniform_seq_loop_not_divergent(self):
+        info = region_info(NEST_SRC)
+        names = {s.name for s in info.divergent_symbols()}
+        assert "t" not in names
+
+    def test_csr_row_loop_divergent(self):
+        src = """
+        kernel k(const double va[nz], const int rowstr[n1], double q[n], int n, int n1, int nz) {
+          #pragma acc kernels loop gang vector(64)
+          for (j = 0; j < n; j++) {
+            double sum = 0.0;
+            int lo = rowstr[j];
+            int hi = rowstr[j+1];
+            #pragma acc loop seq
+            for (k = lo; k < hi; k++) {
+              sum += va[k];
+            }
+            q[j] = sum;
+          }
+        }
+        """
+        info = region_info(src)
+        names = {s.name for s in info.divergent_symbols()}
+        # lo/hi come from loads; k's bounds are lo/hi.
+        assert {"lo", "hi", "k"} <= names
+
+    def test_scalar_derived_from_thread_id_divergent(self):
+        src = """
+        kernel k(double a[n], int n, int m) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 0; i < n; i++) {
+            int base = i * m;
+            #pragma acc loop seq
+            for (k = base; k < base + 4; k++) {
+              a[i] = a[i] + k;
+            }
+          }
+        }
+        """
+        info = region_info(src)
+        names = {s.name for s in info.divergent_symbols()}
+        assert "base" in names
+        assert "k" in names
+
+    def test_divergent_subscript_not_uniform(self):
+        from repro.analysis import AccessPattern, classify_access
+        from repro.ir import Assign, array_refs, walk_stmts
+
+        src = """
+        kernel k(const double va[nz], const int rowstr[n1], double q[n], int n, int n1, int nz) {
+          #pragma acc kernels loop gang vector(64)
+          for (j = 0; j < n; j++) {
+            double sum = 0.0;
+            int lo = rowstr[j];
+            #pragma acc loop seq
+            for (k = lo; k < lo + 8; k++) {
+              sum += va[k];
+            }
+            q[j] = sum;
+          }
+        }
+        """
+        fn = build_module(parse_program(src)).functions[0]
+        info = analyze_loops(fn.regions()[0])
+        divergent = frozenset(info.divergent_symbols())
+        va_ref = next(
+            r
+            for s in walk_stmts(fn.regions()[0].body)
+            if isinstance(s, Assign)
+            for r in array_refs(s.value)
+            if r.sym.name == "va"
+        )
+        acc = classify_access(va_ref, info.vector_var, divergent)
+        assert acc.pattern is AccessPattern.UNKNOWN  # scattered, not uniform
+
+    def test_no_false_positive_for_plain_locals(self):
+        src = """
+        kernel k(double a[n], int n) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 0; i < n; i++) {
+            #pragma acc loop seq
+            for (k = 2; k < 10; k++) {
+              a[i] = a[i] + k;
+            }
+          }
+        }
+        """
+        info = region_info(src)
+        assert {s.name for s in info.divergent_symbols()} == set()

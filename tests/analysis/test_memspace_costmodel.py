@@ -1,0 +1,146 @@
+"""Unit tests for memory-space classification and the SAFARA cost model."""
+
+import pytest
+
+from repro.analysis import (
+    AccessInfo,
+    AccessPattern,
+    LatencyModel,
+    MemSpace,
+    analyze_loops,
+    classify_all,
+    classify_memspaces,
+    find_reuse_groups,
+    price_candidates,
+)
+from repro.ir import Assign, array_refs, walk_stmts
+
+
+class TestMemspace:
+    def test_const_unwritten_array_is_readonly(self, fig5):
+        region = fig5.regions()[0]
+        spaces = classify_memspaces(region)
+        by_name = {s.name: v for s, v in spaces.items()}
+        assert by_name["b"] is MemSpace.READONLY
+        assert by_name["a"] is MemSpace.GLOBAL
+
+    def test_written_array_is_global_even_if_const_free(self, fig5):
+        region = fig5.regions()[0]
+        by_name = {s.name: v for s, v in classify_memspaces(region).items()}
+        assert by_name["c"] is MemSpace.GLOBAL
+        assert by_name["d"] is MemSpace.GLOBAL
+
+    def test_no_readonly_cache_pre_kepler(self, fig5):
+        region = fig5.regions()[0]
+        spaces = classify_memspaces(region, has_readonly_cache=False)
+        assert all(v is MemSpace.GLOBAL for v in spaces.values())
+
+    def test_unqualified_read_only_array_stays_global(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], double b[n], int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n; i++) { a[i] = b[i]; }
+            }
+            """
+        )
+        by_name = {
+            s.name: v for s, v in classify_memspaces(fn.regions()[0]).items()
+        }
+        # b is never written but not declared const/restrict: the compiler
+        # cannot promise the read-only cache (no __ldg), so global.
+        assert by_name["b"] is MemSpace.GLOBAL
+
+    def test_restrict_pointer_read_only(self, lower):
+        fn = lower(
+            """
+            kernel k(double * restrict a, double * restrict b, int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n; i++) { a[i] = b[i]; }
+            }
+            """
+        )
+        by_name = {
+            s.name: v for s, v in classify_memspaces(fn.regions()[0]).items()
+        }
+        assert by_name["b"] is MemSpace.READONLY
+
+
+class TestLatencyModel:
+    def test_readonly_cheaper_than_global(self):
+        lm = LatencyModel()
+        coal = AccessInfo(AccessPattern.COALESCED, 1)
+        assert lm.access_latency(MemSpace.READONLY, coal) < lm.access_latency(
+            MemSpace.GLOBAL, coal
+        )
+
+    def test_uncoalesced_more_expensive(self):
+        lm = LatencyModel()
+        coal = AccessInfo(AccessPattern.COALESCED, 1)
+        uncoal = AccessInfo(AccessPattern.UNCOALESCED, None)
+        assert lm.access_latency(MemSpace.GLOBAL, uncoal) > lm.access_latency(
+            MemSpace.GLOBAL, coal
+        )
+
+    def test_uncoalesced_factor_caps_stride(self):
+        lm = LatencyModel()
+        small = AccessInfo(AccessPattern.UNCOALESCED, 2)
+        huge = AccessInfo(AccessPattern.UNCOALESCED, 100000)
+        assert lm.access_latency(MemSpace.GLOBAL, small) < lm.access_latency(
+            MemSpace.GLOBAL, huge
+        )
+        assert (
+            lm.access_latency(MemSpace.GLOBAL, huge)
+            == lm.global_mem * lm.uncoalesced_factor
+        )
+
+    def test_shared_is_cheap(self):
+        lm = LatencyModel()
+        coal = AccessInfo(AccessPattern.COALESCED, 1)
+        assert lm.access_latency(MemSpace.SHARED, coal) < lm.access_latency(
+            MemSpace.READONLY, coal
+        )
+
+
+class TestCostRanking:
+    """Section III-A.2: replacing uncoalesced b beats more-referenced,
+    coalesced a."""
+
+    def _candidates(self, fig5):
+        region = fig5.regions()[0]
+        info = analyze_loops(region)
+        iloop = next(l for l in info.loops if l.var.name == "i")
+        refs = []
+        for stmt in walk_stmts(region.body):
+            if isinstance(stmt, Assign):
+                refs += array_refs(stmt.value)
+                if hasattr(stmt.target, "indices"):
+                    refs.append(stmt.target)
+        accesses = classify_all(refs, info.vector_var)
+        spaces = classify_memspaces(region)
+        return price_candidates(find_reuse_groups(iloop), spaces, accesses)
+
+    def test_b_ranked_above_a(self, fig5):
+        cands = self._candidates(fig5)
+        names = [c.group.array.name for c in cands]
+        assert names.index("b") < names.index("a")
+
+    def test_cost_formula_is_count_times_latency(self, fig5):
+        lm = LatencyModel()
+        for cand in self._candidates(fig5):
+            expected = cand.group.ref_count * lm.access_latency(cand.space, cand.access)
+            assert cand.cost == pytest.approx(expected)
+
+    def test_register_requirements(self, fig5):
+        cands = self._candidates(fig5)
+        by_name = {c.group.array.name: c for c in cands}
+        # b: span 2 -> 3 temporaries of double = 6 x 32-bit registers.
+        assert by_name["b"].registers_needed == 6
+
+    def test_count_only_ranking_differs(self, fig5):
+        """With the Carr-Kennedy metric (use count only), a would win —
+        demonstrating why the GPU-aware cost model matters."""
+        cands = self._candidates(fig5)
+        by_count = sorted(cands, key=lambda c: -c.group.ref_count)
+        assert by_count[0].group.array.name == "a"
+        assert cands[0].group.array.name == "b"

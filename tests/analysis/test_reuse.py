@@ -1,0 +1,229 @@
+"""Unit tests for reuse-group detection (paper Section III)."""
+
+from repro.analysis import GroupKind, analyze_loops, find_reuse_groups, iteration_distance
+from repro.analysis.reuse import collect_occurrences
+
+
+def groups_by_array(loop):
+    return {g.array.name: g for g in find_reuse_groups(loop)}
+
+
+class TestFigure3:
+    """b[i] / b[i+1] inside a *parallel* loop — inter-iteration reuse that
+    SAFARA must refuse to exploit (it would sequentialise the loop)."""
+
+    def test_group_detected(self, fig3):
+        region = fig3.regions()[0]
+        info = analyze_loops(region)
+        (loop,) = info.loops
+        g = groups_by_array(loop)["b"]
+        assert g.kind is GroupKind.INTER
+        assert g.span == 1
+        assert sorted(g.lags) == [0, 1]
+
+    def test_generator_is_leading_reference(self, fig3):
+        region = fig3.regions()[0]
+        (loop,) = analyze_loops(region).loops
+        g = groups_by_array(loop)["b"]
+        # Generator loads b[i+1] — the newest location.
+        gen_forms = g.generator.ref.indices
+        assert "1" in str(gen_forms)
+
+    def test_a_not_grouped(self, fig3):
+        region = fig3.regions()[0]
+        (loop,) = analyze_loops(region).loops
+        assert "a" not in groups_by_array(loop)  # single ref, not invariant
+
+
+class TestFigure5:
+    def test_inner_loop_groups(self, fig5):
+        region = fig5.regions()[0]
+        info = analyze_loops(region)
+        iloop = next(l for l in info.loops if l.var.name == "i")
+        gs = groups_by_array(iloop)
+        assert gs["a"].kind is GroupKind.INTER
+        assert gs["a"].span == 2
+        assert gs["a"].has_write
+        assert gs["b"].kind is GroupKind.INTER
+        assert gs["b"].span == 2
+        assert not gs["b"].has_write
+
+    def test_b_needs_three_temporaries(self, fig5):
+        # Matches Figure 6: b0, b1, b2.
+        region = fig5.regions()[0]
+        info = analyze_loops(region)
+        iloop = next(l for l in info.loops if l.var.name == "i")
+        assert groups_by_array(iloop)["b"].temporaries_needed() == 3
+
+    def test_outer_loop_intra_groups(self, fig5):
+        region = fig5.regions()[0]
+        info = analyze_loops(region)
+        jloop = next(l for l in info.loops if l.var.name == "j")
+        gs = groups_by_array(jloop)
+        # b[j][0] appears twice in one j iteration; c[j] written then read.
+        assert gs["b"].kind is GroupKind.INTRA
+        assert gs["c"].kind is GroupKind.INTRA
+        assert gs["c"].has_write
+
+    def test_nested_refs_not_collected_at_outer_level(self, fig5):
+        region = fig5.regions()[0]
+        info = analyze_loops(region)
+        jloop = next(l for l in info.loops if l.var.name == "j")
+        names = {o.ref.sym.name for o in collect_occurrences(jloop)}
+        assert "a" not in names  # a refs live in the inner loop only
+
+
+class TestInvariantGroups:
+    def test_loop_invariant_reference(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n; i++) {
+                #pragma acc loop seq
+                for (k = 1; k < n; k++) {
+                  a[k] = a[k] + b[0] * 2.0 + b[0];
+                }
+              }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        kloop = next(l for l in info.loops if l.var.name == "k")
+        g = groups_by_array(kloop)["b"]
+        assert g.kind is GroupKind.INVARIANT
+        assert g.ref_count == 2
+        assert g.loads_saved() == 2  # both per-iteration loads hoisted
+
+    def test_singleton_invariant_kept(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n; i++) {
+                #pragma acc loop seq
+                for (k = 1; k < n; k++) {
+                  a[k] = a[k] + b[0];
+                }
+              }
+            }
+            """
+        )
+        info = analyze_loops(fn.regions()[0])
+        kloop = next(l for l in info.loops if l.var.name == "k")
+        assert groups_by_array(kloop)["b"].kind is GroupKind.INVARIANT
+
+    def test_invariant_wrt_outer_var_not_inner(self, fig5):
+        # b[j][0] is invariant wrt i? No — it IS invariant wrt i, but it
+        # appears at the j level, not inside the i loop, so the i-loop
+        # analysis does not see it.
+        region = fig5.regions()[0]
+        info = analyze_loops(region)
+        iloop = next(l for l in info.loops if l.var.name == "i")
+        for g in find_reuse_groups(iloop):
+            assert g.kind is not GroupKind.INVARIANT
+
+
+class TestIterationDistance:
+    def test_strided_loop_distance(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i += 2) {
+                a[i] = b[i] + b[i+2];
+              }
+            }
+            """
+        )
+        loop = fn.body[0]
+        gs = groups_by_array(loop)
+        assert gs["b"].kind is GroupKind.INTER
+        assert gs["b"].span == 1  # distance 2 elements = 1 iteration at step 2
+
+    def test_non_multiple_of_step_not_grouped(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i += 2) {
+                a[i] = b[i] + b[i+1];
+              }
+            }
+            """
+        )
+        loop = fn.body[0]
+        # b[i] and b[i+1] never touch the same element when stepping by 2.
+        assert "b" not in groups_by_array(loop)
+
+    def test_downward_loop_distance(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc loop seq
+              for (i = n; i >= 1; i--) {
+                a[i] = b[i] + b[i-1];
+              }
+            }
+            """
+        )
+        loop = fn.body[0]
+        g = groups_by_array(loop)["b"]
+        assert g.kind is GroupKind.INTER
+        assert g.span == 1
+        # Generator must be the reference touching the newest location for a
+        # DOWNWARD loop: b[i-1].
+        from repro.ir import format_expr
+
+        assert format_expr(g.generator.ref) == "b[i - 1]"
+
+    def test_inconsistent_multidim_distance_rejected(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n][n], const double b[n][n], int n) {
+              #pragma acc loop seq
+              for (i = 1; i < n; i++) {
+                a[i][i] = b[i][i] + b[i-1][i-2];
+              }
+            }
+            """
+        )
+        loop = fn.body[0]
+        # distances 1 and 2 in the two dims are inconsistent: no group.
+        assert "b" not in groups_by_array(loop)
+
+
+class TestWriteHandling:
+    def test_compound_assign_forms_intra_group(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], int n, int j) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) {
+                a[j] += 1.0;
+              }
+            }
+            """
+        )
+        loop = fn.body[0]
+        g = groups_by_array(loop)["a"]
+        # a[j] is invariant wrt i with read+write.
+        assert g.kind is GroupKind.INVARIANT
+        assert g.has_write
+
+    def test_write_then_read_same_iteration(self, lower):
+        fn = lower(
+            """
+            kernel k(double a[n], double c[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) {
+                a[i] = 2.0;
+                c[i] = a[i] * 3.0;
+              }
+            }
+            """
+        )
+        loop = fn.body[0]
+        g = groups_by_array(loop)["a"]
+        assert g.kind is GroupKind.INTRA
+        assert g.loads_saved() == 1  # the read is forwarded from the temp

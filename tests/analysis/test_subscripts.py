@@ -1,0 +1,180 @@
+"""Unit tests for affine subscript analysis."""
+
+from repro.analysis import AffineForm, affine_of, subscript_distance, subscript_forms
+from repro.ir import ArrayRef, BinOp, Cast, I64, IntConst, UnOp, VarRef
+from repro.ir.symbols import ArrayInfo, Dim, Symbol, SymbolKind
+from repro.ir.types import F64, I32
+
+
+def sym(name, stype=I32):
+    return Symbol(name=name, stype=stype, kind=SymbolKind.LOOPVAR)
+
+
+def arr(name, ndim=1):
+    return Symbol(
+        name=name,
+        stype=F64,
+        kind=SymbolKind.PARAM,
+        array=ArrayInfo(elem=F64, dims=tuple(Dim(extent=100) for _ in range(ndim))),
+    )
+
+
+class TestAffineForm:
+    def test_constant(self):
+        f = AffineForm.constant(5)
+        assert f.is_constant and f.const == 5
+
+    def test_variable(self):
+        i = sym("i")
+        f = AffineForm.variable(i)
+        assert f.coefficient(i) == 1
+        assert not f.is_constant
+
+    def test_zero_coefficient_variable_is_constant(self):
+        i = sym("i")
+        assert AffineForm.variable(i, 0).is_constant
+
+    def test_addition_merges_terms(self):
+        i = sym("i")
+        f = AffineForm.variable(i, 2) + AffineForm.variable(i, 3)
+        assert f.coefficient(i) == 5
+
+    def test_subtraction_cancels(self):
+        i = sym("i")
+        f = AffineForm.variable(i) - AffineForm.variable(i)
+        assert f.is_constant and f.const == 0
+
+    def test_scale(self):
+        i = sym("i")
+        f = (AffineForm.variable(i) + AffineForm.constant(1)).scale(3)
+        assert f.coefficient(i) == 3 and f.const == 3
+
+    def test_scale_by_zero(self):
+        i = sym("i")
+        assert AffineForm.variable(i).scale(0) == AffineForm()
+
+    def test_drop(self):
+        i, j = sym("i"), sym("j")
+        f = AffineForm.variable(i) + AffineForm.variable(j) + AffineForm.constant(2)
+        g = f.drop(i)
+        assert g.coefficient(i) == 0 and g.coefficient(j) == 1 and g.const == 2
+
+    def test_equality_is_structural(self):
+        i = sym("i")
+        a = AffineForm.variable(i) + AffineForm.constant(1)
+        b = AffineForm.constant(1) + AffineForm.variable(i)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestAffineOf:
+    def test_int_const(self):
+        assert affine_of(IntConst(7)) == AffineForm.constant(7)
+
+    def test_var(self):
+        i = sym("i")
+        assert affine_of(VarRef(i)) == AffineForm.variable(i)
+
+    def test_add_sub(self):
+        i = sym("i")
+        e = BinOp("-", BinOp("+", VarRef(i), IntConst(1)), IntConst(3))
+        f = affine_of(e)
+        assert f.coefficient(i) == 1 and f.const == -2
+
+    def test_mul_by_const_either_side(self):
+        i = sym("i")
+        for e in (BinOp("*", IntConst(4), VarRef(i)), BinOp("*", VarRef(i), IntConst(4))):
+            assert affine_of(e).coefficient(i) == 4
+
+    def test_negation(self):
+        i = sym("i")
+        f = affine_of(UnOp("-", VarRef(i)))
+        assert f.coefficient(i) == -1
+
+    def test_linearized_index_symbolic_coefficient(self):
+        # i*n with n symbolic: affine in i with a symbolic stride n.
+        i, n = sym("i"), sym("n")
+        f = affine_of(BinOp("*", VarRef(i), VarRef(n)))
+        assert f is not None
+        stride = f.linear_coefficient(i)
+        assert stride is not None and not stride.is_constant
+        assert stride.depends_on(n)
+
+    def test_quadratic_not_affine_in_var(self):
+        i = sym("i")
+        f = affine_of(BinOp("*", VarRef(i), VarRef(i)))
+        assert f is not None  # still a polynomial...
+        assert f.linear_coefficient(i) is None  # ...but not affine in i
+
+    def test_hand_linearised_c_index(self):
+        # (k*ny + j)*nx + i — the C benchmark pattern.
+        k, j, i, ny, nx = (sym(x) for x in "kjiyx")
+        e = BinOp(
+            "+",
+            BinOp("*", BinOp("+", BinOp("*", VarRef(k), VarRef(ny)), VarRef(j)), VarRef(nx)),
+            VarRef(i),
+        )
+        f = affine_of(e)
+        assert f is not None
+        assert f.linear_coefficient(i).const == 1
+        k_stride = f.linear_coefficient(k)
+        assert k_stride.depends_on(ny) and k_stride.depends_on(nx)
+
+    def test_division_non_affine(self):
+        i = sym("i")
+        assert affine_of(BinOp("/", VarRef(i), IntConst(2))) is None
+
+    def test_modulo_non_affine(self):
+        i = sym("i")
+        assert affine_of(BinOp("%", VarRef(i), IntConst(4))) is None
+
+    def test_integer_cast_transparent(self):
+        i = sym("i")
+        f = affine_of(Cast(I64, VarRef(i)))
+        assert f is not None and f.coefficient(i) == 1
+
+    def test_float_cast_opaque(self):
+        i = sym("i")
+        assert affine_of(Cast(F64, VarRef(i))) is None
+
+
+class TestSubscriptDistance:
+    def test_unit_distance(self):
+        i = sym("i")
+        b = arr("b")
+        r1 = ArrayRef(b, (VarRef(i),))
+        r2 = ArrayRef(b, (BinOp("+", VarRef(i), IntConst(1)),))
+        assert subscript_distance(r2, r1) == (1,)
+        assert subscript_distance(r1, r2) == (-1,)
+
+    def test_multi_dim(self):
+        i, j = sym("i"), sym("j")
+        a = arr("a", 2)
+        r1 = ArrayRef(a, (VarRef(i), VarRef(j)))
+        r2 = ArrayRef(a, (BinOp("-", VarRef(i), IntConst(1)), VarRef(j)))
+        assert subscript_distance(r1, r2) == (1, 0)
+
+    def test_different_arrays_none(self):
+        i = sym("i")
+        r1 = ArrayRef(arr("a"), (VarRef(i),))
+        r2 = ArrayRef(arr("b"), (VarRef(i),))
+        assert subscript_distance(r1, r2) is None
+
+    def test_different_coefficients_none(self):
+        i = sym("i")
+        b = arr("b")
+        r1 = ArrayRef(b, (VarRef(i),))
+        r2 = ArrayRef(b, (BinOp("*", IntConst(2), VarRef(i)),))
+        assert subscript_distance(r1, r2) is None
+
+    def test_same_ref_zero_distance(self):
+        i = sym("i")
+        b = arr("b")
+        r = ArrayRef(b, (VarRef(i),))
+        assert subscript_distance(r, r) == (0,)
+
+    def test_subscript_forms_non_affine(self):
+        i = sym("i")
+        b = arr("b")
+        r = ArrayRef(b, (BinOp("%", VarRef(i), IntConst(3)),))
+        assert subscript_forms(r) is None

@@ -1,0 +1,61 @@
+"""Tests for the benchmark argument builder."""
+
+import numpy as np
+import pytest
+
+from repro.bench import load_all
+from repro.bench.args import build_test_args, copy_args
+
+SPEC_SUITE, NAS_SUITE = load_all()
+
+
+class TestBuildTestArgs:
+    def test_shaped_arrays_match_declared_dims(self):
+        spec = SPEC_SUITE.get("355.seismic")
+        fn, args = build_test_args(spec)
+        env = spec.test_env
+        assert args["vx"].shape == (env["nz"], env["ny"], env["nx"])
+        assert args["vx"].dtype == np.float64
+
+    def test_pointer_arrays_use_pointer_lens(self):
+        spec = SPEC_SUITE.get("303.ostencil")
+        fn, args = build_test_args(spec)
+        env = spec.test_env
+        assert args["a0"].shape == (env["nx"] * env["ny"] * env["nz"],)
+
+    def test_overrides_take_precedence(self):
+        spec = SPEC_SUITE.get("354.cg")
+        fn, args = build_test_args(spec)
+        # rowstr built by the benchmark's own maker: monotone row starts.
+        rowstr = args["rowstr"]
+        assert (np.diff(rowstr) >= 0).all()
+
+    def test_deterministic_given_seed(self):
+        spec = NAS_SUITE.get("MG")
+        _, a = build_test_args(spec, seed=5)
+        _, b = build_test_args(spec, seed=5)
+        np.testing.assert_array_equal(a["u"], b["u"])
+
+    def test_different_seeds_differ(self):
+        spec = NAS_SUITE.get("MG")
+        _, a = build_test_args(spec, seed=1)
+        _, b = build_test_args(spec, seed=2)
+        assert not np.array_equal(a["u"], b["u"])
+
+    def test_scalar_args_included(self):
+        spec = SPEC_SUITE.get("355.seismic")
+        _, args = build_test_args(spec)
+        assert args["h"] == 0.5
+        assert args["dt"] == 0.01
+
+    def test_private_env_keys_excluded(self):
+        spec = SPEC_SUITE.get("354.cg")
+        _, args = build_test_args(spec)
+        assert "__trips_k" not in args
+
+    def test_copy_args_isolates_arrays(self):
+        spec = NAS_SUITE.get("MG")
+        _, args = build_test_args(spec)
+        clone = copy_args(args)
+        clone["u"][0] = 999.0
+        assert args["u"][0] != 999.0

@@ -1,0 +1,78 @@
+"""Smoke + shape tests for the experiment harness (tables run in full;
+figure experiments are exercised through their building blocks to keep the
+suite fast — the full figures run from benchmarks/)."""
+
+import pytest
+
+from repro.bench import load_all, run_configs, speedups_over, table1, table2
+from repro.bench.runner import run_benchmark
+from repro.compiler import BASE, SAFARA_ONLY, SMALL, SMALL_DIM
+
+
+class TestRunner:
+    def test_run_benchmark_returns_timing(self):
+        spec, _ = load_all()
+        r = run_benchmark(spec.get("352.ep"), BASE)
+        assert r.total_ms > 0
+        assert r.max_registers > 0
+
+    def test_speedups_over_base(self):
+        spec, _ = load_all()
+        results = run_configs(spec.get("303.ostencil"), [BASE, SAFARA_ONLY])
+        s = speedups_over(BASE.name, results)
+        assert s[BASE.name] == 1.0
+        assert s[SAFARA_ONLY.name] > 1.0
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1()
+
+    def test_seven_rows(self, result):
+        assert len(result.rows) == 7
+
+    def test_base_register_range_matches_paper(self, result):
+        """Paper Table I base column spans 76..134; ours must land in the
+        same regime (within a factor of ~1.5 at each end)."""
+        bases = [r["base"] for r in result.rows]
+        assert 50 <= min(bases) <= 110
+        assert 100 <= max(bases) <= 200
+
+    def test_dim_always_applicable_for_seismic(self, result):
+        assert all(r["w dim"] is not None for r in result.rows)
+
+    def test_savings_positive_everywhere(self, result):
+        assert all(r["saved"] > 0 for r in result.rows)
+
+    def test_dim_column_matches_paper_regime(self, result):
+        dims = [r["w dim"] for r in result.rows]
+        assert max(dims) <= 70  # paper: 40..48
+
+    def test_render_contains_paper_columns(self, result):
+        text = result.render()
+        assert "paper base" in text
+        assert "HOT1" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2()
+
+    def test_ten_rows(self, result):
+        assert len(result.rows) == 10
+
+    def test_na_rows_match_paper(self, result):
+        """Rows where the paper prints NA must be NA for us too (dim not
+        applicable: <2 same-shape allocatables in the kernel)."""
+        ours = {r["kernel"] for r in result.rows if r["w dim"] is None}
+        paper = {r["kernel"] for r in result.rows if r["paper w dim"] is None}
+        assert ours == paper
+
+    def test_hot8_is_heaviest(self, result):
+        by_kernel = {r["kernel"]: r["base"] for r in result.rows}
+        assert by_kernel["HOT8"] == max(by_kernel.values())
+
+    def test_small_always_helps_or_neutral(self, result):
+        assert all(r["+small"] <= r["base"] for r in result.rows)

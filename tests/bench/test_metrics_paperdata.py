@@ -1,0 +1,107 @@
+"""Unit tests for metrics and sanity checks over the stored paper data."""
+
+import math
+
+import pytest
+
+from repro.bench.metrics import ShapeCheck, geometric_mean, normalize_times, speedup
+from repro.bench import paper_data
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 5.0) == 2.0
+
+    def test_slowdown_below_one(self):
+        assert speedup(5.0, 10.0) == 0.5
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_equal_values(self):
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestNormalization:
+    def test_max_becomes_one(self):
+        norm = normalize_times({"a": 10.0, "b": 5.0})
+        assert norm["a"] == 1.0
+        assert norm["b"] == 0.5
+
+    def test_empty(self):
+        assert normalize_times({}) == {}
+
+    def test_paper_formula(self):
+        # Norm(c) = ExeTime(c) / max(ExeTime(OpenUH), ExeTime(PGI))
+        times = {"OpenUH": 12.0, "PGI": 8.0}
+        norm = normalize_times(times)
+        assert norm["OpenUH"] == 1.0
+        assert norm["PGI"] == pytest.approx(8.0 / 12.0)
+
+
+class TestShapeCheck:
+    def test_direction_speedup(self):
+        c = ShapeCheck("x", "cfg", paper_value=1.2, measured_value=1.5)
+        assert c.direction_ok
+
+    def test_direction_slowdown(self):
+        c = ShapeCheck("x", "cfg", paper_value=0.9, measured_value=0.95)
+        assert c.direction_ok
+
+    def test_direction_mismatch(self):
+        c = ShapeCheck("x", "cfg", paper_value=0.9, measured_value=1.4)
+        assert not c.direction_ok
+
+    def test_ratio(self):
+        c = ShapeCheck("x", "cfg", paper_value=2.0, measured_value=1.0)
+        assert c.ratio == 0.5
+
+
+class TestPaperData:
+    def test_table1_exact_values(self):
+        # Spot-check against the paper's Table I.
+        rows = {r.kernel: r for r in paper_data.TABLE1_SEISMIC}
+        assert rows["HOT1"].base == 128
+        assert rows["HOT2"].saved == 93
+        assert rows["HOT7"].dim == 40
+
+    def test_table1_saved_consistent(self):
+        for r in paper_data.TABLE1_SEISMIC:
+            assert r.saved == r.base - r.dim
+
+    def test_table2_na_rows(self):
+        rows = {r.kernel: r for r in paper_data.TABLE2_SP}
+        for k in ("HOT1", "HOT3", "HOT6", "HOT10"):
+            assert rows[k].dim is None
+
+    def test_table2_saved_consistent(self):
+        for r in paper_data.TABLE2_SP:
+            effective = r.small if r.dim is None else r.dim
+            assert r.saved == r.base - effective
+
+    def test_headline_speedups(self):
+        assert paper_data.HEADLINE_MAX_SPEEDUP == {"spec": 2.08, "nas": 2.5}
+
+    def test_fig7_seismic_slowdown_recorded(self):
+        assert paper_data.FIG7_SPEC_SAFARA_ONLY["355.seismic"] < 1.0
+
+    def test_fig9_cumulative_monotone(self):
+        for name, (s, sd, sds) in paper_data.FIG9_SPEC_CLAUSES.items():
+            assert s <= sd <= sds, name
+
+    def test_fig10_final_at_most_headline(self):
+        assert max(v[1] for v in paper_data.FIG10_NAS.values()) <= 2.5

@@ -1,0 +1,219 @@
+"""Unit tests for VIR code generation: dope vectors, offsets, launch
+topology, and the dim/small effects on the emitted code."""
+
+import pytest
+
+from repro.codegen import CodegenOptions, Op, generate_kernel
+from repro.ir import build_module
+from repro.lang import parse_program
+
+
+def lower_region(src, **opts):
+    fn = build_module(parse_program(src)).functions[0]
+    region = fn.regions()[0]
+    kernel = generate_kernel(region, fn.symtab, CodegenOptions(**opts))
+    return kernel, fn
+
+
+VLA3_SRC = """
+kernel k(const double u[1:nz][1:ny][1:nx], const double v[1:nz][1:ny][1:nx],
+         double out[1:nz][1:ny][1:nx], int nx, int ny, int nz) {
+  #pragma acc kernels loop gang vector(64) %s
+  for (i = 1; i < nx; i++) {
+    #pragma acc loop seq
+    for (k = 1; k < nz; k++) {
+      out[k][2][i] = u[k][2][i] + v[k][2][i];
+    }
+  }
+}
+"""
+
+
+class TestDopeVectors:
+    def test_fortran_3d_needs_five_dope_temps_per_array(self):
+        """Section IV-A: 3 lower bounds + 2 lengths per allocatable array."""
+        kernel, _ = lower_region(VLA3_SRC % "", honor_dim=False)
+        dope = [i for i in kernel.instrs if i.op is Op.LD_DOPE]
+        # 3 arrays x (3 lb + 2 len) = 15 — the paper's t0..t14.
+        assert len(dope) == 15
+
+    def test_c_vla_needs_only_lengths(self):
+        src = """
+        kernel k(const double u[nz][ny][nx], double out[nz][ny][nx],
+                 int nx, int ny, int nz) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 1; i < nx; i++) { out[1][1][i] = u[1][1][i]; }
+        }
+        """
+        kernel, _ = lower_region(src, honor_dim=False)
+        dope = [i for i in kernel.instrs if i.op is Op.LD_DOPE]
+        # 2 arrays x 2 lengths (lower bounds are statically 0).
+        assert len(dope) == 4
+        assert all(i.dope_kind == "len" for i in dope)
+
+    def test_static_array_needs_no_dope(self):
+        src = """
+        kernel k(const double u[64][32], double out[64][32], int n) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 1; i < n; i++) { out[1][i] = u[1][i]; }
+        }
+        """
+        kernel, _ = lower_region(src)
+        assert kernel.count(Op.LD_DOPE) == 0
+
+    def test_pointer_needs_no_dope(self):
+        src = """
+        kernel k(const double * restrict u, double * restrict out, int n) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 1; i < n; i++) { out[i] = u[i]; }
+        }
+        """
+        kernel, _ = lower_region(src)
+        assert kernel.count(Op.LD_DOPE) == 0
+
+    def test_dim_clause_shares_dope_temps(self):
+        clause = "dim((1:nz,1:ny,1:nx)(u, v, out))"
+        kernel, _ = lower_region(VLA3_SRC % clause, honor_dim=True)
+        dope = [i for i in kernel.instrs if i.op is Op.LD_DOPE]
+        assert len(dope) == 5  # one shared set — the paper's reduction
+
+    def test_dim_clause_ignored_when_not_honored(self):
+        clause = "dim((1:nz,1:ny,1:nx)(u, v, out))"
+        kernel, _ = lower_region(VLA3_SRC % clause, honor_dim=False)
+        assert kernel.count(Op.LD_DOPE) == 15
+
+
+class TestOffsetSharing:
+    def test_same_subscripts_same_class_share_offset(self):
+        clause = "dim((1:nz,1:ny,1:nx)(u, v, out))"
+        with_dim, _ = lower_region(VLA3_SRC % clause, honor_dim=True)
+        without, _ = lower_region(VLA3_SRC % "", honor_dim=False)
+        # Offset arithmetic (SUB/MAD on 64-bit) shrinks with sharing.
+        def addr_ops(k):
+            return sum(1 for i in k.instrs if i.op in (Op.SUB, Op.MAD) and (i.dst and i.dst.bits == 64))
+        assert addr_ops(with_dim) < addr_ops(without)
+
+    def test_cse_within_iteration(self):
+        src = """
+        kernel k(double a[n][n], int n) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 1; i < n; i++) {
+            a[i][3] = a[i][3] * 2.0;
+          }
+        }
+        """
+        kernel, _ = lower_region(src)
+        # load + store share one offset: exactly one MAD chain.
+        with_cse = sum(1 for i in kernel.instrs if i.op is Op.MAD)
+        kernel2, _ = lower_region(src, cse_offsets=False)
+        without_cse = sum(1 for i in kernel2.instrs if i.op is Op.MAD)
+        assert with_cse < without_cse
+
+
+class TestSmallClause:
+    def test_small_offsets_are_32bit(self):
+        clause = "small(u, v, out)"
+        kernel, _ = lower_region(VLA3_SRC % clause, honor_small=True)
+        mem = [i for i in kernel.instrs if i.op in (Op.LD, Op.ST)]
+        for ins in mem:
+            offset_reg = ins.srcs[1]
+            assert offset_reg.bits == 32
+
+    def test_default_offsets_are_64bit(self):
+        kernel, _ = lower_region(VLA3_SRC % "", honor_small=False)
+        mem = [i for i in kernel.instrs if i.op in (Op.LD, Op.ST)]
+        for ins in mem:
+            assert ins.srcs[1].bits == 64
+
+    def test_static_small_array_auto_detected(self):
+        src = """
+        kernel k(const double u[64][32], double out[64][32], int n) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 1; i < n; i++) { out[1][i] = u[1][i]; }
+        }
+        """
+        kernel, _ = lower_region(src, honor_small=False)  # no clause needed
+        mem = [i for i in kernel.instrs if i.op in (Op.LD, Op.ST)]
+        assert all(ins.srcs[1].bits == 32 for ins in mem)
+
+
+class TestLaunchTopology:
+    def test_vector_size_sets_threads_per_block(self):
+        kernel, _ = lower_region(VLA3_SRC % "")
+        assert kernel.launch.threads_per_block == 64
+
+    def test_total_threads_from_parallel_trips(self):
+        kernel, _ = lower_region(VLA3_SRC % "")
+        env = {"nx": 129, "ny": 4, "nz": 4}
+        assert kernel.launch.total_threads(env) == 128
+
+    def test_two_level_topology(self):
+        src = """
+        kernel k(double a[n][m], int n, int m) {
+          #pragma acc kernels loop gang
+          for (j = 0; j < m; j++) {
+            #pragma acc loop gang vector(32)
+            for (i = 0; i < n; i++) { a[i][j] = 0.0; }
+          }
+        }
+        """
+        kernel, _ = lower_region(src)
+        env = {"n": 64, "m": 16}
+        assert kernel.launch.total_threads(env) == 64 * 16
+        assert kernel.launch.threads_per_block == 32
+
+    def test_thread_guard_emitted(self):
+        kernel, _ = lower_region(VLA3_SRC % "")
+        # Parallel loop lowers to tid computation + guarded body.
+        assert kernel.count(Op.TID) >= 1
+        assert kernel.count(Op.IF_BEGIN) >= 1
+
+
+class TestMemoryAttributes:
+    def test_const_arrays_readonly_space(self):
+        kernel, _ = lower_region(VLA3_SRC % "")
+        loads = [i for i in kernel.instrs if i.op is Op.LD]
+        assert all(i.space.value == "readonly" for i in loads)
+
+    def test_readonly_disabled(self):
+        kernel, _ = lower_region(VLA3_SRC % "", readonly_cache=False)
+        loads = [i for i in kernel.instrs if i.op is Op.LD]
+        assert all(i.space.value == "global" for i in loads)
+
+    def test_store_records_access_pattern(self):
+        kernel, _ = lower_region(VLA3_SRC % "")
+        stores = [i for i in kernel.instrs if i.op is Op.ST]
+        assert stores
+        for st in stores:
+            assert st.access is not None
+            assert st.access.pattern.value == "coalesced"
+
+    def test_f64_width_recorded(self):
+        kernel, _ = lower_region(VLA3_SRC % "")
+        loads = [i for i in kernel.instrs if i.op is Op.LD]
+        assert all(i.width_bits == 64 for i in loads)
+
+
+class TestStructure:
+    def test_seq_loop_markers_balanced(self):
+        kernel, _ = lower_region(VLA3_SRC % "")
+        assert kernel.count(Op.LOOP_BEGIN) == kernel.count(Op.LOOP_END) == 1
+
+    def test_dump_is_readable(self):
+        kernel, _ = lower_region(VLA3_SRC % "")
+        text = kernel.dump()
+        assert "loop_begin" in text
+        assert "ld" in text
+
+    def test_if_lowering(self):
+        src = """
+        kernel k(double a[n], int n) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 0; i < n; i++) {
+            if (i > 2) { a[i] = 1.0; } else { a[i] = 2.0; }
+          }
+        }
+        """
+        kernel, _ = lower_region(src)
+        assert kernel.count(Op.IF_ELSE) == 1
+        assert kernel.count(Op.IF_BEGIN) == kernel.count(Op.IF_END)

@@ -1,0 +1,105 @@
+"""Tests for OpenACC reduction lowering (shared-memory tree reduce)."""
+
+import math
+
+from repro.codegen import CodegenOptions, Op, generate_kernel
+from repro.gpu import estimate_time, ptxas_info
+from repro.ir import build_module
+from repro.lang import parse_program
+
+RED_SRC = """
+kernel dot(const double x[n], const double y[n], double out[1], int n) {
+  double s = 0.0;
+  #pragma acc kernels loop gang vector(256) reduction(+:s)
+  for (i = 0; i < n; i++) {
+    s += x[i] * y[i];
+  }
+  out[0] = s;
+}
+"""
+
+
+def lower_kernel(src, **opts):
+    fn = build_module(parse_program(src)).functions[0]
+    return generate_kernel(fn.regions()[0], fn.symtab, CodegenOptions(**opts)), fn
+
+
+class TestReductionLowering:
+    def test_shared_memory_allocated(self):
+        kernel, _ = lower_kernel(RED_SRC)
+        # 256 threads x 8 bytes per double partial.
+        assert kernel.smem_bytes == 256 * 8
+
+    def test_tree_depth_is_log2_tpb(self):
+        kernel, _ = lower_kernel(RED_SRC)
+        assert kernel.count(Op.BAR) == int(math.log2(256))
+
+    def test_shared_loads_and_stores_emitted(self):
+        kernel, _ = lower_kernel(RED_SRC)
+        shared_ops = [
+            i
+            for i in kernel.instrs
+            if i.op in (Op.LD, Op.ST) and i.space is not None and i.space.value == "shared"
+        ]
+        assert len(shared_ops) >= 2 * int(math.log2(256))
+
+    def test_block_result_published_globally(self):
+        kernel, _ = lower_kernel(RED_SRC)
+        publishes = [
+            i
+            for i in kernel.instrs
+            if i.op is Op.ST and "block result" in i.comment
+        ]
+        assert len(publishes) == 1
+
+    def test_no_reduction_no_shared_memory(self):
+        src = """
+        kernel k(double a[n], int n) {
+          #pragma acc kernels loop gang vector(256)
+          for (i = 0; i < n; i++) { a[i] = 1.0; }
+        }
+        """
+        kernel, _ = lower_kernel(src)
+        assert kernel.smem_bytes == 0
+        assert kernel.count(Op.BAR) == 0
+
+    def test_two_reductions_double_scratch(self):
+        src = """
+        kernel k(const double x[n], double out[2], int n) {
+          double s = 0.0;
+          double t = 0.0;
+          #pragma acc kernels loop gang vector(128) reduction(+:s) reduction(max:t)
+          for (i = 0; i < n; i++) {
+            s += x[i];
+            t = max(t, x[i]);
+          }
+          out[0] = s;
+          out[1] = t;
+        }
+        """
+        kernel, _ = lower_kernel(src)
+        assert kernel.smem_bytes == 2 * 128 * 8
+
+
+class TestReductionCosts:
+    def test_shared_memory_counts_against_occupancy(self):
+        """A block needing lots of shared scratch caps resident blocks."""
+        from repro.gpu import compute_occupancy
+
+        kernel, _ = lower_kernel(RED_SRC)
+        with_smem = compute_occupancy(32, 256, shared_mem_per_block=kernel.smem_bytes)
+        without = compute_occupancy(32, 256)
+        assert with_smem.active_warps <= without.active_warps
+
+    def test_timing_includes_barrier_cost(self):
+        kernel, _ = lower_kernel(RED_SRC)
+        t = estimate_time(kernel, ptxas_info(kernel), {"n": 1 << 20})
+        assert t.time_ms > 0
+        # The epilogue executes once per thread, not per loop iteration:
+        # loads from shared = log2(256), independent of n.
+        shared_loads = [
+            i
+            for i in kernel.instrs
+            if i.op is Op.LD and i.space is not None and i.space.value == "shared"
+        ]
+        assert len(shared_loads) == 8

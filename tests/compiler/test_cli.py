@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+kernel demo(const double u[1:nz][1:ny][1:nx], double out[1:nz][1:ny][1:nx],
+            int nx, int ny, int nz) {
+  #pragma acc kernels loop gang vector(2) small(u, out) dim((1:nz,1:ny,1:nx)(u, out))
+  for (j = 1; j < ny; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx; i++) {
+      #pragma acc loop seq
+      for (k = 1; k < nz; k++) {
+        out[k][j][i] = u[k][j][i] + u[k-1][j][i];
+      }
+    }
+  }
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.acc"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_default_configs(self, demo_file, capsys):
+        assert main(["compile", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "OpenUH(base)" in out
+        assert "OpenUH(SAFARA+small+dim)" in out
+        assert "ptxas info" in out
+
+    def test_env_enables_timing(self, demo_file, capsys):
+        assert main(["compile", demo_file, "--env", "nx=64", "--env", "ny=32", "--env", "nz=16"]) == 0
+        out = capsys.readouterr().out
+        assert "ms" in out
+        assert "occupancy" in out
+
+    def test_explicit_config(self, demo_file, capsys):
+        assert main(["compile", demo_file, "--config", "PGI"]) == 0
+        out = capsys.readouterr().out
+        assert "PGI" in out
+        assert "OpenUH(base)" not in out
+
+    def test_unknown_config_rejected(self, demo_file):
+        with pytest.raises(SystemExit, match="unknown config"):
+            main(["compile", demo_file, "--config", "zzz"])
+
+    def test_bad_env_rejected(self, demo_file):
+        with pytest.raises(SystemExit, match="name=value"):
+            main(["compile", demo_file, "--env", "oops"])
+
+    def test_dump_vir(self, demo_file, capsys):
+        assert main(["compile", demo_file, "--config", "OpenUH(base)", "--dump-vir"]) == 0
+        out = capsys.readouterr().out
+        assert "loop_begin" in out
+        assert "ld_dope" in out
+
+    def test_cuda_rendering(self, demo_file, capsys):
+        assert main(["compile", demo_file, "--config", "OpenUH(SAFARA+small+dim)", "--cuda"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__ void" in out
+
+
+class TestOtherCommands:
+    def test_bench_listing(self, capsys):
+        assert main(["bench"]) == 0
+        out = capsys.readouterr().out
+        assert "355.seismic" in out
+        assert "== NAS ==" in out
+
+    def test_microbench(self, capsys):
+        assert main(["microbench"]) == 0
+        out = capsys.readouterr().out
+        assert "uncoalesced" in out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "HOT1" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiments", "fig99"])

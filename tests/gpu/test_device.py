@@ -1,0 +1,90 @@
+"""Tests for the device facade and the host-device transfer model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import SimulatedDevice, TransferEstimate, estimate_transfers
+from repro.ir import build_module
+from repro.lang import parse_program
+
+SRC = """
+kernel k(const double u[1:n], double v[1:n], int n) {
+  #pragma acc kernels loop gang vector(64) copyin(u) copyout(v)
+  for (i = 1; i <= n; i++) {
+    v[i] = 2.0 * u[i];
+  }
+}
+"""
+
+
+def region_of(src=SRC):
+    fn = build_module(parse_program(src)).functions[0]
+    return fn, fn.regions()[0], fn.symtab
+
+
+class TestTransferModel:
+    def test_copyin_copyout_split(self):
+        _, region, symtab = region_of()
+        t = estimate_transfers(region, symtab, {"n": 1000})
+        assert t.h2d_bytes == 1000 * 8
+        assert t.d2h_bytes == 1000 * 8
+
+    def test_copy_moves_both_ways(self):
+        src = SRC.replace("copyin(u) copyout(v)", "copy(u, v)")
+        _, region, symtab = region_of(src)
+        t = estimate_transfers(region, symtab, {"n": 100})
+        assert t.h2d_bytes == t.d2h_bytes == 2 * 100 * 8
+
+    def test_unclaused_arrays_default_to_copy(self):
+        src = SRC.replace(" copyin(u) copyout(v)", "")
+        _, region, symtab = region_of(src)
+        t = estimate_transfers(region, symtab, {"n": 100})
+        assert t.h2d_bytes == 2 * 100 * 8  # both arrays, implicitly
+
+    def test_present_moves_nothing(self):
+        src = SRC.replace("copyin(u) copyout(v)", "present(u, v)")
+        _, region, symtab = region_of(src)
+        t = estimate_transfers(region, symtab, {"n": 100})
+        assert t.h2d_bytes == 0 and t.d2h_bytes == 0
+
+    def test_transfer_time_scales_with_bytes(self):
+        small = TransferEstimate(1 << 20, 0)
+        big = TransferEstimate(1 << 28, 0)
+        assert big.time_ms() > 100 * small.time_ms()
+
+    def test_empty_transfer_is_free(self):
+        assert TransferEstimate(0, 0).time_ms() == 0.0
+
+
+class TestSimulatedDevice:
+    def test_launch_records_everything(self):
+        _, region, symtab = region_of()
+        dev = SimulatedDevice()
+        record = dev.launch(region, symtab, {"n": 1 << 20}, name="axpy")
+        assert record.kernel.name == "axpy"
+        assert record.ptxas.registers > 0
+        assert record.timing.time_ms > 0
+        assert record.total_ms > record.timing.time_ms  # transfers included
+        assert dev.total_ms == record.total_ms
+
+    def test_transfers_can_be_excluded(self):
+        _, region, symtab = region_of()
+        dev = SimulatedDevice()
+        record = dev.launch(region, symtab, {"n": 1 << 20}, include_transfers=False)
+        assert record.total_ms == record.timing.time_ms
+
+    def test_functional_run(self):
+        fn, _, _ = region_of()
+        dev = SimulatedDevice()
+        u = np.arange(8, dtype=np.float64)
+        v = np.zeros(8)
+        dev.run(fn, {"u": u, "v": v, "n": 8})
+        np.testing.assert_array_equal(v, 2 * u)
+
+    def test_small_transfer_dominated_kernel(self):
+        """For a tiny kernel, PCIe transfers dominate — the OpenACC
+        performance lesson the data clauses exist for."""
+        _, region, symtab = region_of()
+        dev = SimulatedDevice()
+        record = dev.launch(region, symtab, {"n": 1 << 22})
+        assert record.transfers.time_ms() > record.timing.time_ms

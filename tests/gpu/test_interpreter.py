@@ -1,0 +1,222 @@
+"""Unit tests for the functional interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.interpreter import InterpreterError, run_kernel
+from repro.ir import build_module
+from repro.lang import parse_program
+
+
+def lower(src):
+    return build_module(parse_program(src)).functions[0]
+
+
+class TestBasicExecution:
+    def test_simple_loop(self):
+        fn = lower(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) { a[i] = 2.0 * i; }
+            }
+            """
+        )
+        a = np.zeros(5)
+        run_kernel(fn, {"a": a, "n": 5})
+        np.testing.assert_array_equal(a, [0.0, 2.0, 4.0, 6.0, 8.0])
+
+    def test_parallel_region_executes_sequentially(self):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n; i++) { a[i] = b[i] + 1.0; }
+            }
+            """
+        )
+        b = np.arange(8, dtype=np.float64)
+        a = np.zeros(8)
+        run_kernel(fn, {"a": a, "b": b, "n": 8})
+        np.testing.assert_array_equal(a, b + 1.0)
+
+    def test_nested_loops_2d(self):
+        fn = lower(
+            """
+            kernel k(double a[n][m], int n, int m) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) {
+                #pragma acc loop seq
+                for (j = 0; j < m; j++) { a[i][j] = i * 10 + j; }
+              }
+            }
+            """
+        )
+        a = np.zeros((3, 4))
+        run_kernel(fn, {"a": a, "n": 3, "m": 4})
+        assert a[2][3] == 23.0
+        assert a[0][1] == 1.0
+
+    def test_lower_bound_rebasing(self):
+        # Fortran-style a[1:n]: index 1 maps to storage slot 0.
+        fn = lower(
+            """
+            kernel k(double a[1:n], int n) {
+              #pragma acc loop seq
+              for (i = 1; i <= n; i++) { a[i] = i; }
+            }
+            """
+        )
+        a = np.zeros(4)
+        run_kernel(fn, {"a": a, "n": 4})
+        np.testing.assert_array_equal(a, [1.0, 2.0, 3.0, 4.0])
+
+    def test_pointer_param_linear_index(self):
+        fn = lower(
+            """
+            kernel k(double * restrict p, int n, int m) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) { p[i*m + 1] = 7.0; }
+            }
+            """
+        )
+        p = np.zeros(10)
+        run_kernel(fn, {"p": p, "n": 3, "m": 3})
+        np.testing.assert_array_equal(p.nonzero()[0], [1, 4, 7])
+
+    def test_if_else(self):
+        fn = lower(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) {
+                if (i % 2 == 0) { a[i] = 1.0; } else { a[i] = -1.0; }
+              }
+            }
+            """
+        )
+        a = np.zeros(4)
+        run_kernel(fn, {"a": a, "n": 4})
+        np.testing.assert_array_equal(a, [1.0, -1.0, 1.0, -1.0])
+
+    def test_downward_loop(self):
+        fn = lower(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc loop seq
+              for (i = n - 1; i >= 1; i--) { a[i] = a[i-1]; }
+            }
+            """
+        )
+        a = np.arange(5, dtype=np.float64)
+        run_kernel(fn, {"a": a, "n": 5})
+        np.testing.assert_array_equal(a, [0, 0, 1, 2, 3])
+
+    def test_scalar_accumulation(self):
+        fn = lower(
+            """
+            kernel k(double out[1], const double b[n], int n) {
+              double s = 0.0;
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) { s += b[i]; }
+              out[0] = s;
+            }
+            """
+        )
+        b = np.ones(10)
+        out = np.zeros(1)
+        run_kernel(fn, {"out": out, "b": b, "n": 10})
+        assert out[0] == 10.0
+
+    def test_intrinsics(self):
+        fn = lower(
+            """
+            kernel k(double a[4]) {
+              a[0] = sqrt(16.0);
+              a[1] = max(2.0, 3.0);
+              a[2] = fabs(0.0 - 5.0);
+              a[3] = pow(2.0, 10.0);
+            }
+            """
+        )
+        a = np.zeros(4)
+        run_kernel(fn, {"a": a})
+        np.testing.assert_array_equal(a, [4.0, 3.0, 5.0, 1024.0])
+
+    def test_ternary(self):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) { a[i] = b[i] > 0.5 ? 1.0 : 0.0; }
+            }
+            """
+        )
+        b = np.array([0.2, 0.7, 0.5, 0.9])
+        a = np.zeros(4)
+        run_kernel(fn, {"a": a, "b": b, "n": 4})
+        np.testing.assert_array_equal(a, [0.0, 1.0, 0.0, 1.0])
+
+    def test_c_integer_division(self):
+        fn = lower(
+            """
+            kernel k(double a[2], int x, int y) {
+              a[0] = (0 - 7) / 2;
+              a[1] = (0 - 7) % 2;
+            }
+            """
+        )
+        a = np.zeros(2)
+        run_kernel(fn, {"a": a, "x": 0, "y": 0})
+        assert a[0] == -3.0  # C truncation, not Python floor
+        assert a[1] == -1.0
+
+
+class TestValidation:
+    def test_missing_argument(self):
+        fn = lower("kernel k(double a[n], int n) { }")
+        with pytest.raises(InterpreterError, match="missing argument"):
+            run_kernel(fn, {"n": 4})
+
+    def test_unknown_argument(self):
+        fn = lower("kernel k(int n) { }")
+        with pytest.raises(InterpreterError, match="unknown arguments"):
+            run_kernel(fn, {"n": 4, "zzz": 1})
+
+    def test_shape_mismatch(self):
+        fn = lower("kernel k(double a[n], int n) { }")
+        with pytest.raises(InterpreterError, match="extent"):
+            run_kernel(fn, {"a": np.zeros(3), "n": 4})
+
+    def test_out_of_bounds_load(self):
+        fn = lower(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i <= n; i++) { a[i] = 0.0; }
+            }
+            """
+        )
+        with pytest.raises(InterpreterError, match="out-of-bounds"):
+            run_kernel(fn, {"a": np.zeros(4), "n": 4})
+
+    def test_division_by_zero(self):
+        fn = lower("kernel k(double a[1], int n) { a[0] = n / (n - n); }")
+        with pytest.raises(InterpreterError, match="division by zero"):
+            run_kernel(fn, {"a": np.zeros(1), "n": 3})
+
+
+class TestStats:
+    def test_load_store_counts(self):
+        fn = lower(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc loop seq
+              for (i = 1; i < n; i++) { a[i] = b[i] + b[i-1]; }
+            }
+            """
+        )
+        _, stats = run_kernel(fn, {"a": np.zeros(6), "b": np.ones(6), "n": 6})
+        assert stats.loads == 10  # 2 loads x 5 iterations
+        assert stats.stores == 5
+        assert stats.iterations == 5

@@ -1,0 +1,173 @@
+"""Unit tests for occupancy, transaction and timing models."""
+
+import pytest
+
+from repro.analysis.coalescing import AccessInfo, AccessPattern
+from repro.analysis.memspace import MemSpace
+from repro.codegen import CodegenOptions, generate_kernel
+from repro.gpu import (
+    KEPLER_K20XM,
+    compute_occupancy,
+    estimate_time,
+    measure_all,
+    measure_latency,
+    ptxas_info,
+    warp_transaction_bytes,
+    warp_transactions,
+)
+from repro.ir import build_module
+from repro.lang import parse_program
+
+
+class TestOccupancy:
+    def test_low_registers_full_occupancy(self):
+        occ = compute_occupancy(32, 256)
+        assert occ.occupancy == 1.0
+
+    def test_high_registers_reduce_occupancy(self):
+        low = compute_occupancy(32, 256)
+        high = compute_occupancy(128, 256)
+        assert high.active_warps < low.active_warps
+        assert high.limited_by == "registers"
+
+    def test_255_registers_minimum_occupancy(self):
+        occ = compute_occupancy(255, 256)
+        assert occ.blocks_per_sm >= 1
+        assert occ.occupancy < 0.25
+
+    def test_monotone_in_registers(self):
+        prev = None
+        for regs in (32, 48, 64, 96, 128, 192, 255):
+            occ = compute_occupancy(regs, 128).active_warps
+            if prev is not None:
+                assert occ <= prev
+            prev = occ
+
+    def test_small_blocks_limited_by_block_slots(self):
+        occ = compute_occupancy(16, 32)
+        assert occ.limited_by in ("blocks", "threads")
+        assert occ.blocks_per_sm == KEPLER_K20XM.max_blocks_per_sm
+
+    def test_shared_memory_limit(self):
+        occ = compute_occupancy(16, 256, shared_mem_per_block=24 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "shared-memory"
+
+
+class TestTransactions:
+    def test_coalesced_f32_one_transaction(self):
+        acc = AccessInfo(AccessPattern.COALESCED, 1)
+        assert warp_transactions(acc, 32) == 1
+        assert warp_transaction_bytes(acc, 32) == 128
+
+    def test_coalesced_f64_two_transactions(self):
+        acc = AccessInfo(AccessPattern.COALESCED, 1)
+        assert warp_transactions(acc, 64) == 2
+        assert warp_transaction_bytes(acc, 64) == 256
+
+    def test_uniform_single_sector(self):
+        acc = AccessInfo(AccessPattern.UNIFORM, 0)
+        assert warp_transaction_bytes(acc, 64) == 32
+
+    def test_scattered_32_sectors(self):
+        acc = AccessInfo(AccessPattern.UNCOALESCED, None)
+        assert warp_transaction_bytes(acc, 32) == 32 * 32
+
+    def test_stride_scales_traffic(self):
+        small = warp_transaction_bytes(AccessInfo(AccessPattern.UNCOALESCED, 2), 32)
+        big = warp_transaction_bytes(AccessInfo(AccessPattern.UNCOALESCED, 16), 32)
+        assert small < big
+        assert big <= 32 * 32
+
+
+class TestMicrobench:
+    def test_latency_roundtrip(self):
+        m = measure_latency(MemSpace.GLOBAL, AccessPattern.COALESCED, 1)
+        assert m.cycles == pytest.approx(KEPLER_K20XM.latency.global_mem)
+
+    def test_readonly_faster_than_global(self):
+        g = measure_latency(MemSpace.GLOBAL, AccessPattern.COALESCED, 1)
+        r = measure_latency(MemSpace.READONLY, AccessPattern.COALESCED, 1)
+        assert r.cycles < g.cycles
+
+    def test_uncoalesced_premium(self):
+        c = measure_latency(MemSpace.GLOBAL, AccessPattern.COALESCED, 1)
+        u = measure_latency(MemSpace.GLOBAL, AccessPattern.UNCOALESCED, None)
+        assert u.cycles > 4 * c.cycles
+
+    def test_survey_covers_spaces(self):
+        results = measure_all()
+        spaces = {m.space for m in results}
+        assert {MemSpace.GLOBAL, MemSpace.READONLY, MemSpace.SHARED} <= spaces
+
+
+def _compile(src, **opt_kwargs):
+    fn = build_module(parse_program(src)).functions[0]
+    region = fn.regions()[0]
+    kernel = generate_kernel(region, fn.symtab, CodegenOptions(**opt_kwargs))
+    return kernel, ptxas_info(kernel)
+
+
+STREAM_SRC = """
+kernel stream(double a[n], const double b[n], int n) {
+  #pragma acc kernels loop gang vector(256)
+  for (i = 0; i < n; i++) { a[i] = 2.0 * b[i]; }
+}
+"""
+
+UNCOAL_SRC = """
+kernel gather(double a[n][64], const double b[n][64], int n) {
+  #pragma acc kernels loop gang vector(256)
+  for (i = 0; i < n; i++) {
+    #pragma acc loop seq
+    for (j = 0; j < 64; j++) { a[i][j] = b[i][j] * 2.0; }
+  }
+}
+"""
+
+
+class TestTiming:
+    def test_stream_is_bandwidth_bound(self):
+        kernel, info = _compile(STREAM_SRC)
+        t = estimate_time(kernel, info, {"n": 1 << 20})
+        assert t.bound == "bandwidth"
+        assert t.time_ms > 0
+
+    def test_bigger_problem_takes_longer(self):
+        kernel, info = _compile(STREAM_SRC)
+        t1 = estimate_time(kernel, info, {"n": 1 << 18})
+        t2 = estimate_time(kernel, info, {"n": 1 << 22})
+        assert t2.time_ms > t1.time_ms * 8
+
+    def test_uncoalesced_slower_than_coalesced(self):
+        # Same element count; gather's row-major-hostile layout moves more
+        # bytes and exposes more latency.
+        k1, i1 = _compile(STREAM_SRC)
+        t1 = estimate_time(k1, i1, {"n": 1 << 18})
+        k2, i2 = _compile(UNCOAL_SRC)
+        t2 = estimate_time(k2, i2, {"n": (1 << 18) // 64})
+        assert t2.time_ms > t1.time_ms
+
+    def test_launches_scale_linearly(self):
+        kernel, info = _compile(STREAM_SRC)
+        t1 = estimate_time(kernel, info, {"n": 1 << 18}, launches=1)
+        t10 = estimate_time(kernel, info, {"n": 1 << 18}, launches=10)
+        assert t10.time_ms == pytest.approx(10 * t1.time_ms)
+
+    def test_issue_scale_affects_compute_bound_only(self):
+        kernel, info = _compile(STREAM_SRC)
+        t1 = estimate_time(kernel, info, {"n": 1 << 18}, issue_scale=1.0)
+        t2 = estimate_time(kernel, info, {"n": 1 << 18}, issue_scale=0.5)
+        assert t2.compute_cycles == pytest.approx(0.5 * t1.compute_cycles)
+        assert t2.bandwidth_cycles == pytest.approx(t1.bandwidth_cycles)
+
+    def test_profile_counts_loads_and_stores(self):
+        kernel, info = _compile(STREAM_SRC)
+        t = estimate_time(kernel, info, {"n": 1 << 18})
+        assert t.profile.loads == 1
+        assert t.profile.stores == 1
+
+    def test_seq_loop_multiplies_work(self):
+        kernel, info = _compile(UNCOAL_SRC)
+        t = estimate_time(kernel, info, {"n": 1024})
+        assert t.profile.loads == 64  # one load per inner iteration

@@ -1,0 +1,181 @@
+"""Unit tests for the ptxas-simulator: liveness, pressure, spilling."""
+
+import pytest
+
+from repro.codegen.vir import Instr, Op, VirKernel, VReg, VRegAllocator
+from repro.gpu.arch import FERMI_LIKE, KEPLER_K20XM
+from repro.gpu.registers import (
+    allocate,
+    compute_live_intervals,
+    max_pressure,
+    ptxas_info,
+)
+
+
+def kernel_of(instrs):
+    return VirKernel(name="t", instrs=list(instrs))
+
+
+class TestLiveness:
+    def test_straight_line_interval(self):
+        ra = VRegAllocator()
+        a, b, c = ra.fresh(), ra.fresh(), ra.fresh()
+        instrs = [
+            Instr(Op.MOV_IMM, dst=a, imm=1),  # 0
+            Instr(Op.MOV_IMM, dst=b, imm=2),  # 1
+            Instr(Op.ADD, dst=c, srcs=(a, b)),  # 2
+            Instr(Op.MOV, dst=a, srcs=(c,)),  # 3
+        ]
+        ivs = {iv.vreg.id: iv for iv in compute_live_intervals(instrs)}
+        assert (ivs[a.id].start, ivs[a.id].end) == (0, 3)
+        assert (ivs[b.id].start, ivs[b.id].end) == (1, 2)
+        assert (ivs[c.id].start, ivs[c.id].end) == (2, 3)
+
+    def test_pressure_counts_64bit_twice(self):
+        ra = VRegAllocator()
+        a = ra.fresh(bits=64)
+        b = ra.fresh(bits=64)
+        instrs = [
+            Instr(Op.MOV_IMM, dst=a, imm=1),
+            Instr(Op.MOV_IMM, dst=b, imm=2),
+            Instr(Op.ADD, dst=a, srcs=(a, b)),
+        ]
+        assert max_pressure(compute_live_intervals(instrs)) == 4
+
+    def test_disjoint_intervals_share_pressure(self):
+        ra = VRegAllocator()
+        a, b = ra.fresh(), ra.fresh()
+        instrs = [
+            Instr(Op.MOV_IMM, dst=a, imm=1),  # 0
+            Instr(Op.MOV, dst=a, srcs=(a,)),  # 1  a dies here
+            Instr(Op.MOV_IMM, dst=b, imm=2),  # 2
+            Instr(Op.MOV, dst=b, srcs=(b,)),  # 3
+        ]
+        # a: [0,1], b: [2,3] — never overlap.
+        assert max_pressure(compute_live_intervals(instrs)) == 1
+
+    def test_value_live_into_loop_extends_through_it(self):
+        ra = VRegAllocator()
+        outside = ra.fresh()
+        tmp = ra.fresh()
+        instrs = [
+            Instr(Op.MOV_IMM, dst=outside, imm=1),  # 0
+            Instr(Op.LOOP_BEGIN),  # 1
+            Instr(Op.ADD, dst=tmp, srcs=(outside,)),  # 2
+            Instr(Op.LOOP_END),  # 3
+            Instr(Op.MOV, dst=tmp, srcs=(outside,)),  # 4 also used after
+        ]
+        ivs = {iv.vreg.id: iv for iv in compute_live_intervals(instrs)}
+        assert ivs[outside.id].start == 0
+        assert ivs[outside.id].end == 4
+
+    def test_rotating_temp_live_across_backedge(self):
+        """Use-before-def inside the loop (the SR rotation pattern) must be
+        live through the whole loop region."""
+        ra = VRegAllocator()
+        t0, t1 = ra.fresh(), ra.fresh()
+        instrs = [
+            Instr(Op.LOOP_BEGIN),  # 0
+            Instr(Op.MOV, dst=t0, srcs=()),  # 1: t0 = load
+            Instr(Op.ADD, dst=None, srcs=(t1,)),  # 2: use t1 (prev iter!)
+            Instr(Op.MOV, dst=t1, srcs=(t0,)),  # 3: rotate
+            Instr(Op.LOOP_END),  # 4
+        ]
+        ivs = {iv.vreg.id: iv for iv in compute_live_intervals(instrs)}
+        assert (ivs[t1.id].start, ivs[t1.id].end) == (0, 4)
+        # Both t0 and t1 alive simultaneously.
+        assert max_pressure(compute_live_intervals(instrs)) == 2
+
+    def test_short_temporaries_do_not_accumulate(self):
+        """Naive codegen makes many short-lived temps; pressure must track
+        overlap, not total count."""
+        ra = VRegAllocator()
+        instrs = []
+        acc = ra.fresh()
+        instrs.append(Instr(Op.MOV_IMM, dst=acc, imm=0))
+        for _ in range(50):
+            t = ra.fresh()
+            instrs.append(Instr(Op.MOV_IMM, dst=t, imm=1))
+            instrs.append(Instr(Op.ADD, dst=acc, srcs=(acc, t)))
+        assert max_pressure(compute_live_intervals(instrs)) == 2
+
+
+class TestAllocation:
+    def _pressure_kernel(self, n_live):
+        """A kernel holding n_live 32-bit values simultaneously."""
+        ra = VRegAllocator()
+        regs = [ra.fresh() for _ in range(n_live)]
+        instrs = [Instr(Op.MOV_IMM, dst=r, imm=i) for i, r in enumerate(regs)]
+        instrs.append(Instr(Op.ADD, dst=regs[0], srcs=tuple(regs)))
+        instrs.append(Instr(Op.RET))
+        return kernel_of(instrs)
+
+    def test_no_spill_under_limit(self):
+        k = self._pressure_kernel(20)
+        info = ptxas_info(k, KEPLER_K20XM)
+        assert info.spilled_vregs == 0
+        assert info.registers >= 20
+
+    def test_spills_over_limit(self):
+        k = self._pressure_kernel(100)
+        info = ptxas_info(k, KEPLER_K20XM, register_limit=32)
+        assert info.spilled_vregs > 0
+        assert info.registers <= 32
+        assert info.spill_bytes > 0
+
+    def test_rounding_to_granularity(self):
+        k = self._pressure_kernel(17)
+        info = ptxas_info(k, KEPLER_K20XM)
+        assert info.registers % KEPLER_K20XM.register_granularity == 0
+
+    def test_fermi_limit_lower(self):
+        k = self._pressure_kernel(100)
+        info = ptxas_info(k, FERMI_LIKE)
+        assert info.registers <= FERMI_LIKE.max_registers_per_thread
+
+    def test_summary_format(self):
+        k = self._pressure_kernel(10)
+        info = ptxas_info(k)
+        assert "ptxas info" in info.summary()
+        assert "registers" in info.summary()
+
+
+class TestKernelRegisterBehaviour:
+    """End-to-end: clauses reduce emergent register counts (Table I/II
+    mechanism)."""
+
+    SRC = """
+    kernel hot(const double u[1:nz][1:ny][1:nx], const double v[1:nz][1:ny][1:nx],
+               const double w[1:nz][1:ny][1:nx], double out[1:nz][1:ny][1:nx],
+               int nx, int ny, int nz) {
+      #pragma acc kernels loop gang vector(64) %s
+      for (i = 1; i < nx; i++) {
+        #pragma acc loop seq
+        for (k = 1; k < nz; k++) {
+          out[k][1][i] = u[k][1][i] + v[k][1][i] + w[k][1][i];
+        }
+      }
+    }
+    """
+
+    def _regs(self, clause, honor_dim, honor_small):
+        from repro.codegen import CodegenOptions, generate_kernel
+        from repro.ir import build_module
+        from repro.lang import parse_program
+
+        fn = build_module(parse_program(self.SRC % clause)).functions[0]
+        opts = CodegenOptions(honor_dim=honor_dim, honor_small=honor_small)
+        k = generate_kernel(fn.regions()[0], fn.symtab, opts)
+        return ptxas_info(k).registers
+
+    def test_small_reduces_registers(self):
+        base = self._regs("", False, False)
+        small = self._regs("small(u, v, w, out)", False, True)
+        assert small < base
+
+    def test_dim_reduces_further(self):
+        small = self._regs("small(u, v, w, out)", False, True)
+        dim = self._regs(
+            "small(u, v, w, out) dim((1:nz,1:ny,1:nx)(u, v, w, out))", True, True
+        )
+        assert dim < small

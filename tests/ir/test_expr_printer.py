@@ -1,0 +1,177 @@
+"""Unit tests for IR expressions, rewriting helpers and the printer."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cast,
+    F32,
+    F64,
+    FloatConst,
+    I32,
+    I64,
+    IntConst,
+    Select,
+    UnOp,
+    VarRef,
+    array_refs,
+    build_module,
+    expr_type,
+    fold_constants,
+    format_expr,
+    format_function,
+    promote,
+    rewrite,
+    scalar_reads,
+    substitute,
+)
+from repro.ir.symbols import ArrayInfo, Dim, Symbol, SymbolKind
+from repro.lang import parse_program
+
+
+def sym(name, stype=I32):
+    return Symbol(name=name, stype=stype)
+
+
+def arr(name):
+    return Symbol(
+        name=name, stype=F64, array=ArrayInfo(elem=F64, dims=(Dim(extent=10),))
+    )
+
+
+class TestStructuralEquality:
+    def test_equal_refs_hash_equal(self):
+        i = sym("i")
+        b = arr("b")
+        r1 = ArrayRef(b, (BinOp("+", VarRef(i), IntConst(1)),))
+        r2 = ArrayRef(b, (BinOp("+", VarRef(i), IntConst(1)),))
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+
+    def test_different_symbols_not_equal(self):
+        i = sym("i")
+        assert ArrayRef(arr("a"), (VarRef(i),)) != ArrayRef(arr("b"), (VarRef(i),))
+
+
+class TestRewriting:
+    def test_substitute_whole_subtree(self):
+        i, t = sym("i"), sym("t", F64)
+        b = arr("b")
+        ref = ArrayRef(b, (VarRef(i),))
+        e = BinOp("+", ref, ref)
+        out = substitute(e, {ref: VarRef(t)})
+        assert out == BinOp("+", VarRef(t), VarRef(t))
+
+    def test_substitute_inside_indices(self):
+        i, t = sym("i"), sym("t")
+        b = arr("b")
+        e = ArrayRef(b, (BinOp("+", VarRef(i), IntConst(0)),))
+        out = rewrite(e, lambda n: VarRef(t) if n == VarRef(i) else None)
+        assert out.indices[0] == BinOp("+", VarRef(t), IntConst(0))
+
+    def test_walk_preorder(self):
+        i = sym("i")
+        e = BinOp("+", VarRef(i), IntConst(1))
+        nodes = list(e.walk())
+        assert nodes[0] is e
+        assert len(nodes) == 3
+
+    def test_collectors(self):
+        i = sym("i")
+        b = arr("b")
+        e = BinOp("*", ArrayRef(b, (VarRef(i),)), VarRef(i))
+        assert len(array_refs(e)) == 1
+        assert len(scalar_reads(e)) == 2  # i inside the subscript + bare i
+
+
+class TestFolding:
+    def test_fold_addition(self):
+        assert fold_constants(BinOp("+", IntConst(2), IntConst(3))) == IntConst(5)
+
+    def test_fold_nested(self):
+        e = BinOp("+", BinOp("-", IntConst(4), IntConst(1)), IntConst(0))
+        assert fold_constants(e) == IntConst(3)
+
+    def test_fold_zero_identity(self):
+        i = sym("i")
+        assert fold_constants(BinOp("+", VarRef(i), IntConst(0))) == VarRef(i)
+        assert fold_constants(BinOp("-", VarRef(i), IntConst(0))) == VarRef(i)
+
+    def test_no_float_folding(self):
+        e = BinOp("+", FloatConst(0.1), FloatConst(0.2))
+        assert fold_constants(e) == e
+
+    def test_fold_unary_minus(self):
+        assert fold_constants(UnOp("-", IntConst(3))) == IntConst(-3)
+
+
+class TestTypes:
+    def test_promotion_lattice(self):
+        assert promote(I32, I32) is I32
+        assert promote(I32, I64) is I64
+        assert promote(I64, F32) is F32
+        assert promote(F32, F64) is F64
+
+    def test_registers_per_value(self):
+        assert I32.registers == 1
+        assert F64.registers == 2
+        assert I64.registers == 2
+
+    def test_relational_is_bool(self):
+        i = sym("i")
+        assert expr_type(BinOp("<", VarRef(i), IntConst(3))).bits == 32
+
+    def test_intrinsic_promotes_int_arg(self):
+        i = sym("i")
+        assert expr_type(Call("sqrt", (VarRef(i),))) is F64
+
+    def test_select_promotes_arms(self):
+        i = sym("i")
+        e = Select(VarRef(i), FloatConst(1.0), IntConst(2))
+        assert expr_type(e) is F64
+
+    def test_cast(self):
+        i = sym("i")
+        assert expr_type(Cast(F32, VarRef(i))) is F32
+
+
+class TestPrinter:
+    def test_minimal_parentheses(self):
+        i = sym("i")
+        e = BinOp("*", BinOp("+", VarRef(i), IntConst(1)), IntConst(2))
+        assert format_expr(e) == "(i + 1) * 2"
+
+    def test_no_redundant_parentheses(self):
+        i = sym("i")
+        e = BinOp("+", BinOp("*", VarRef(i), IntConst(2)), IntConst(1))
+        assert format_expr(e) == "i * 2 + 1"
+
+    def test_left_assoc_subtraction(self):
+        i = sym("i")
+        e = BinOp("-", VarRef(i), BinOp("-", VarRef(i), IntConst(1)))
+        assert format_expr(e) == "i - (i - 1)"
+
+    def test_float_suffix(self):
+        assert format_expr(FloatConst(1.5, stype=F32)) == "1.5f"
+
+    def test_round_trip_through_parser(self):
+        """print(build(parse(x))) == print(build(parse(print(build(parse(x))))))"""
+        src = """
+        kernel k(const double b[1:n][0:m], double a[n][m], int n, int m) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 1; i < n - 1; i++) {
+            #pragma acc loop seq
+            for (j = 1; j < m - 1; j++) {
+              double t = b[i][j] * 2.0 - b[i][j-1];
+              a[i][j] = t / (1.0 + t * t);
+            }
+          }
+        }
+        """
+        fn1 = build_module(parse_program(src)).functions[0]
+        text1 = format_function(fn1)
+        fn2 = build_module(parse_program(text1)).functions[0]
+        text2 = format_function(fn2)
+        assert text1 == text2

@@ -1,0 +1,136 @@
+"""Unit tests for the MiniACC lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def values(src):
+    return [t.value for t in tokenize(src)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("kernel foo double bar_2")
+        assert [t.kind for t in toks[:-1]] == [
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+        ]
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.INT_LIT
+        assert toks[0].value == "42"
+
+    def test_long_suffix(self):
+        toks = tokenize("42L")
+        assert toks[0].kind is TokenKind.INT_LIT
+        assert toks[0].value == "42L"
+
+    @pytest.mark.parametrize(
+        "lit", ["3.14", "1.", "1e9", "2.5e-3", "1E+6", "0.5f", "7f" if False else "3.0f"]
+    )
+    def test_float_literals(self, lit):
+        toks = tokenize(lit)
+        assert toks[0].kind is TokenKind.FLOAT_LIT
+
+    def test_float_suffix_marks_single_precision(self):
+        toks = tokenize("2.5f")
+        assert toks[0].value.endswith("f")
+
+    def test_member_like_dot_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("a . b".replace(" ", ""))
+
+
+class TestOperators:
+    def test_multi_char_operators_maximal_munch(self):
+        toks = tokenize("<= >= == != && || += -= *= /= ++ --")
+        expected = [
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.EQ,
+            TokenKind.NE,
+            TokenKind.AND_AND,
+            TokenKind.OR_OR,
+            TokenKind.PLUS_ASSIGN,
+            TokenKind.MINUS_ASSIGN,
+            TokenKind.STAR_ASSIGN,
+            TokenKind.SLASH_ASSIGN,
+            TokenKind.PLUS_PLUS,
+            TokenKind.MINUS_MINUS,
+        ]
+        assert [t.kind for t in toks[:-1]] == expected
+
+    def test_single_char_operators(self):
+        toks = tokenize("+-*/%<>!&")
+        assert len(toks) == 10  # 9 ops + EOF
+
+    def test_adjacent_plus_and_assign_not_merged(self):
+        # 'a+ =b' is PLUS then ASSIGN, not PLUS_ASSIGN.
+        toks = tokenize("a+ =b")
+        assert [t.kind for t in toks[:-1]] == [
+            TokenKind.IDENT,
+            TokenKind.PLUS,
+            TokenKind.ASSIGN,
+            TokenKind.IDENT,
+        ]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+
+class TestPragmas:
+    def test_pragma_token_captures_text(self):
+        toks = tokenize("#pragma acc kernels loop gang vector(64)\n x = 1;")
+        assert toks[0].kind is TokenKind.PRAGMA
+        assert toks[0].value == "pragma acc kernels loop gang vector(64)"
+
+    def test_pragma_continuation_lines_joined(self):
+        src = "#pragma acc kernels \\\n    small(a, b)\nx = 1;"
+        toks = tokenize(src)
+        assert toks[0].kind is TokenKind.PRAGMA
+        assert "small(a, b)" in toks[0].value
+        assert "\\" not in toks[0].value
+
+    def test_code_after_pragma_line_lexes_normally(self):
+        toks = tokenize("#pragma acc loop seq\nfor")
+        assert toks[1].kind is TokenKind.KEYWORD
+        assert toks[1].value == "for"
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].loc.line, toks[0].loc.column) == (1, 1)
+        assert (toks[1].loc.line, toks[1].loc.column) == (2, 3)
+
+    def test_filename_propagates(self):
+        toks = tokenize("x", filename="foo.acc")
+        assert toks[0].loc.filename == "foo.acc"
+
+    def test_lex_error_has_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("x @")
+        assert exc.value.loc.column == 3

@@ -1,0 +1,78 @@
+"""Shared fixtures for transformation tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.interpreter import numpy_dtype, run_kernel
+from repro.ir import build_module
+from repro.lang import parse_program
+
+
+def make_args(fn, scalars, seed=0):
+    """Random concrete arguments for a kernel function.
+
+    ``scalars`` supplies every scalar parameter's value; array shapes are
+    derived from the declared dims evaluated against those scalars.
+    """
+    rng = np.random.default_rng(seed)
+    args = dict(scalars)
+    for param in fn.params:
+        if param.array is None:
+            continue
+        if param.array.is_pointer:
+            size = scalars.get(f"__len_{param.name}")
+            if size is None:
+                raise AssertionError(
+                    f"pointer param {param.name} needs __len_{param.name} in scalars"
+                )
+            shape = (size,)
+        else:
+            shape = tuple(
+                d.extent if isinstance(d.extent, int) else int(scalars[d.extent.name])
+                for d in param.array.dims
+            )
+        dtype = numpy_dtype(param)
+        if np.issubdtype(dtype, np.floating):
+            data = rng.uniform(0.5, 2.0, size=shape).astype(dtype)
+        else:
+            data = rng.integers(0, 10, size=shape).astype(dtype)
+        args[param.name] = data
+    return {k: v for k, v in args.items() if not k.startswith("__len_")}
+
+
+@pytest.fixture
+def equivalence():
+    """Assert a transformation preserves semantics on concrete inputs.
+
+    Usage::
+
+        equivalence(src, scalars, transform)  # transform(fn) mutates IR
+    """
+
+    def _check(src, scalars, transform, seed=0):
+        fn_orig = build_module(parse_program(src)).functions[0]
+        fn_xform = build_module(parse_program(src)).functions[0]
+        transform(fn_xform)
+
+        args_a = make_args(fn_orig, scalars, seed=seed)
+        args_b = {
+            k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in args_a.items()
+        }
+        arrays_a, stats_a = run_kernel(fn_orig, args_a)
+        arrays_b, stats_b = run_kernel(fn_xform, args_b)
+        for name, arr in arrays_a.items():
+            np.testing.assert_array_equal(
+                arr, arrays_b[name], err_msg=f"array {name!r} diverged"
+            )
+        return stats_a, stats_b, fn_xform
+
+    return _check
+
+
+@pytest.fixture
+def lower():
+    def _lower(src, name=None):
+        mod = build_module(parse_program(src))
+        return mod.functions[0] if name is None else mod.function(name)
+
+    return _lower

@@ -1,0 +1,103 @@
+"""Behavioural tests for the Carr-Kennedy baseline, including the
+sequentialisation hazard SAFARA exists to avoid."""
+
+import numpy as np
+
+from repro.ir import build_module
+from repro.lang import parse_program
+from repro.transforms import apply_carr_kennedy
+
+PARALLEL_REUSE_SRC = """
+kernel fig3(double a[sz], const double b[sz], int SIZE, int sz) {
+  #pragma acc kernels loop gang vector(128)
+  for (i = 1; i <= SIZE; i++) {
+    a[i] = (b[i] + b[i+1]) / 2;
+  }
+}
+"""
+
+SEQ_REUSE_SRC = """
+kernel k(double a[n], const double b[n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (j = 0; j < n; j++) {
+    #pragma acc loop seq
+    for (i = 1; i < n - 1; i++) {
+      a[i] = b[i-1] + b[i] + b[i+1];
+    }
+  }
+}
+"""
+
+
+def lower(src):
+    return build_module(parse_program(src)).functions[0]
+
+
+class TestSequentialisationHazard:
+    def test_parallel_loop_gets_sequentialized(self):
+        """The defining flaw (Figures 3–4): C-K rotates registers across a
+        parallel loop and kills its parallelism."""
+        fn = lower(PARALLEL_REUSE_SRC)
+        region = fn.regions()[0]
+        loop = region.body[0]
+        assert loop.is_parallel
+        report = apply_carr_kennedy(region, fn.symtab)
+        assert report.sequentialized_loops == [loop]
+        assert loop.sequentialized
+        assert not loop.is_parallel
+
+    def test_intra_only_mode_preserves_parallelism(self):
+        fn = lower(PARALLEL_REUSE_SRC)
+        region = fn.regions()[0]
+        report = apply_carr_kennedy(region, fn.symtab, intra_only=True)
+        assert not report.sequentialized_loops
+        assert region.body[0].is_parallel
+
+    def test_semantics_still_correct_after_sequentialization(self, equivalence):
+        # C-K output is *slow* on a GPU but not wrong.
+        def xform(fn):
+            apply_carr_kennedy(fn.regions()[0], fn.symtab)
+
+        equivalence(PARALLEL_REUSE_SRC, {"SIZE": 30, "sz": 32}, xform)
+
+
+class TestModeration:
+    def test_budget_limits_replacements(self):
+        fn = lower(SEQ_REUSE_SRC)
+        region = fn.regions()[0]
+        report = apply_carr_kennedy(region, fn.symtab, register_budget=2)
+        assert report.groups_replaced == 0  # needs 3 doubles = 6 units
+
+    def test_budget_spent_recorded(self):
+        fn = lower(SEQ_REUSE_SRC)
+        region = fn.regions()[0]
+        report = apply_carr_kennedy(region, fn.symtab, register_budget=32)
+        assert report.groups_replaced >= 1
+        assert report.registers_spent > 0
+
+    def test_seq_loop_replacement_saves_loads(self, equivalence):
+        def xform(fn):
+            apply_carr_kennedy(fn.regions()[0], fn.symtab)
+
+        stats_orig, stats_xform, _ = equivalence(SEQ_REUSE_SRC, {"n": 12}, xform)
+        assert stats_xform.loads < stats_orig.loads
+
+    def test_count_priority_ordering(self):
+        """With a budget for one group only, C-K picks the *most referenced*
+        group — not the highest-latency one (the paper's limitation 2)."""
+        src = """
+        kernel k(double out[n][64], const double big[n][64], const double sml[n][64], int n) {
+          #pragma acc kernels loop gang vector(64)
+          for (j = 0; j < n; j++) {
+            #pragma acc loop seq
+            for (i = 1; i < 63; i++) {
+              out[j][i] = big[j][i-1] + big[j][i] + big[j][i+1] + sml[j][i] + sml[j][i+1];
+            }
+          }
+        }
+        """
+        fn = lower(src)
+        region = fn.regions()[0]
+        report = apply_carr_kennedy(region, fn.symtab, register_budget=6)
+        assert report.groups_replaced == 1
+        assert report.replacements[0].group.array.name == "big"  # 3 refs > 2

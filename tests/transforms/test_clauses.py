@@ -1,0 +1,151 @@
+"""Tests for the dim/small clause semantics (paper Section IV)."""
+
+import pytest
+
+from repro.ir import build_module
+from repro.lang import parse_program
+from repro.lang.errors import SemanticError
+from repro.transforms import compute_dope_classes, offset_bits, small_arrays
+
+
+def lower(src):
+    return build_module(parse_program(src)).functions[0]
+
+
+def region_and_symtab(src):
+    fn = lower(src)
+    return fn.regions()[0], fn.symtab
+
+
+VLA_SRC = """
+kernel k(const double u[1:nz][1:ny][1:nx], const double v[1:nz][1:ny][1:nx],
+         const double w[1:mz][1:my][1:mx], double out[1:nz][1:ny][1:nx],
+         int nx, int ny, int nz, int mx, int my, int mz) {
+  #pragma acc kernels loop gang vector(64) %s
+  for (i = 1; i < nx; i++) {
+    out[1][1][i] = u[1][1][i] + v[1][1][i] + w[1][1][i];
+  }
+}
+"""
+
+
+class TestDopeClasses:
+    def test_clause_groups_arrays(self):
+        region, symtab = region_and_symtab(
+            VLA_SRC % "dim((1:nz,1:ny,1:nx)(u, v, out))"
+        )
+        classes = compute_dope_classes(region, symtab)
+        u, v, out, w = (symtab.require(n) for n in ("u", "v", "out", "w"))
+        assert classes.share(u, v)
+        assert classes.share(u, out)
+        assert not classes.share(u, w)
+        assert classes.representative(v) is u
+
+    def test_no_clause_no_sharing_for_vlas(self):
+        """The central premise of Section IV-A: without the clause the
+        compiler may NOT assume same-bound VLAs share dimensions — the
+        bounds live in per-array run-time dope vectors."""
+        region, symtab = region_and_symtab(VLA_SRC % "")
+        classes = compute_dope_classes(region, symtab)
+        u, v = symtab.require("u"), symtab.require("v")
+        assert not classes.share(u, v)
+
+    def test_static_arrays_auto_unioned(self):
+        src = """
+        kernel k(const double a[64][32], const double b[64][32], double c[64][32], int n) {
+          #pragma acc kernels loop gang vector(32)
+          for (i = 0; i < n; i++) { c[1][i] = a[1][i] + b[1][i]; }
+        }
+        """
+        region, symtab = region_and_symtab(src)
+        classes = compute_dope_classes(region, symtab)
+        a, b = symtab.require("a"), symtab.require("b")
+        assert classes.share(a, b)
+
+    def test_static_shape_mismatch_not_unioned(self):
+        src = """
+        kernel k(const double a[64][32], const double b[64][16], double c[64][32], int n) {
+          #pragma acc kernels loop gang vector(32)
+          for (i = 0; i < n; i++) { c[1][i] = a[1][i] + b[1][i]; }
+        }
+        """
+        region, symtab = region_and_symtab(src)
+        classes = compute_dope_classes(region, symtab)
+        assert not classes.share(symtab.require("a"), symtab.require("b"))
+
+    def test_rank_mismatch_rejected(self):
+        src = """
+        kernel k(const double a[1:n][1:m], const double b[1:n], double c[1:n], int n, int m) {
+          #pragma acc kernels loop gang vector(32) dim((a, b))
+          for (i = 1; i < n; i++) { c[i] = a[i][1] + b[i]; }
+        }
+        """
+        with pytest.raises(SemanticError, match="rank"):
+            region_and_symtab(src)
+
+    def test_static_extent_contradiction_rejected(self):
+        src = """
+        kernel k(const double a[64][32], double c[64][32], int n) {
+          #pragma acc kernels loop gang vector(32) dim([64][16](a))
+          for (i = 0; i < n; i++) { c[1][i] = a[1][i]; }
+        }
+        """
+        region, symtab = region_and_symtab(src)
+        with pytest.raises(SemanticError, match="extent"):
+            compute_dope_classes(region, symtab)
+
+    def test_representative_is_first_member(self):
+        region, symtab = region_and_symtab(
+            VLA_SRC % "dim((1:nz,1:ny,1:nx)(v, u, out))"
+        )
+        classes = compute_dope_classes(region, symtab)
+        assert classes.representative(symtab.require("out")) is symtab.require("v")
+
+
+class TestSmallArrays:
+    def test_clause_marks_arrays(self):
+        region, symtab = region_and_symtab(VLA_SRC % "small(u, v)")
+        small = small_arrays(region, symtab)
+        assert symtab.require("u") in small
+        assert symtab.require("v") in small
+        assert symtab.require("w") not in small
+
+    def test_offset_bits(self):
+        region, symtab = region_and_symtab(VLA_SRC % "small(u)")
+        small = small_arrays(region, symtab)
+        assert offset_bits(symtab.require("u"), small) == 32
+        assert offset_bits(symtab.require("w"), small) == 64
+
+    def test_static_arrays_auto_small(self):
+        src = """
+        kernel k(const double a[64][32], double c[64][32], int n) {
+          #pragma acc kernels loop gang vector(32)
+          for (i = 0; i < n; i++) { c[1][i] = a[1][i]; }
+        }
+        """
+        region, symtab = region_and_symtab(src)
+        small = small_arrays(region, symtab)
+        assert symtab.require("a") in small
+
+    def test_huge_static_array_not_small(self):
+        # 1024^3 doubles = 8 GB > the 4 GB threshold.
+        src = """
+        kernel k(const double a[1024][1024][1024], double c[8], int n) {
+          #pragma acc kernels loop gang vector(32)
+          for (i = 0; i < n; i++) { c[i] = a[i][0][0]; }
+        }
+        """
+        region, symtab = region_and_symtab(src)
+        small = small_arrays(region, symtab)
+        assert symtab.require("a") not in small
+        assert symtab.require("c") in small
+
+    def test_unknown_name_rejected_at_lowering(self):
+        src = """
+        kernel k(const double a[1:n], double c[1:n], int n) {
+          #pragma acc kernels loop gang vector(32) small(zzz)
+          for (i = 1; i < n; i++) { c[i] = a[i]; }
+        }
+        """
+        with pytest.raises(SemanticError, match="small"):
+            lower(src)

@@ -1,0 +1,151 @@
+"""Tests for loop unrolling (the paper's future-work combination)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Loop, build_module, format_function
+from repro.gpu.interpreter import run_kernel
+from repro.lang import parse_program
+from repro.transforms import UnrollError, apply_unrolling, can_unroll, unroll_loop
+
+CHAIN_SRC = """
+kernel k(double a[n], const double b[n], int n) {
+  #pragma acc kernels loop gang vector(32)
+  for (j = 0; j < 2; j++) {
+    #pragma acc loop seq
+    for (i = 1; i < n - 1; i++) {
+      double t = b[i] + b[i+1];
+      a[i] = a[i] + t * (j + 1);
+    }
+  }
+}
+"""
+
+
+def lower(src):
+    return build_module(parse_program(src)).functions[0]
+
+
+class TestMechanics:
+    def test_main_loop_step_becomes_factor(self):
+        fn = lower(CHAIN_SRC)
+        region = fn.regions()[0]
+        report = apply_unrolling(region, fn.symtab, factor=4)
+        assert len(report.unrolled) == 1
+        main = report.unrolled[0]
+        assert main.step == 4
+
+    def test_remainder_loop_inserted(self):
+        fn = lower(CHAIN_SRC)
+        region = fn.regions()[0]
+        apply_unrolling(region, fn.symtab, factor=4)
+        outer = next(s for s in region.body if isinstance(s, Loop))
+        inner_loops = [s for s in outer.body if isinstance(s, Loop)]
+        assert len(inner_loops) == 2  # main + remainder
+        assert inner_loops[1].step == 1
+
+    def test_body_replicated(self):
+        fn = lower(CHAIN_SRC)
+        region = fn.regions()[0]
+        report = apply_unrolling(region, fn.symtab, factor=3)
+        main = report.unrolled[0]
+        text = format_function(fn)
+        # Three copies reference b at i, i+1, i+2, i+3 overall.
+        assert "b[i + 3]" in text
+        assert len(main.body) == 3 * 2  # 2 stmts x 3 copies
+
+    def test_fresh_locals_per_copy(self):
+        fn = lower(CHAIN_SRC)
+        region = fn.regions()[0]
+        report = apply_unrolling(region, fn.symtab, factor=2)
+        main = report.unrolled[0]
+        decls = [s.sym.name for s in main.body if hasattr(s, "sym")]
+        assert len(decls) == len(set(decls))
+
+    def test_parallel_loop_not_unrolled(self):
+        fn = lower(CHAIN_SRC)
+        region = fn.regions()[0]
+        outer = next(s for s in region.body if isinstance(s, Loop))
+        assert not can_unroll(outer)
+        report = apply_unrolling(region, fn.symtab, factor=2)
+        assert outer not in report.unrolled
+
+    def test_downward_loop_rejected(self):
+        fn = lower(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc loop seq
+              for (i = n - 1; i >= 0; i--) { a[i] = 1.0; }
+            }
+            """
+        )
+        loop = fn.body[0]
+        assert not can_unroll(loop)
+        with pytest.raises(UnrollError):
+            unroll_loop(fn.body, loop, fn.symtab, 2)
+
+    def test_factor_one_rejected(self):
+        fn = lower(CHAIN_SRC)
+        region = fn.regions()[0]
+        outer = next(s for s in region.body if isinstance(s, Loop))
+        inner = next(s for s in outer.body if isinstance(s, Loop))
+        with pytest.raises(UnrollError):
+            unroll_loop(outer.body, inner, fn.symtab, 1)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("factor", [2, 3, 4, 7])
+    @pytest.mark.parametrize("n", [5, 8, 9, 16, 17])
+    def test_equivalence_all_remainders(self, factor, n):
+        rng = np.random.default_rng(factor * 100 + n)
+        b = rng.uniform(size=n)
+        a_ref = np.zeros(n)
+        a_unr = np.zeros(n)
+
+        fn1 = lower(CHAIN_SRC)
+        run_kernel(fn1, {"a": a_ref, "b": b.copy(), "n": n})
+
+        fn2 = lower(CHAIN_SRC)
+        apply_unrolling(fn2.regions()[0], fn2.symtab, factor=factor)
+        run_kernel(fn2, {"a": a_unr, "b": b.copy(), "n": n})
+        np.testing.assert_array_equal(a_ref, a_unr)
+
+    def test_equivalence_with_inner_conditionals(self):
+        src = """
+        kernel k(double a[n], const double b[n], int n) {
+          #pragma acc loop seq
+          for (i = 0; i < n; i++) {
+            if (b[i] > 0.5) { a[i] = 1.0; } else { a[i] = b[i]; }
+          }
+        }
+        """
+        rng = np.random.default_rng(0)
+        n = 11
+        b = rng.uniform(size=n)
+        a1, a2 = np.zeros(n), np.zeros(n)
+        fn1 = lower(src)
+        run_kernel(fn1, {"a": a1, "b": b.copy(), "n": n})
+        fn2 = lower(src)
+        apply_unrolling(fn2.regions()[0] if fn2.regions() else None, fn2.symtab) \
+            if fn2.regions() else unroll_loop(fn2.body, fn2.body[0], fn2.symtab, 2)
+        run_kernel(fn2, {"a": a2, "b": b.copy(), "n": n})
+        np.testing.assert_array_equal(a1, a2)
+
+
+class TestUnrollEnablesIntraReuse:
+    def test_chain_becomes_intra_after_unroll(self):
+        """Unrolling by 2 makes copy 0's b[i+1] and copy 1's b[(i+1)]
+        overlap textually — SAFARA sees richer same-iteration reuse."""
+        from repro.transforms import collect_candidates
+
+        fn = lower(CHAIN_SRC)
+        region = fn.regions()[0]
+        before = collect_candidates(region)
+        loads_saved_before = sum(c.group.loads_saved() for c in before)
+
+        fn2 = lower(CHAIN_SRC)
+        region2 = fn2.regions()[0]
+        apply_unrolling(region2, fn2.symtab, factor=2)
+        after = collect_candidates(region2)
+        loads_saved_after = sum(c.group.loads_saved() for c in after)
+        assert loads_saved_after > loads_saved_before
