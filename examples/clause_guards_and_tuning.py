@@ -17,8 +17,6 @@ Two topics from the paper beyond the core algorithm:
 Run:  python examples/clause_guards_and_tuning.py
 """
 
-from dataclasses import replace
-
 from repro.bench import load_all
 from repro.compiler import SMALL_DIM_SAFARA, compile_guarded, compile_source, time_program
 from repro.ir import build_module
@@ -59,7 +57,7 @@ def main() -> None:
     print(f"{'cap':>5s} {'max regs':>9s} {'time':>11s}")
     best = None
     for limit in (32, 48, 64, 96, 128, 255):
-        config = replace(SMALL_DIM_SAFARA, name=f"cap{limit}", register_limit=limit)
+        config = SMALL_DIM_SAFARA.derive(name=f"cap{limit}", register_limit=limit)
         prog = compile_source(spec.source, config)
         t = time_program(prog, dict(spec.env), launches=spec.launches)
         marker = ""

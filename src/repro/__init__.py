@@ -14,9 +14,16 @@ Subpackages:
 * :mod:`repro.gpu` — the simulated device: ptxas register allocator,
   occupancy/memory/timing models, microbenchmarks, interpreter;
 * :mod:`repro.feedback` — the PTXAS-info feedback loop;
-* :mod:`repro.compiler` — configurations, driver, runtime clause guards;
+* :mod:`repro.pipeline` — the instrumented pass pipeline and the
+  content-addressed compile cache;
+* :mod:`repro.compiler` — configurations, the :class:`CompilerSession`
+  service (cache + pipeline + stats), runtime clause guards;
 * :mod:`repro.bench` — SPEC/NAS benchmark models and the per-figure
   experiment harness.
 """
 
 __version__ = "1.0.0"
+
+from .compiler.session import CompileJob, CompilerSession, compile_many, default_session
+
+__all__ = ["CompileJob", "CompilerSession", "compile_many", "default_session"]

@@ -1,12 +1,20 @@
 """Benchmark execution: compile each spec under each compiler
-configuration and evaluate the timing model at the spec's problem size."""
+configuration and evaluate the timing model at the spec's problem size.
+
+Runs route through a :class:`~repro.compiler.session.CompilerSession`
+(the module-level default unless one is passed), so repeated experiment
+sweeps over the same (source, config, env) tuples hit the session's
+content-addressed compile cache, and multi-config runs fan out through
+:meth:`~repro.compiler.session.CompilerSession.compile_many`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..compiler.driver import CompiledProgram, ProgramTiming, compile_source, time_program
+from ..compiler.driver import CompiledProgram, ProgramTiming
 from ..compiler.options import CompilerConfig
+from ..compiler.session import CompileJob, CompilerSession, default_session
 from .core import BenchmarkSpec
 
 
@@ -35,18 +43,43 @@ class BenchmarkResult:
         return self.compiled.kernels[index].registers
 
 
-def run_benchmark(spec: BenchmarkSpec, config: CompilerConfig) -> BenchmarkResult:
-    """Compile (fresh parse) and time one benchmark under one config."""
-    compiled = compile_source(spec.source, config)
-    timing = time_program(compiled, dict(spec.env), launches=spec.launches)
+def benchmark_job(spec: BenchmarkSpec, config: CompilerConfig) -> CompileJob:
+    """The batch-compilation job for one (benchmark, configuration) cell."""
+    return CompileJob(source=spec.source, config=config, env=dict(spec.env))
+
+
+def run_benchmark(
+    spec: BenchmarkSpec,
+    config: CompilerConfig,
+    *,
+    session: CompilerSession | None = None,
+) -> BenchmarkResult:
+    """Compile (fresh parse on a cache miss) and time one benchmark under
+    one config."""
+    session = session or default_session()
+    compiled = session.compile_source(spec.source, config, env=dict(spec.env))
+    timing = session.time_program(compiled, dict(spec.env), launches=spec.launches)
     return BenchmarkResult(spec=spec, config=config, compiled=compiled, timing=timing)
 
 
 def run_configs(
-    spec: BenchmarkSpec, configs: list[CompilerConfig]
+    spec: BenchmarkSpec,
+    configs: list[CompilerConfig],
+    *,
+    session: CompilerSession | None = None,
 ) -> dict[str, BenchmarkResult]:
-    """Run one benchmark under several configurations."""
-    return {cfg.name: run_benchmark(spec, cfg) for cfg in configs}
+    """Run one benchmark under several configurations (batch-compiled)."""
+    session = session or default_session()
+    programs = session.compile_many([benchmark_job(spec, cfg) for cfg in configs])
+    results: dict[str, BenchmarkResult] = {}
+    for cfg, compiled in zip(configs, programs):
+        timing = session.time_program(
+            compiled, dict(spec.env), launches=spec.launches
+        )
+        results[cfg.name] = BenchmarkResult(
+            spec=spec, config=cfg, compiled=compiled, timing=timing
+        )
+    return results
 
 
 def speedups_over(

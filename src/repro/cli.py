@@ -5,7 +5,8 @@ Commands
 ``compile FILE``
     Compile a MiniACC file under one or more configurations; print the
     PTXAS reports and (given ``--env``) the timing-model verdicts.
-    ``--dump-vir`` shows the virtual ISA, ``--cuda`` the CUDA-like source.
+    ``--dump-vir`` shows the virtual ISA, ``--cuda`` the CUDA-like source,
+    ``--stats`` the per-pass pipeline trace and cache counters as JSON.
 
 ``experiments [NAME ...]``
     Regenerate the paper's tables/figures (default: all).
@@ -24,8 +25,8 @@ import sys
 
 from .bench.experiments import ALL_EXPERIMENTS
 from .bench.suites.registry import load_all
-from .compiler.driver import compile_source, time_program
 from .compiler.options import ALL_CONFIGS, BASE, SMALL_DIM_SAFARA
+from .compiler.session import CompilerSession, default_session
 
 
 def _parse_env(pairs: list[str]) -> dict[str, int]:
@@ -42,12 +43,14 @@ def cmd_compile(args: argparse.Namespace) -> int:
     source = open(args.file).read() if args.file != "-" else sys.stdin.read()
     config_names = args.config or [BASE.name, SMALL_DIM_SAFARA.name]
     env = _parse_env(args.env)
+    # A private session so --stats reports exactly this invocation.
+    session = CompilerSession()
     for name in config_names:
         config = ALL_CONFIGS.get(name)
         if config is None:
             known = ", ".join(sorted(ALL_CONFIGS))
             raise SystemExit(f"unknown config {name!r}; known: {known}")
-        program = compile_source(source, config)
+        program = session.compile_source(source, config)
         print(f"== {config.name} ==")
         for kernel in program.kernels:
             line = f"  {kernel.ptxas.summary()}"
@@ -60,7 +63,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
             if args.dump_vir:
                 print(kernel.vir.dump())
         if env:
-            timing = time_program(program, env, launches=args.launches)
+            timing = session.time_program(program, env, launches=args.launches)
             for kt in timing.kernels:
                 print(
                     f"    {kt.name}: {kt.time_ms:.3f} ms "
@@ -77,6 +80,10 @@ def cmd_compile(args: argparse.Namespace) -> int:
                 print(render_cuda(region, fn.symtab, config.codegen_options(),
                                   name=f"{fn.name}_k{index}"))
         print()
+    if args.stats:
+        import json
+
+        print(json.dumps(session.stats_dict(), indent=2))
     return 0
 
 
@@ -89,6 +96,9 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             raise SystemExit(f"unknown experiment {name!r}; known: {known}")
         print(fn().render())
         print()
+    # The experiment harness routes through the default session's batch
+    # compiler; report how much work the compile cache absorbed.
+    print(default_session().cache.summary())
     return 0
 
 
@@ -134,6 +144,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--launches", type=int, default=1)
     p.add_argument("--dump-vir", action="store_true", help="print the virtual ISA")
     p.add_argument("--cuda", action="store_true", help="print CUDA-like source")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="emit the per-pass pipeline trace and cache counters as JSON",
+    )
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")

@@ -1,5 +1,11 @@
-"""Compiler driver: configurations, the compile pipeline, runtime clause
-guards, and reporting."""
+"""Compiler driver: configurations, the compile session (cache + pass
+pipeline + stats), runtime clause guards, and reporting.
+
+:class:`CompilerSession` is the primary API; the free functions
+(``compile_source``, ``compile_function``, ``compile_guarded``,
+``time_program``) are shims over a module-level default session and keep
+their historical behavior.
+"""
 
 from .guards import (
     ClauseVerdict,
@@ -29,6 +35,12 @@ from .options import (
     UNROLL_SAFARA,
     VECTOR_SAFARA,
 )
+from .session import (
+    CompileJob,
+    CompilerSession,
+    compile_many,
+    default_session,
+)
 
 __all__ = [
     "ALL_CONFIGS",
@@ -36,9 +48,11 @@ __all__ = [
     "CARR_KENNEDY",
     "ClauseVerdict",
     "ClauseViolation",
+    "CompileJob",
     "CompiledKernel",
     "CompiledProgram",
     "CompilerConfig",
+    "CompilerSession",
     "PGI",
     "ProgramTiming",
     "SAFARA_ONLY",
@@ -50,6 +64,8 @@ __all__ = [
     "GuardedKernel",
     "compile_function",
     "compile_guarded",
+    "compile_many",
+    "default_session",
     "verify_clauses",
     "compile_source",
     "time_program",

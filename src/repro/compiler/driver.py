@@ -1,9 +1,15 @@
-"""The OpenUH-like compiler driver.
+"""The OpenUH-like compiler driver: result types and the public shims.
 
 Mirrors the paper's Figure 2 pipeline: front end → IR → (optional)
 scalar-replacement transformations with assembler feedback → virtual-ISA
 code generation → register allocation — and, downstream, the analytic
 timing model.
+
+The pipeline itself lives in :mod:`repro.pipeline` (the ``Pass`` /
+``PassManager`` abstraction) and is owned by a
+:class:`~repro.compiler.session.CompilerSession`; the free functions here
+are thin shims over the module-level default session and keep their
+historical signatures and behavior.
 
 Because the transformations mutate IR in place, each configuration
 compiles from a *fresh* parse of the source (``compile_source``) —
@@ -14,19 +20,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..codegen.kernelgen import generate_kernel
 from ..codegen.vir import VirKernel
-from ..gpu.registers import PtxasInfo, ptxas_info
-from ..gpu.timing import KernelTiming, estimate_time
-from ..ir.builder import build_module
+from ..gpu.registers import PtxasInfo
+from ..gpu.timing import KernelTiming
 from ..ir.module import KernelFunction
-from ..lang.parser import parse_program
-from ..transforms.carr_kennedy import CarrKennedyReport, apply_carr_kennedy
-from ..transforms.autopar import AutoparReport, auto_parallelize
-from ..transforms.licm import LicmReport, apply_licm
-from ..transforms.unroll import UnrollReport, apply_unrolling
+from ..transforms.carr_kennedy import CarrKennedyReport
+from ..transforms.autopar import AutoparReport
+from ..transforms.licm import LicmReport
+from ..transforms.unroll import UnrollReport
 from ..transforms.safara import SafaraReport
-from ..feedback.driver import FeedbackCompiler, optimize_region
 from .options import BASE, CompilerConfig
 
 
@@ -69,82 +71,6 @@ class CompiledProgram:
         return max((k.registers for k in self.kernels), default=0)
 
 
-def compile_function(fn: KernelFunction, config: CompilerConfig = BASE) -> CompiledProgram:
-    """Compile every offload region of ``fn`` under ``config``.
-
-    The function's IR is mutated by the transformations (like a real
-    compilation); parse fresh per configuration.
-    """
-    program = CompiledProgram(function=fn, config=config)
-    codegen_opts = config.codegen_options()
-    for index, region in enumerate(fn.regions(), start=1):
-        name = f"{fn.name}_k{index}"
-        safara_report: SafaraReport | None = None
-        ck_report: CarrKennedyReport | None = None
-        compilations = 1
-        # kernels-construct lowering: map undirected loops automatically
-        # (paper Section II-C; OpenUH reference [16]).
-        autopar_report = auto_parallelize(region)
-        # Baseline global optimisation (WOPT): invariant-load hoisting runs
-        # in every configuration.
-        licm_report = apply_licm(region, fn.symtab)
-        unroll_report: UnrollReport | None = None
-        if config.unroll_factor > 1:
-            unroll_report = apply_unrolling(
-                region, fn.symtab, factor=config.unroll_factor
-            )
-            # Unrolling may expose new invariants; re-run LICM.
-            apply_licm(region, fn.symtab)
-        if config.carr_kennedy:
-            ck_report = apply_carr_kennedy(
-                region,
-                fn.symtab,
-                register_budget=config.ck_register_budget,
-                intra_only=config.ck_intra_only,
-            )
-        if config.safara:
-            safara_report, feedback = optimize_region(
-                region,
-                fn.symtab,
-                options=codegen_opts,
-                arch=config.arch,
-                register_limit=config.register_limit,
-                latency=config.latency or config.arch.latency,
-                name=name,
-            )
-            compilations = feedback.compilations
-        vir = generate_kernel(region, fn.symtab, codegen_opts, name=name)
-        info = ptxas_info(vir, config.arch, config.register_limit)
-        compilations += 1
-        program.kernels.append(
-            CompiledKernel(
-                name=name,
-                region_id=region.region_id,
-                vir=vir,
-                ptxas=info,
-                safara=safara_report,
-                carr_kennedy=ck_report,
-                licm=licm_report,
-                autopar=autopar_report,
-                unroll=unroll_report,
-                backend_compilations=compilations,
-            )
-        )
-    return program
-
-
-def compile_source(
-    source: str,
-    config: CompilerConfig = BASE,
-    kernel_name: str | None = None,
-    filename: str = "<string>",
-) -> CompiledProgram:
-    """Parse + lower + compile one kernel function from source text."""
-    module = build_module(parse_program(source, filename))
-    fn = module.functions[0] if kernel_name is None else module.function(kernel_name)
-    return compile_function(fn, config)
-
-
 @dataclass(slots=True)
 class ProgramTiming:
     """Timing verdict for a whole compiled program under one problem size."""
@@ -157,9 +83,36 @@ class ProgramTiming:
         return sum(k.time_ms for k in self.kernels)
 
 
+def compile_function(fn: KernelFunction, config: CompilerConfig = BASE) -> CompiledProgram:
+    """Compile every offload region of ``fn`` under ``config``.
+
+    The function's IR is mutated by the transformations (like a real
+    compilation); parse fresh per configuration.
+    """
+    from .session import default_session
+
+    return default_session().compile_function(fn, config)
+
+
+def compile_source(
+    source: str,
+    config: CompilerConfig = BASE,
+    *,
+    kernel_name: str | None = None,
+    filename: str = "<string>",
+) -> CompiledProgram:
+    """Parse + lower + compile one kernel function from source text."""
+    from .session import default_session
+
+    return default_session().compile_source(
+        source, config, kernel_name=kernel_name, filename=filename
+    )
+
+
 def time_program(
     compiled: CompiledProgram,
     env: dict[str, int],
+    *,
     launches: dict[str, int] | list[int] | int = 1,
 ) -> ProgramTiming:
     """Evaluate the timing model for every kernel of a compiled program.
@@ -168,22 +121,6 @@ def time_program(
     aligned with region order (benchmarks launch hot kernels once per time
     step).
     """
-    timing = ProgramTiming(program=compiled)
-    for idx, ck in enumerate(compiled.kernels):
-        if isinstance(launches, int):
-            n = launches
-        elif isinstance(launches, list):
-            n = launches[idx] if idx < len(launches) else 1
-        else:
-            n = launches.get(ck.name, 1)
-        timing.kernels.append(
-            estimate_time(
-                ck.vir,
-                ck.ptxas,
-                env,
-                arch=compiled.config.arch,
-                launches=n,
-                issue_scale=compiled.config.issue_efficiency,
-            )
-        )
-    return timing
+    from .session import default_session
+
+    return default_session().time_program(compiled, env, launches=launches)

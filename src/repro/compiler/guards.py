@@ -150,9 +150,10 @@ class GuardedKernel:
         return self.fallback, self.fallback_info, verdict
 
 
-def compile_guarded(
+def _compile_guarded(
     region: Region,
     symtab: SymbolTable,
+    *,
     options: CodegenOptions | None = None,
     arch: GpuArch = KEPLER_K20XM,
     name: str = "guarded",
@@ -171,4 +172,21 @@ def compile_guarded(
         optimized_info=ptxas_info(opt, arch),
         fallback=fallback,
         fallback_info=ptxas_info(fallback, arch),
+    )
+
+
+def compile_guarded(
+    region: Region,
+    symtab: SymbolTable,
+    *,
+    options: CodegenOptions | None = None,
+    arch: GpuArch = KEPLER_K20XM,
+    name: str = "guarded",
+) -> GuardedKernel:
+    """Lower one region twice (clauses honored vs ignored) through the
+    default :class:`~repro.compiler.session.CompilerSession`."""
+    from .session import default_session
+
+    return default_session().compile_guarded(
+        region, symtab, options=options, arch=arch, name=name
     )

@@ -61,24 +61,30 @@ class CompilerConfig:
             vectorize_loads=self.vectorize_loads,
         )
 
+    def derive(self, **overrides) -> "CompilerConfig":
+        """Builder: a new frozen config with the given fields replaced.
+
+        The canonical way to vary a configuration (configs are immutable)::
+
+            capped = SMALL_DIM_SAFARA.derive(name="cap32", register_limit=32)
+        """
+        return replace(self, **overrides)
+
     def with_arch(self, arch: GpuArch) -> "CompilerConfig":
-        return replace(self, arch=arch)
+        return self.derive(arch=arch)
 
 
 BASE = CompilerConfig(name="OpenUH(base)")
-SAFARA_ONLY = CompilerConfig(name="OpenUH(SAFARA)", safara=True)
-SMALL = CompilerConfig(name="OpenUH(small)", honor_small=True)
-SMALL_DIM = CompilerConfig(name="OpenUH(small+dim)", honor_small=True, honor_dim=True)
-SMALL_DIM_SAFARA = CompilerConfig(
-    name="OpenUH(SAFARA+small+dim)", honor_small=True, honor_dim=True, safara=True
-)
-CARR_KENNEDY = CompilerConfig(name="OpenUH(Carr-Kennedy)", carr_kennedy=True)
+SAFARA_ONLY = BASE.derive(name="OpenUH(SAFARA)", safara=True)
+SMALL = BASE.derive(name="OpenUH(small)", honor_small=True)
+SMALL_DIM = SMALL.derive(name="OpenUH(small+dim)", honor_dim=True)
+SMALL_DIM_SAFARA = SMALL_DIM.derive(name="OpenUH(SAFARA+small+dim)", safara=True)
+CARR_KENNEDY = BASE.derive(name="OpenUH(Carr-Kennedy)", carr_kennedy=True)
 #: The commercial-comparator model: solid baseline codegen (efficiency
 #: factor), conservative intra-iteration replacement only, ignores the
 #: proposed clauses entirely (they are not in the OpenACC standard).
-PGI = CompilerConfig(
+PGI = CARR_KENNEDY.derive(
     name="PGI",
-    carr_kennedy=True,
     ck_intra_only=True,
     ck_register_budget=16,
     issue_efficiency=0.85,
@@ -86,19 +92,11 @@ PGI = CompilerConfig(
 
 #: Future-work configurations (paper Section VII): unrolling and memory
 #: vectorization composed with the full optimisation stack.
-UNROLL_SAFARA = CompilerConfig(
-    name="OpenUH(SAFARA+clauses+unroll)",
-    honor_small=True,
-    honor_dim=True,
-    safara=True,
-    unroll_factor=2,
+UNROLL_SAFARA = SMALL_DIM_SAFARA.derive(
+    name="OpenUH(SAFARA+clauses+unroll)", unroll_factor=2
 )
-VECTOR_SAFARA = CompilerConfig(
-    name="OpenUH(SAFARA+clauses+vec)",
-    honor_small=True,
-    honor_dim=True,
-    safara=True,
-    vectorize_loads=True,
+VECTOR_SAFARA = SMALL_DIM_SAFARA.derive(
+    name="OpenUH(SAFARA+clauses+vec)", vectorize_loads=True
 )
 
 ALL_CONFIGS = {

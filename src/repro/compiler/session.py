@@ -1,0 +1,343 @@
+"""The compilation service core: :class:`CompilerSession`.
+
+A session owns the three pieces the historical free functions shared
+implicitly:
+
+* the **pass pipeline** (:class:`~repro.pipeline.passes.PassManager`) the
+  LICM / unroll / Carr-Kennedy / SAFARA transformations register into,
+  with per-pass instrumentation (wall time, IR-size delta, register delta
+  from the feedback history);
+* the **content-addressed compile cache**
+  (:class:`~repro.pipeline.cache.CompileCache`) keyed by
+  hash(source text, config, env bindings, arch), with hit/miss/evict
+  counters — the SAFARA loop recompiles constantly and the experiments
+  multiply that by configurations × benchmarks;
+* the **statistics** (:class:`~repro.pipeline.trace.SessionStats`):
+  structured traces of every compile, serialisable to JSON for the CLI's
+  ``--stats`` flag.
+
+The public free functions (``compile_source``, ``compile_function``,
+``compile_guarded``, ``time_program``, ``optimize_region``) are thin shims
+over a module-level default session and keep their historical behavior;
+:func:`CompilerSession.compile_many` adds batch compilation fanned out
+over ``concurrent.futures`` workers with in-batch deduplication.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..codegen.kernelgen import CodegenOptions, generate_kernel
+from ..gpu.arch import GpuArch, KEPLER_K20XM
+from ..gpu.registers import ptxas_info
+from ..gpu.timing import estimate_time
+from ..ir.builder import build_module
+from ..ir.module import KernelFunction
+from ..lang.parser import parse_program
+from ..pipeline.cache import CompileCache, cache_key
+from ..pipeline.passes import Pass, PassContext, PassManager, run_safara
+from ..pipeline.trace import CompileTrace, SessionStats
+from ..analysis.cost_model import LatencyModel
+from ..transforms.safara import SafaraReport
+from ..feedback.driver import FeedbackCompiler
+from .driver import CompiledKernel, CompiledProgram, ProgramTiming
+from .guards import GuardedKernel, _compile_guarded
+from .options import BASE, CompilerConfig
+
+
+@dataclass(frozen=True, slots=True)
+class CompileJob:
+    """One unit of batch compilation for :meth:`CompilerSession.compile_many`.
+
+    ``env`` does not influence code generation today, but it is part of
+    the cache key (the paper's pipeline may constant-fold problem sizes in
+    the future, and the experiments key their reuse on it).
+    """
+
+    source: str
+    config: CompilerConfig = BASE
+    kernel_name: str | None = None
+    filename: str = "<string>"
+    env: dict[str, int] | None = None
+
+    def key(self) -> str:
+        return cache_key(
+            self.source, self.config, env=self.env, kernel_name=self.kernel_name
+        )
+
+
+class CompilerSession:
+    """One compiler service instance: cache + pass pipeline + stats.
+
+    Sessions are cheap; create a private one to isolate statistics or to
+    register custom passes.  All methods are thread-safe — ``compile_many``
+    drives them from worker threads.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = 512,
+        passes: list[Pass] | None = None,
+        max_workers: int | None = None,
+    ):
+        self.cache = CompileCache(maxsize=cache_size)
+        self.pipeline = PassManager(passes)
+        self.stats = SessionStats()
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+
+    # -- core compilation --------------------------------------------------
+
+    def compile_function(
+        self, fn: KernelFunction, config: CompilerConfig = BASE
+    ) -> CompiledProgram:
+        """Compile every offload region of ``fn`` under ``config``.
+
+        The function's IR is mutated by the passes (like a real
+        compilation); parse fresh per configuration.  Never cached — the
+        caller owns the IR object; use :meth:`compile_source` for the
+        cached path.
+        """
+        t0 = time.perf_counter()
+        program = CompiledProgram(function=fn, config=config)
+        trace = CompileTrace(function=fn.name, config=config.name)
+        codegen_opts = config.codegen_options()
+        for index, region in enumerate(fn.regions(), start=1):
+            name = f"{fn.name}_k{index}"
+            ctx = PassContext(
+                region=region,
+                symtab=fn.symtab,
+                config=config,
+                options=codegen_opts,
+                kernel_name=name,
+            )
+            region_trace = self.pipeline.run(ctx)
+            vir = generate_kernel(region, fn.symtab, codegen_opts, name=name)
+            info = ptxas_info(vir, config.arch, config.register_limit)
+            ctx.backend_compilations += 1
+            program.kernels.append(
+                CompiledKernel(
+                    name=name,
+                    region_id=region.region_id,
+                    vir=vir,
+                    ptxas=info,
+                    safara=ctx.reports.get("safara"),
+                    carr_kennedy=ctx.reports.get("carr_kennedy"),
+                    licm=ctx.reports.get("licm"),
+                    autopar=ctx.reports.get("autopar"),
+                    unroll=ctx.reports.get("unroll"),
+                    backend_compilations=ctx.backend_compilations,
+                )
+            )
+            trace.regions.append(region_trace)
+        trace.wall_ms = (time.perf_counter() - t0) * 1000.0
+        with self._lock:
+            self.stats.record(trace)
+        return program
+
+    def compile_source(
+        self,
+        source: str,
+        config: CompilerConfig = BASE,
+        *,
+        kernel_name: str | None = None,
+        filename: str = "<string>",
+        env: dict[str, int] | None = None,
+    ) -> CompiledProgram:
+        """Parse + lower + compile one kernel function from source text,
+        memoised in the session's compile cache."""
+        job = CompileJob(
+            source=source,
+            config=config,
+            kernel_name=kernel_name,
+            filename=filename,
+            env=dict(env) if env else None,
+        )
+        key = job.key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        program = self._compile_job(job)
+        self.cache.put(key, program)
+        return program
+
+    def _compile_job(self, job: CompileJob) -> CompiledProgram:
+        module = build_module(parse_program(job.source, job.filename))
+        fn = (
+            module.functions[0]
+            if job.kernel_name is None
+            else module.function(job.kernel_name)
+        )
+        return self.compile_function(fn, job.config)
+
+    # -- batch compilation -------------------------------------------------
+
+    def compile_many(
+        self,
+        jobs: "list[CompileJob | tuple]",
+        *,
+        max_workers: int | None = None,
+    ) -> list[CompiledProgram]:
+        """Compile a batch of jobs, fanned out over a thread pool.
+
+        Results come back aligned with ``jobs``.  Duplicate jobs (same
+        cache key) compile once; cache hits never reach the pool.  The
+        compile core is deterministic, so a parallel batch is bit-identical
+        to a serial loop over the same jobs.
+        """
+        jobs = [j if isinstance(j, CompileJob) else CompileJob(*j) for j in jobs]
+        results: list[CompiledProgram | None] = [None] * len(jobs)
+        indices_for: dict[str, list[int]] = {}
+        job_for: dict[str, CompileJob] = {}
+        for i, job in enumerate(jobs):
+            key = job.key()
+            indices_for.setdefault(key, []).append(i)
+            job_for.setdefault(key, job)
+
+        to_compile: list[str] = []
+        for key in indices_for:
+            cached = self.cache.get(key)
+            if cached is not None:
+                for i in indices_for[key]:
+                    results[i] = cached
+            else:
+                to_compile.append(key)
+
+        if to_compile:
+            workers = max_workers or self.max_workers or min(
+                32, (os.cpu_count() or 1) + 4
+            )
+            workers = max(1, min(workers, len(to_compile)))
+            if workers == 1:
+                compiled = [self._compile_job(job_for[k]) for k in to_compile]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    compiled = list(
+                        pool.map(self._compile_job, (job_for[k] for k in to_compile))
+                    )
+            for key, program in zip(to_compile, compiled):
+                self.cache.put(key, program)
+                for i in indices_for[key]:
+                    results[i] = program
+        return results  # type: ignore[return-value]
+
+    # -- downstream services ----------------------------------------------
+
+    def time_program(
+        self,
+        compiled: CompiledProgram,
+        env: dict[str, int],
+        *,
+        launches: dict[str, int] | list[int] | int = 1,
+    ) -> ProgramTiming:
+        """Evaluate the timing model for every kernel of a compiled program.
+
+        ``launches`` is a global launch count, a per-kernel-name map, or a
+        list aligned with region order (benchmarks launch hot kernels once
+        per time step).
+        """
+        timing = ProgramTiming(program=compiled)
+        for idx, ck in enumerate(compiled.kernels):
+            if isinstance(launches, int):
+                n = launches
+            elif isinstance(launches, list):
+                n = launches[idx] if idx < len(launches) else 1
+            else:
+                n = launches.get(ck.name, 1)
+            timing.kernels.append(
+                estimate_time(
+                    ck.vir,
+                    ck.ptxas,
+                    env,
+                    arch=compiled.config.arch,
+                    launches=n,
+                    issue_scale=compiled.config.issue_efficiency,
+                )
+            )
+        with self._lock:
+            self.stats.timings += 1
+        return timing
+
+    def compile_guarded(
+        self,
+        region,
+        symtab,
+        *,
+        options: CodegenOptions | None = None,
+        arch: GpuArch = KEPLER_K20XM,
+        name: str = "guarded",
+    ) -> GuardedKernel:
+        """Two-version compilation of one region (paper Section IV)."""
+        return _compile_guarded(
+            region, symtab, options=options, arch=arch, name=name
+        )
+
+    def optimize_region(
+        self,
+        region,
+        symtab,
+        *,
+        options: CodegenOptions | None = None,
+        arch: GpuArch = KEPLER_K20XM,
+        register_limit: int | None = None,
+        latency: LatencyModel | None = None,
+        name: str | None = None,
+    ) -> tuple[SafaraReport, FeedbackCompiler]:
+        """Run the full SAFARA feedback optimisation on one region.
+
+        Returns the SAFARA trace and the feedback compiler (whose
+        ``history`` holds every intermediate PTXAS report).
+        """
+        report, feedback = run_safara(
+            region,
+            symtab,
+            options=options or CodegenOptions(),
+            arch=arch,
+            register_limit=register_limit,
+            latency=latency,
+            name=name,
+        )
+        with self._lock:
+            self.stats.feedback_optimizations += 1
+        return report, feedback
+
+    # -- introspection -----------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        """The session's statistics (and cache counters) as JSON-ready data."""
+        d = self.stats.as_dict()
+        d["cache"] = self.cache.as_dict()
+        return d
+
+    def reset(self) -> None:
+        """Drop cached programs and zero every counter and trace."""
+        self.cache.reset()
+        with self._lock:
+            self.stats.reset()
+
+
+_default_session: CompilerSession | None = None
+_default_lock = threading.Lock()
+
+
+def default_session() -> CompilerSession:
+    """The process-wide session backing the historical free functions."""
+    global _default_session
+    if _default_session is None:
+        with _default_lock:
+            if _default_session is None:
+                _default_session = CompilerSession()
+    return _default_session
+
+
+def compile_many(
+    jobs: "list[CompileJob | tuple]", *, max_workers: int | None = None
+) -> list[CompiledProgram]:
+    """Batch-compile through the default session (see
+    :meth:`CompilerSession.compile_many`)."""
+    return default_session().compile_many(jobs, max_workers=max_workers)

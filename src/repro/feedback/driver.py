@@ -17,7 +17,7 @@ from ..gpu.arch import GpuArch, KEPLER_K20XM
 from ..gpu.registers import PtxasInfo, ptxas_info
 from ..ir.stmt import Region
 from ..ir.symbols import SymbolTable
-from ..transforms.safara import SafaraReport, apply_safara
+from ..transforms.safara import SafaraReport
 
 
 @dataclass(slots=True)
@@ -47,6 +47,7 @@ def optimize_region(
     region: Region,
     symtab: SymbolTable,
     options: CodegenOptions | None = None,
+    *,
     arch: GpuArch = KEPLER_K20XM,
     register_limit: int | None = None,
     latency: LatencyModel | None = None,
@@ -55,22 +56,18 @@ def optimize_region(
     """Run the full SAFARA feedback optimisation on one region.
 
     Returns the SAFARA trace and the feedback compiler (whose ``history``
-    holds every intermediate PTXAS report).
+    holds every intermediate PTXAS report).  Shim over the default
+    :class:`~repro.compiler.session.CompilerSession` (whose pass pipeline
+    runs the same loop as its ``safara`` pass).
     """
-    options = options or CodegenOptions()
-    feedback = FeedbackCompiler(
-        symtab=symtab,
+    from ..compiler.session import default_session
+
+    return default_session().optimize_region(
+        region,
+        symtab,
         options=options,
         arch=arch,
         register_limit=register_limit,
+        latency=latency,
         name=name,
     )
-    report = apply_safara(
-        region,
-        symtab,
-        feedback,
-        register_limit=register_limit or arch.max_registers_per_thread,
-        has_readonly_cache=options.readonly_cache and arch.has_readonly_cache,
-        latency=latency or arch.latency,
-    )
-    return report, feedback

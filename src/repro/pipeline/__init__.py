@@ -1,0 +1,50 @@
+"""Compilation-service infrastructure: the instrumented pass pipeline and
+the content-addressed compile cache.
+
+* :mod:`repro.pipeline.passes` — ``Pass`` / ``PassManager`` and the five
+  passes wrapping the paper's transformations;
+* :mod:`repro.pipeline.cache` — the (source, config, env, arch)-keyed
+  LRU compile cache with hit/miss/evict counters;
+* :mod:`repro.pipeline.trace` — structured per-pass instrumentation
+  (wall time, IR-size delta, register delta) and session statistics.
+
+The :class:`~repro.compiler.session.CompilerSession` ties all three
+together; see ``docs/pipeline.md``.
+"""
+
+from .cache import CompileCache, cache_key, config_token
+from .passes import (
+    AutoParallelizePass,
+    CarrKennedyPass,
+    LicmPass,
+    Pass,
+    PassContext,
+    PassManager,
+    SafaraPass,
+    UnrollPass,
+    default_passes,
+    ir_size,
+    run_safara,
+)
+from .trace import CompileTrace, PassTrace, RegionTrace, SessionStats
+
+__all__ = [
+    "AutoParallelizePass",
+    "CarrKennedyPass",
+    "CompileCache",
+    "CompileTrace",
+    "LicmPass",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PassTrace",
+    "RegionTrace",
+    "SafaraPass",
+    "SessionStats",
+    "UnrollPass",
+    "cache_key",
+    "config_token",
+    "default_passes",
+    "ir_size",
+    "run_safara",
+]

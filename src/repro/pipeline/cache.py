@@ -1,0 +1,142 @@
+"""Content-addressed compile cache.
+
+The SAFARA loop is feedback-driven — every region is compiled through the
+backend repeatedly — and the experiment harness multiplies that by
+(configurations × benchmarks), recompiling identical (source, config, env,
+arch) tuples constantly.  :class:`CompileCache` memoises compiled programs
+under a content hash of exactly those inputs, with LRU eviction and
+hit/miss/evict counters.
+
+Keys are *content-addressed*: two configurations with equal field values
+produce the same key regardless of object identity, and any changed field
+(including the architecture or an env binding) produces a different key.
+Compilation is deterministic (see ``tests/compiler/test_driver.py``), so a
+hit is bit-identical to a recompile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Mapping
+
+
+def config_token(config) -> str:
+    """A deterministic serialisation of a :class:`CompilerConfig`.
+
+    Frozen-dataclass ``repr`` covers every field, including the nested
+    ``GpuArch`` and ``LatencyModel`` (both frozen dataclasses themselves),
+    so value-equal configs serialise identically.
+    """
+    return repr(config)
+
+
+def cache_key(
+    source: str,
+    config,
+    *,
+    env: Mapping[str, int] | None = None,
+    kernel_name: str | None = None,
+) -> str:
+    """SHA-256 key over (source text, config, env bindings, arch).
+
+    The arch rides inside the config token; it is still listed separately
+    in the digest so a config subclass that externalised it would keep
+    distinct keys.
+    """
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(b"\x00")
+    h.update(config_token(config).encode())
+    h.update(b"\x00")
+    h.update(repr(config.arch).encode())
+    h.update(b"\x00")
+    if env:
+        h.update(repr(sorted(env.items())).encode())
+    h.update(b"\x00")
+    if kernel_name is not None:
+        h.update(kernel_name.encode())
+    return h.hexdigest()
+
+
+class CompileCache:
+    """Thread-safe LRU cache of compiled programs, keyed by content hash."""
+
+    def __init__(self, maxsize: int = 512):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Any | None:
+        """Look up ``key``; counts a hit or a miss.  ``None`` on miss."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def peek(self, key: str) -> bool:
+        """Membership test without touching the counters or LRU order."""
+        with self._lock:
+            return key in self._data
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            while len(self._data) >= self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            self._data[key] = value
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see :meth:`reset`)."""
+        with self._lock:
+            self._data.clear()
+
+    def reset(self) -> None:
+        """Drop all entries and zero the counters."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "entries": len(self),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"compile cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.evictions} evictions "
+            f"({self.hit_rate * 100.0:.1f}% hit rate, "
+            f"{len(self)}/{self.maxsize} entries)"
+        )

@@ -1,0 +1,278 @@
+"""The pass pipeline: a first-class ``Pass``/``PassManager`` abstraction.
+
+The driver's historical region pipeline (auto-parallelisation → LICM →
+optional unrolling → optional Carr-Kennedy → optional SAFARA) is expressed
+as five :class:`Pass` objects registered into a :class:`PassManager`.  The
+manager owns ordering and instrumentation: every run yields a
+:class:`~repro.pipeline.trace.RegionTrace` with per-pass wall time,
+IR-size delta, and — for passes that drive the backend — the register
+climb read from the :class:`~repro.feedback.driver.FeedbackCompiler`
+history.
+
+Passes mutate the region IR in place, exactly like the transformations
+they wrap; a region must therefore come from a fresh parse per
+configuration, as always.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.cost_model import LatencyModel
+from ..codegen.kernelgen import CodegenOptions
+from ..feedback.driver import FeedbackCompiler
+from ..gpu.arch import GpuArch, KEPLER_K20XM
+from ..gpu.registers import PtxasInfo
+from ..ir.stmt import Region, walk_stmts
+from ..ir.symbols import SymbolTable
+from ..transforms.autopar import auto_parallelize
+from ..transforms.carr_kennedy import apply_carr_kennedy
+from ..transforms.licm import apply_licm
+from ..transforms.safara import SafaraReport, apply_safara
+from ..transforms.unroll import apply_unrolling
+from .trace import PassTrace, RegionTrace
+
+# CompilerConfig is only needed for type context; imported lazily in
+# signatures to keep repro.pipeline free of a hard compiler dependency.
+
+
+def ir_size(region: Region) -> int:
+    """Statement count of a region (the instrumented IR-size metric)."""
+    return sum(1 for _ in walk_stmts(region.body))
+
+
+@dataclass(slots=True)
+class PassContext:
+    """Everything a pass may read or write while processing one region."""
+
+    region: Region
+    symtab: SymbolTable
+    config: "object"  # CompilerConfig; untyped to avoid an import cycle
+    options: CodegenOptions
+    kernel_name: str
+    #: Backend compilations attributed to the whole region compile.  The
+    #: final code generation adds one more after the pipeline finishes.
+    backend_compilations: int = 1
+    #: Reports keyed by each pass's ``report_key`` (consumed by the driver
+    #: to populate :class:`~repro.compiler.driver.CompiledKernel`).
+    reports: dict[str, object] = field(default_factory=dict)
+    #: Set by a pass that ran the backend: the PTXAS history it produced.
+    ptxas_history: list[PtxasInfo] | None = None
+
+
+class Pass:
+    """One unit of the region pipeline.
+
+    Subclasses set ``name`` (the trace/CLI identifier), optionally
+    ``report_key`` (where the returned report lands in
+    ``PassContext.reports``), override :meth:`enabled` to gate on the
+    configuration, and implement :meth:`run`.
+    """
+
+    name: str = "pass"
+    report_key: str | None = None
+
+    def enabled(self, config) -> bool:
+        return True
+
+    def run(self, ctx: PassContext):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class AutoParallelizePass(Pass):
+    """``kernels``-construct lowering: map undirected loops automatically
+    (paper Section II-C; OpenUH reference [16])."""
+
+    name = "autopar"
+    report_key = "autopar"
+
+    def run(self, ctx: PassContext):
+        return auto_parallelize(ctx.region)
+
+
+class LicmPass(Pass):
+    """Baseline global optimisation (WOPT): invariant-load hoisting runs
+    in every configuration."""
+
+    name = "licm"
+    report_key = "licm"
+
+    def run(self, ctx: PassContext):
+        return apply_licm(ctx.region, ctx.symtab)
+
+
+class UnrollPass(Pass):
+    """Innermost-loop unrolling (the paper's future-work combination),
+    followed by a LICM re-run: unrolling may expose new invariants."""
+
+    name = "unroll"
+    report_key = "unroll"
+
+    def enabled(self, config) -> bool:
+        return config.unroll_factor > 1
+
+    def run(self, ctx: PassContext):
+        report = apply_unrolling(
+            ctx.region, ctx.symtab, factor=ctx.config.unroll_factor
+        )
+        apply_licm(ctx.region, ctx.symtab)
+        return report
+
+
+class CarrKennedyPass(Pass):
+    """The classic scalar-replacement baseline (paper Section III-A)."""
+
+    name = "carr-kennedy"
+    report_key = "carr_kennedy"
+
+    def enabled(self, config) -> bool:
+        return config.carr_kennedy
+
+    def run(self, ctx: PassContext):
+        return apply_carr_kennedy(
+            ctx.region,
+            ctx.symtab,
+            register_budget=ctx.config.ck_register_budget,
+            intra_only=ctx.config.ck_intra_only,
+        )
+
+
+def run_safara(
+    region: Region,
+    symtab: SymbolTable,
+    *,
+    options: CodegenOptions,
+    arch: GpuArch = KEPLER_K20XM,
+    register_limit: int | None = None,
+    latency: LatencyModel | None = None,
+    name: str | None = None,
+) -> tuple[SafaraReport, FeedbackCompiler]:
+    """The SAFARA feedback loop core: compile → read PTXAS info → replace.
+
+    Shared by :class:`SafaraPass` and the public ``optimize_region``
+    entrypoint; returns the SAFARA trace and the feedback compiler whose
+    ``history`` holds every intermediate PTXAS report.
+    """
+    feedback = FeedbackCompiler(
+        symtab=symtab,
+        options=options,
+        arch=arch,
+        register_limit=register_limit,
+        name=name,
+    )
+    report = apply_safara(
+        region,
+        symtab,
+        feedback,
+        register_limit=register_limit or arch.max_registers_per_thread,
+        has_readonly_cache=options.readonly_cache and arch.has_readonly_cache,
+        latency=latency or arch.latency,
+    )
+    return report, feedback
+
+
+class SafaraPass(Pass):
+    """SAFARA: feedback-driven, latency-aware scalar replacement
+    (paper Section III-B)."""
+
+    name = "safara"
+    report_key = "safara"
+
+    def enabled(self, config) -> bool:
+        return config.safara
+
+    def run(self, ctx: PassContext):
+        config = ctx.config
+        report, feedback = run_safara(
+            ctx.region,
+            ctx.symtab,
+            options=ctx.options,
+            arch=config.arch,
+            register_limit=config.register_limit,
+            latency=config.latency or config.arch.latency,
+            name=ctx.kernel_name,
+        )
+        ctx.backend_compilations = feedback.compilations
+        ctx.ptxas_history = feedback.history
+        return report
+
+
+def default_passes() -> list[Pass]:
+    """The paper's region pipeline, in its canonical order."""
+    return [
+        AutoParallelizePass(),
+        LicmPass(),
+        UnrollPass(),
+        CarrKennedyPass(),
+        SafaraPass(),
+    ]
+
+
+class PassManager:
+    """Runs registered passes over one region and instruments each one."""
+
+    def __init__(self, passes: list[Pass] | None = None):
+        self.passes: list[Pass] = (
+            list(passes) if passes is not None else default_passes()
+        )
+
+    def register(
+        self,
+        p: Pass,
+        *,
+        before: str | None = None,
+        after: str | None = None,
+    ) -> Pass:
+        """Add a pass (appended by default, or anchored to an existing
+        pass's ``name`` with ``before=``/``after=``)."""
+        if before is not None and after is not None:
+            raise ValueError("give at most one of before/after")
+        anchor = before or after
+        if anchor is None:
+            self.passes.append(p)
+            return p
+        for i, existing in enumerate(self.passes):
+            if existing.name == anchor:
+                self.passes.insert(i if before else i + 1, p)
+                return p
+        raise KeyError(f"no pass named {anchor!r}")
+
+    def pass_names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, ctx: PassContext) -> RegionTrace:
+        """Run every enabled pass over ``ctx.region``, in order."""
+        trace = RegionTrace(kernel=ctx.kernel_name)
+        for p in self.passes:
+            if not p.enabled(ctx.config):
+                trace.passes.append(PassTrace(name=p.name, ran=False))
+                continue
+            ctx.ptxas_history = None
+            compilations_before = ctx.backend_compilations
+            before = ir_size(ctx.region)
+            t0 = time.perf_counter()
+            report = p.run(ctx)
+            wall_ms = (time.perf_counter() - t0) * 1000.0
+            entry = PassTrace(
+                name=p.name,
+                ran=True,
+                wall_ms=wall_ms,
+                ir_before=before,
+                ir_after=ir_size(ctx.region),
+            )
+            if ctx.ptxas_history:
+                entry.registers_before = ctx.ptxas_history[0].registers
+                entry.registers_after = ctx.ptxas_history[-1].registers
+                entry.backend_compilations = len(ctx.ptxas_history)
+            elif ctx.backend_compilations != compilations_before:
+                entry.backend_compilations = (
+                    ctx.backend_compilations - compilations_before
+                )
+            if report is not None and p.report_key:
+                ctx.reports[p.report_key] = report
+            trace.passes.append(entry)
+        return trace

@@ -1,0 +1,161 @@
+"""Structured instrumentation records for the pass pipeline.
+
+Every compilation run through a :class:`~repro.compiler.session.CompilerSession`
+produces one :class:`CompileTrace` (per program) holding one
+:class:`RegionTrace` per offload region, which in turn holds one
+:class:`PassTrace` per registered pass — wall time, IR-size delta, and
+(where the pass talks to the backend) the register delta read off the
+``FeedbackCompiler`` history.  The same objects serialise to JSON for the
+CLI's ``--stats`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class PassTrace:
+    """Instrumentation for one pass over one region."""
+
+    name: str
+    #: False when the pass was registered but disabled by the configuration.
+    ran: bool = True
+    wall_ms: float = 0.0
+    #: Statement count of the region before/after the pass.
+    ir_before: int = 0
+    ir_after: int = 0
+    #: Register usage read from the feedback compiler's first/last PTXAS
+    #: report, for passes that drive the backend (SAFARA); None otherwise.
+    registers_before: int | None = None
+    registers_after: int | None = None
+    #: Backend (ptxas-simulator) invocations performed by this pass.
+    backend_compilations: int = 0
+
+    @property
+    def ir_delta(self) -> int:
+        return self.ir_after - self.ir_before
+
+    @property
+    def register_delta(self) -> int | None:
+        if self.registers_before is None or self.registers_after is None:
+            return None
+        return self.registers_after - self.registers_before
+
+    def as_dict(self) -> dict:
+        return {
+            "pass": self.name,
+            "ran": self.ran,
+            "wall_ms": round(self.wall_ms, 4),
+            "ir_before": self.ir_before,
+            "ir_after": self.ir_after,
+            "ir_delta": self.ir_delta,
+            "registers_before": self.registers_before,
+            "registers_after": self.registers_after,
+            "register_delta": self.register_delta,
+            "backend_compilations": self.backend_compilations,
+        }
+
+
+@dataclass(slots=True)
+class RegionTrace:
+    """All pass records for one offload region (one GPU kernel)."""
+
+    kernel: str
+    passes: list[PassTrace] = field(default_factory=list)
+
+    @property
+    def wall_ms(self) -> float:
+        return sum(p.wall_ms for p in self.passes)
+
+    @property
+    def backend_compilations(self) -> int:
+        return sum(p.backend_compilations for p in self.passes)
+
+    def pass_trace(self, name: str) -> PassTrace:
+        for p in self.passes:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def as_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "wall_ms": round(self.wall_ms, 4),
+            "passes": [p.as_dict() for p in self.passes],
+        }
+
+
+@dataclass(slots=True)
+class CompileTrace:
+    """One compiled program: every region, every pass."""
+
+    function: str
+    config: str
+    regions: list[RegionTrace] = field(default_factory=list)
+    wall_ms: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "config": self.config,
+            "wall_ms": round(self.wall_ms, 4),
+            "regions": [r.as_dict() for r in self.regions],
+        }
+
+
+@dataclass(slots=True)
+class SessionStats:
+    """Aggregate counters and traces for one compiler session."""
+
+    #: Programs actually compiled (cache misses + uncached entrypoints).
+    compilations: int = 0
+    #: Timing-model evaluations.
+    timings: int = 0
+    #: Stand-alone feedback optimisations (``optimize_region``).
+    feedback_optimizations: int = 0
+    traces: list[CompileTrace] = field(default_factory=list)
+    #: Oldest traces are dropped past this bound.
+    max_traces: int = 4096
+
+    def record(self, trace: CompileTrace) -> None:
+        self.compilations += 1
+        self.traces.append(trace)
+        if len(self.traces) > self.max_traces:
+            del self.traces[: len(self.traces) - self.max_traces]
+
+    def pass_totals(self) -> dict[str, dict]:
+        """Aggregate (calls, wall time, backend compiles) per pass name."""
+        totals: dict[str, dict] = {}
+        for trace in self.traces:
+            for region in trace.regions:
+                for p in region.passes:
+                    agg = totals.setdefault(
+                        p.name,
+                        {"calls": 0, "skipped": 0, "wall_ms": 0.0,
+                         "backend_compilations": 0},
+                    )
+                    if p.ran:
+                        agg["calls"] += 1
+                        agg["wall_ms"] += p.wall_ms
+                        agg["backend_compilations"] += p.backend_compilations
+                    else:
+                        agg["skipped"] += 1
+        for agg in totals.values():
+            agg["wall_ms"] = round(agg["wall_ms"], 4)
+        return totals
+
+    def as_dict(self) -> dict:
+        return {
+            "compilations": self.compilations,
+            "timings": self.timings,
+            "feedback_optimizations": self.feedback_optimizations,
+            "pass_totals": self.pass_totals(),
+            "traces": [t.as_dict() for t in self.traces],
+        }
+
+    def reset(self) -> None:
+        self.compilations = 0
+        self.timings = 0
+        self.feedback_optimizations = 0
+        self.traces.clear()

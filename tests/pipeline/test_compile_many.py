@@ -1,0 +1,117 @@
+"""Batch compilation: parallel `compile_many` must be bit-identical to a
+serial loop over the same jobs — for every benchmark under every
+configuration — and must deduplicate within a batch."""
+
+import pytest
+
+from repro.bench.suites.registry import load_all
+from repro.compiler import ALL_CONFIGS, BASE, CompileJob, CompilerSession
+from repro.bench.runner import benchmark_job
+
+SRC = """
+kernel axpy(const double x[1:n], double y[1:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 1; i < n; i++) {
+    y[i] = x[i] + y[i];
+  }
+}
+"""
+
+
+def _fingerprint(program):
+    """Everything observable about a compiled program, as comparable data."""
+    return [
+        (
+            k.name,
+            k.region_id is not None,
+            k.registers,
+            k.ptxas.summary(),
+            k.vir.dump(),
+            k.backend_compilations,
+        )
+        for k in program.kernels
+    ]
+
+
+def _all_jobs():
+    spec, nas = load_all()
+    return [
+        benchmark_job(s, cfg)
+        for s in spec.all() + nas.all()
+        for cfg in ALL_CONFIGS.values()
+    ]
+
+
+class TestParallelSerialParity:
+    def test_parallel_bit_identical_to_serial_all_benchmarks_all_configs(self):
+        jobs = _all_jobs()
+        assert len(jobs) == 16 * len(ALL_CONFIGS)
+
+        serial_session = CompilerSession()
+        serial = [
+            serial_session.compile_source(
+                j.source, j.config, kernel_name=j.kernel_name, env=j.env
+            )
+            for j in jobs
+        ]
+        parallel_session = CompilerSession(max_workers=8)
+        parallel = parallel_session.compile_many(jobs)
+
+        assert len(parallel) == len(serial)
+        for s, p in zip(serial, parallel):
+            assert _fingerprint(s) == _fingerprint(p)
+        # every job is unique → the parallel batch compiled each exactly once
+        assert parallel_session.cache.misses == len(jobs)
+        assert parallel_session.stats.compilations == len(jobs)
+
+
+class TestBatchSemantics:
+    def test_results_align_with_jobs(self):
+        spec, _ = load_all()
+        specs = spec.all()[:3]
+        session = CompilerSession()
+        jobs = [benchmark_job(s, BASE) for s in specs]
+        programs = session.compile_many(jobs)
+        for s, p in zip(specs, programs):
+            assert p.function.name in s.source
+
+    def test_duplicate_jobs_compile_once(self):
+        session = CompilerSession()
+        job = CompileJob(source=SRC, config=BASE)
+        programs = session.compile_many([job] * 5)
+        assert all(p is programs[0] for p in programs)
+        assert session.stats.compilations == 1
+        assert session.cache.misses == 1
+
+    def test_warm_batch_is_all_hits(self):
+        session = CompilerSession()
+        jobs = [
+            CompileJob(source=SRC, config=cfg) for cfg in ALL_CONFIGS.values()
+        ]
+        cold = session.compile_many(jobs)
+        hits_before = session.cache.hits
+        warm = session.compile_many(jobs)
+        assert session.cache.hits == hits_before + len(jobs)
+        for c, w in zip(cold, warm):
+            assert c is w
+
+    def test_tuple_jobs_accepted(self):
+        session = CompilerSession()
+        (program,) = session.compile_many([(SRC, BASE)])
+        assert program.kernels
+
+    def test_empty_batch(self):
+        assert CompilerSession().compile_many([]) == []
+
+    def test_serial_worker_path(self):
+        session = CompilerSession()
+        jobs = [CompileJob(source=SRC, config=BASE)]
+        (program,) = session.compile_many(jobs, max_workers=1)
+        assert program.kernels
+
+    def test_module_level_compile_many_uses_default_session(self):
+        import repro
+
+        before = repro.default_session().cache.misses
+        repro.compile_many([CompileJob(source=SRC.replace("axpy", "axpy_dflt"), config=BASE)])
+        assert repro.default_session().cache.misses == before + 1

@@ -1,0 +1,179 @@
+"""CompilerSession behavior and backward-compatibility of the shims.
+
+The old public entrypoints (``compile_source``, ``compile_function``,
+``compile_guarded``, ``time_program``, ``optimize_region``) must keep
+working unchanged — including the README's minimal API example, executed
+here verbatim from the README text."""
+
+import inspect
+import pathlib
+import re
+
+import pytest
+
+import repro
+from repro.compiler import (
+    BASE,
+    SMALL_DIM_SAFARA,
+    CompiledProgram,
+    CompilerConfig,
+    CompilerSession,
+    ProgramTiming,
+    compile_function,
+    compile_guarded,
+    compile_source,
+    default_session,
+    time_program,
+)
+from repro.feedback import optimize_region
+from repro.ir import build_module
+from repro.lang import parse_program
+
+README = pathlib.Path(__file__).resolve().parents[2] / "README.md"
+
+SRC = """
+kernel chain(const double x[1:nz][1:ny][1:nx], double y[1:nz][1:ny][1:nx],
+             int nx, int ny, int nz) {
+  #pragma acc kernels loop gang vector(2) \\
+      dim((1:nz, 1:ny, 1:nx)(x, y)) small(x, y)
+  for (j = 1; j < ny; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx; i++) {
+      #pragma acc loop seq
+      for (k = 2; k < nz; k++) {
+        y[k][j][i] = x[k][j][i] + x[k-1][j][i];
+      }
+    }
+  }
+}
+"""
+
+
+class TestReadmeExample:
+    def test_minimal_api_example_runs_unmodified(self, capsys):
+        text = README.read_text()
+        m = re.search(r"Minimal API example.*?```python\n(.*?)```", text, re.S)
+        assert m, "README minimal API example not found"
+        exec(compile(m.group(1), str(README), "exec"), {})
+        out = capsys.readouterr().out
+        assert "OpenUH(base)" in out and "ms" in out
+
+
+class TestShimCompatibility:
+    def test_compile_source_returns_compiled_program(self):
+        program = compile_source(SRC, BASE)
+        assert isinstance(program, CompiledProgram)
+        assert program.config is BASE
+        assert program.kernels and program.kernels[0].name == "chain_k1"
+
+    def test_compile_source_config_stays_positional(self):
+        # the README example passes config positionally; that must not break
+        assert compile_source(SRC, SMALL_DIM_SAFARA).config is SMALL_DIM_SAFARA
+
+    def test_optional_params_are_keyword_only(self):
+        for fn, kwonly in [
+            (compile_source, {"kernel_name", "filename"}),
+            (time_program, {"launches"}),
+            (compile_guarded, {"options", "arch", "name"}),
+        ]:
+            sig = inspect.signature(fn)
+            actual = {
+                n
+                for n, p in sig.parameters.items()
+                if p.kind is inspect.Parameter.KEYWORD_ONLY
+            }
+            assert kwonly <= actual, fn.__name__
+
+    def test_compile_function_matches_compile_source(self):
+        fn = build_module(parse_program(SRC)).functions[0]
+        via_fn = compile_function(fn, SMALL_DIM_SAFARA)
+        via_src = compile_source(SRC, SMALL_DIM_SAFARA)
+        assert [k.registers for k in via_fn.kernels] == [
+            k.registers for k in via_src.kernels
+        ]
+
+    def test_time_program_shim(self):
+        program = compile_source(SRC, BASE)
+        timing = time_program(program, {"nx": 64, "ny": 32, "nz": 16}, launches=3)
+        assert isinstance(timing, ProgramTiming)
+        assert timing.total_ms > 0
+
+    def test_compile_guarded_shim(self):
+        fn = build_module(parse_program(SRC)).functions[0]
+        guarded = compile_guarded(fn.regions()[0], fn.symtab, name="g")
+        kernel, info, verdict = guarded.select({"nx": 64, "ny": 32, "nz": 16})
+        assert verdict.ok
+        assert kernel is guarded.optimized
+
+    def test_optimize_region_shim(self):
+        fn = build_module(parse_program(SRC)).functions[0]
+        before = default_session().stats.feedback_optimizations
+        report, feedback = optimize_region(fn.regions()[0], fn.symtab)
+        assert feedback.compilations >= 1
+        assert feedback.history
+        assert default_session().stats.feedback_optimizations == before + 1
+
+    def test_shims_share_the_default_session_cache(self):
+        session = default_session()
+        src = SRC.replace("chain", "chain_shared")
+        baseline = session.cache.misses
+        compile_source(src, BASE)
+        compile_source(src, BASE)
+        assert session.cache.misses == baseline + 1
+
+    def test_repro_reexports_session_api(self):
+        assert repro.CompilerSession is CompilerSession
+        assert isinstance(repro.default_session(), CompilerSession)
+
+
+class TestConfigDerive:
+    def test_derive_overrides_fields(self):
+        capped = SMALL_DIM_SAFARA.derive(name="cap32", register_limit=32)
+        assert capped.name == "cap32" and capped.register_limit == 32
+        assert capped.safara and capped.honor_small and capped.honor_dim
+
+    def test_derive_leaves_original_untouched(self):
+        SMALL_DIM_SAFARA.derive(register_limit=32)
+        assert SMALL_DIM_SAFARA.register_limit is None
+
+    def test_config_is_frozen(self):
+        with pytest.raises(AttributeError):
+            BASE.register_limit = 32  # type: ignore[misc]
+
+    def test_derive_rejects_unknown_fields(self):
+        with pytest.raises(TypeError):
+            BASE.derive(no_such_field=1)
+
+    def test_with_arch_is_derive(self):
+        from repro.gpu.arch import FERMI_LIKE
+
+        assert BASE.with_arch(FERMI_LIKE).arch is FERMI_LIKE
+
+
+class TestSessionStats:
+    def test_stats_dict_shape(self):
+        session = CompilerSession()
+        session.compile_source(SRC, SMALL_DIM_SAFARA)
+        session.time_program(
+            session.compile_source(SRC, SMALL_DIM_SAFARA),
+            {"nx": 64, "ny": 32, "nz": 16},
+        )
+        d = session.stats_dict()
+        assert d["compilations"] == 1
+        assert d["timings"] == 1
+        assert d["cache"]["hits"] == 1 and d["cache"]["misses"] == 1
+        assert set(d["pass_totals"]) == {
+            "autopar", "licm", "unroll", "carr-kennedy", "safara",
+        }
+        trace = d["traces"][0]
+        assert trace["config"] == SMALL_DIM_SAFARA.name
+        passes = trace["regions"][0]["passes"]
+        by_name = {p["pass"]: p for p in passes}
+        assert by_name["safara"]["ran"] is True
+        assert by_name["safara"]["backend_compilations"] >= 1
+        assert by_name["unroll"]["ran"] is False
+
+    def test_sessions_are_isolated(self):
+        a, b = CompilerSession(), CompilerSession()
+        a.compile_source(SRC, BASE)
+        assert b.stats.compilations == 0 and len(b.cache) == 0
