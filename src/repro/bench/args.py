@@ -18,13 +18,15 @@ from .core import BenchmarkSpec
 
 
 def build_test_args(
-    spec: BenchmarkSpec, seed: int = 0
+    spec: BenchmarkSpec,
+    seed: int = 0,
+    env: dict[str, int] | None = None,
 ) -> tuple[KernelFunction, dict[str, object]]:
     """Parse the benchmark and build interpreter-ready arguments at test
-    scale.  Returns a *fresh* IR function plus the argument dict (arrays
-    are newly allocated; safe to mutate)."""
+    scale (or at explicit ``env`` sizes).  Returns a *fresh* IR function
+    plus the argument dict (arrays are newly allocated; safe to mutate)."""
     fn = build_module(parse_program(spec.source)).functions[0]
-    env = dict(spec.test_env or spec.env)
+    env = dict(env) if env is not None else dict(spec.test_env or spec.env)
     rng = np.random.default_rng(seed)
     args: dict[str, object] = {
         k: v for k, v in env.items() if not k.startswith("__")

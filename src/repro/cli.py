@@ -6,7 +6,9 @@ Commands
     Compile a MiniACC file under one or more configurations; print the
     PTXAS reports and (given ``--env``) the timing-model verdicts.
     ``--dump-vir`` shows the virtual ISA, ``--cuda`` the CUDA-like source,
-    ``--stats`` the per-pass pipeline trace and cache counters as JSON.
+    ``--run`` executes the kernel functionally on deterministic inputs
+    (``--executor`` picks the engine), ``--stats`` the per-pass pipeline
+    trace, cache counters and execution records as JSON.
 
 ``experiments [NAME ...]``
     Regenerate the paper's tables/figures (default: all).
@@ -29,14 +31,69 @@ from .compiler.options import ALL_CONFIGS, BASE, SMALL_DIM_SAFARA
 from .compiler.session import CompilerSession, default_session
 
 
-def _parse_env(pairs: list[str]) -> dict[str, int]:
-    env: dict[str, int] = {}
+def _parse_env(pairs: list[str]) -> dict[str, int | float]:
+    env: dict[str, int | float] = {}
     for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"--env expects name=value, got {pair!r}")
         name, value = pair.split("=", 1)
-        env[name] = int(value)
+        try:
+            env[name] = int(value)
+        except ValueError:
+            try:
+                env[name] = float(value)
+            except ValueError:
+                raise SystemExit(
+                    f"--env expects a numeric value, got {pair!r}"
+                ) from None
     return env
+
+
+def _build_run_args(fn, env: dict[str, int], seed: int = 0) -> dict[str, object]:
+    """Deterministic functional-run arguments for ``repro compile --run``:
+    scalars from ``--env``, arrays random but seeded, pointer arrays sized
+    by ``--env __len_<name>=N``."""
+    import numpy as np
+
+    from .gpu.interpreter import numpy_dtype
+
+    rng = np.random.default_rng(seed)
+    run_args: dict[str, object] = {
+        k: v for k, v in env.items() if not k.startswith("__")
+    }
+    for param in fn.params:
+        if param.array is None:
+            if param.name not in run_args:
+                raise SystemExit(
+                    f"--run needs --env {param.name}=<value> for scalar "
+                    f"parameter {param.name!r}"
+                )
+            continue
+        if param.array.is_pointer:
+            size = env.get(f"__len_{param.name}")
+            if size is None:
+                raise SystemExit(
+                    f"--run needs --env __len_{param.name}=<size> for "
+                    f"pointer parameter {param.name!r}"
+                )
+            shape: tuple[int, ...] = (int(size),)
+        else:
+            try:
+                shape = tuple(
+                    d.extent if isinstance(d.extent, int) else int(env[d.extent.name])
+                    for d in param.array.dims
+                )
+            except KeyError as missing:
+                raise SystemExit(
+                    f"--run needs --env {missing.args[0]}=<value> to size "
+                    f"array parameter {param.name!r}"
+                ) from None
+        dtype = numpy_dtype(param)
+        if np.issubdtype(dtype, np.floating):
+            run_args[param.name] = rng.uniform(0.5, 2.0, size=shape).astype(dtype)
+        else:
+            run_args[param.name] = rng.integers(0, 3, size=shape).astype(dtype)
+    return run_args
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -44,7 +101,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     config_names = args.config or [BASE.name, SMALL_DIM_SAFARA.name]
     env = _parse_env(args.env)
     # A private session so --stats reports exactly this invocation.
-    session = CompilerSession()
+    session = CompilerSession(executor=args.executor)
     for name in config_names:
         config = ALL_CONFIGS.get(name)
         if config is None:
@@ -79,6 +136,25 @@ def cmd_compile(args: argparse.Namespace) -> int:
             for index, region in enumerate(fn.regions(), start=1):
                 print(render_cuda(region, fn.symtab, config.codegen_options(),
                                   name=f"{fn.name}_k{index}"))
+        print()
+    if args.run:
+        from .ir.builder import build_module
+        from .lang.parser import parse_program
+
+        fn = build_module(parse_program(source)).functions[0]
+        run_args = _build_run_args(fn, env)
+        _arrays, stats, info = session.execute(fn, run_args)
+        line = f"run: executor={info.used}"
+        if info.fallback_reason:
+            line += f" (fallback: {info.fallback_reason})"
+        print(line)
+        print(
+            f"  loads={stats.loads} stores={stats.stores} "
+            f"flops={stats.flops} iterations={stats.iterations}"
+        )
+        if info.region_elements:
+            for region, count in sorted(info.region_elements.items()):
+                print(f"  {region}: {count} batched elements")
         print()
     if args.stats:
         import json
@@ -144,6 +220,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--launches", type=int, default=1)
     p.add_argument("--dump-vir", action="store_true", help="print the virtual ISA")
     p.add_argument("--cuda", action="store_true", help="print CUDA-like source")
+    p.add_argument(
+        "--run",
+        action="store_true",
+        help="execute the kernel functionally on deterministic inputs "
+        "(array extents from --env; pointer sizes via --env __len_<name>=N)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=("auto", "vector", "scalar"),
+        default="auto",
+        help="execution engine for --run (default: vectorized with "
+        "automatic scalar fallback)",
+    )
     p.add_argument(
         "--stats",
         action="store_true",

@@ -4,6 +4,7 @@ lowering pass, and a readable CUDA-like source renderer."""
 from .cuda_text import CudaRenderer, render_cuda
 from .opencl_text import OpenClRenderer, render_opencl
 from .kernelgen import CodegenOptions, KernelGenerator, generate_kernel
+from .vector_lower import AXIS, SEQ, KernelPlan, LoopPlan, RegionPlan, plan_kernel
 from .vir import (
     Instr,
     LaunchConfig,
@@ -16,6 +17,12 @@ from .vir import (
 )
 
 __all__ = [
+    "AXIS",
+    "SEQ",
+    "KernelPlan",
+    "LoopPlan",
+    "RegionPlan",
+    "plan_kernel",
     "CodegenOptions",
     "CudaRenderer",
     "OpenClRenderer",

@@ -20,6 +20,7 @@ from .driver import (
     ProgramTiming,
     compile_function,
     compile_source,
+    execute_program,
     time_program,
 )
 from .options import (
@@ -66,6 +67,7 @@ __all__ = [
     "compile_guarded",
     "compile_many",
     "default_session",
+    "execute_program",
     "verify_clauses",
     "compile_source",
     "time_program",

@@ -124,3 +124,18 @@ def time_program(
     from .session import default_session
 
     return default_session().time_program(compiled, env, launches=launches)
+
+
+def execute_program(
+    fn: KernelFunction,
+    args: dict[str, object],
+    *,
+    executor: str | None = None,
+):
+    """Run a kernel function functionally through the default session's
+    execution engine (vectorized with automatic scalar fallback unless the
+    session — or ``executor`` — says otherwise).  Returns
+    ``(arrays, stats, info)``."""
+    from .session import default_session
+
+    return default_session().execute(fn, args, executor=executor)

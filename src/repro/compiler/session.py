@@ -84,11 +84,16 @@ class CompilerSession:
         cache_size: int = 512,
         passes: list[Pass] | None = None,
         max_workers: int | None = None,
+        executor: str = "auto",
     ):
         self.cache = CompileCache(maxsize=cache_size)
         self.pipeline = PassManager(passes)
         self.stats = SessionStats()
         self.max_workers = max_workers
+        #: Default functional-execution engine for :meth:`execute`:
+        #: ``"auto"`` (vectorized with automatic scalar fallback),
+        #: ``"vector"`` (raise on unsupported kernels), or ``"scalar"``.
+        self.executor = executor
         self._lock = threading.Lock()
 
     # -- core compilation --------------------------------------------------
@@ -262,6 +267,31 @@ class CompilerSession:
         with self._lock:
             self.stats.timings += 1
         return timing
+
+    def execute(
+        self,
+        fn: KernelFunction,
+        args: dict[str, object],
+        *,
+        executor: str | None = None,
+    ):
+        """Run a kernel function functionally through the vectorized
+        execution engine (:func:`~repro.gpu.vector_exec.execute_kernel`).
+
+        ``executor`` overrides the session default for one call.  Returns
+        ``(arrays, stats, info)``; the
+        :class:`~repro.gpu.vector_exec.ExecutionInfo` is also recorded in
+        the session statistics (the ``execution`` section of
+        :meth:`stats_dict`).
+        """
+        from ..gpu.vector_exec import execute_kernel
+
+        arrays, stats, info = execute_kernel(
+            fn, args, executor=executor or self.executor
+        )
+        with self._lock:
+            self.stats.record_execution(fn.name, info.as_dict())
+        return arrays, stats, info
 
     def compile_guarded(
         self,

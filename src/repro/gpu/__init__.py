@@ -17,6 +17,12 @@ from .interpreter import (
     run_kernel,
 )
 from .memory import access_latency, warp_transaction_bytes, warp_transactions
+from .vector_exec import (
+    ExecutionInfo,
+    VectorInterpreter,
+    VectorUnsupported,
+    execute_kernel,
+)
 from .microbench import LatencyMeasurement, measure_all, measure_latency
 from .occupancy import Occupancy, compute_occupancy
 from .registers import (
@@ -32,6 +38,7 @@ from .timing import KernelTiming, ThreadProfile, estimate_time, profile_thread
 
 __all__ = [
     "AllocationResult",
+    "ExecutionInfo",
     "ExecutionStats",
     "FERMI_LIKE",
     "GpuArch",
@@ -42,7 +49,10 @@ __all__ = [
     "LaunchRecord",
     "SimulatedDevice",
     "TransferEstimate",
+    "VectorInterpreter",
+    "VectorUnsupported",
     "estimate_transfers",
+    "execute_kernel",
     "LatencyMeasurement",
     "LiveInterval",
     "Occupancy",

@@ -17,7 +17,6 @@ from ..ir.module import KernelFunction
 from ..ir.stmt import Region
 from ..ir.symbols import Symbol
 from .arch import GpuArch, KEPLER_K20XM
-from .interpreter import run_kernel
 from .registers import PtxasInfo, ptxas_info
 from .timing import KernelTiming, estimate_time
 
@@ -105,6 +104,12 @@ class SimulatedDevice:
     arch: GpuArch = KEPLER_K20XM
     options: CodegenOptions = field(default_factory=CodegenOptions)
     launches: list[LaunchRecord] = field(default_factory=list)
+    #: Execution engine for :meth:`run`: "auto" (vectorized with automatic
+    #: scalar fallback), "vector", or "scalar".
+    executor: str = "auto"
+    #: The :class:`~repro.gpu.vector_exec.ExecutionInfo` of the last
+    #: :meth:`run` call (which executor actually ran, and why).
+    last_execution: object = None
 
     def compile(self, region: Region, symtab, name: str = "kernel") -> VirKernel:
         return generate_kernel(region, symtab, self.options, name=name)
@@ -136,8 +141,18 @@ class SimulatedDevice:
         return record
 
     def run(self, fn: KernelFunction, args: dict[str, object]):
-        """Functional execution (the correctness path)."""
-        return run_kernel(fn, args)
+        """Functional execution (the correctness path).
+
+        Routes through the vectorized engine per :attr:`executor`; the
+        chosen engine and any fallback reason land in
+        :attr:`last_execution`.  Returns ``(arrays, stats)`` exactly like
+        :func:`~repro.gpu.interpreter.run_kernel`.
+        """
+        from .vector_exec import execute_kernel
+
+        arrays, stats, info = execute_kernel(fn, args, executor=self.executor)
+        self.last_execution = info
+        return arrays, stats
 
     @property
     def total_ms(self) -> float:

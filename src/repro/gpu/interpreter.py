@@ -54,7 +54,21 @@ class InterpreterError(Exception):
 
 @dataclass(slots=True)
 class ExecutionStats:
-    """Dynamic operation counts, for tests and the examples."""
+    """Dynamic operation counts, for tests and the examples.
+
+    The scalar interpreter's counting rules are the *contract*; any other
+    executor (see :mod:`repro.gpu.vector_exec`) must reproduce them exactly:
+
+    * ``loads``/``stores`` — one per :class:`~repro.ir.expr.ArrayRef`
+      element access actually evaluated (lazy ``&&``/``||``/ternary
+      operands that are skipped count nothing).
+    * ``flops`` — one per arithmetic ``BinOp`` whose result or either
+      operand is a Python ``float`` (``np.float64`` qualifies,
+      ``np.float32`` does not); one per intrinsic ``Call``.  Comparisons
+      and lazy logical operators never count.
+    * ``iterations`` — one per executed iteration of *every* loop,
+      parallel or sequential.
+    """
 
     loads: int = 0
     stores: int = 0
@@ -75,43 +89,7 @@ class Interpreter:
 
     # -- setup --------------------------------------------------------------
     def _bind_args(self, args: dict[str, object]) -> None:
-        for param in self._fn.params:
-            if param.name not in args:
-                raise InterpreterError(f"missing argument {param.name!r}")
-            value = args[param.name]
-            if param.is_array:
-                if not isinstance(value, np.ndarray):
-                    raise InterpreterError(f"argument {param.name!r} must be ndarray")
-                self._arrays[param.name] = value
-            else:
-                self._scalars[param.name] = value
-        extra = set(args) - {p.name for p in self._fn.params}
-        if extra:
-            raise InterpreterError(f"unknown arguments {sorted(extra)}")
-        # Resolve lower bounds and validate declared shapes.
-        for param in self._fn.params:
-            if param.array is None or param.array.is_pointer:
-                continue
-            arr = self._arrays[param.name]
-            lowers = []
-            for axis, dim in enumerate(param.array.dims):
-                extent = self._dim_value(dim.extent)
-                lower = self._dim_value(dim.lower)
-                lowers.append(lower)
-                if arr.shape[axis] != extent:
-                    raise InterpreterError(
-                        f"array {param.name!r} axis {axis}: expected extent "
-                        f"{extent}, got {arr.shape[axis]}"
-                    )
-            self._lowers[param.name] = tuple(lowers)
-
-    def _dim_value(self, bound: int | Symbol) -> int:
-        if isinstance(bound, int):
-            return bound
-        value = self._scalars.get(bound.name)
-        if value is None:
-            raise InterpreterError(f"array bound {bound.name!r} not supplied")
-        return int(value)
+        self._scalars, self._arrays, self._lowers = bind_arguments(self._fn, args)
 
     # -- execution ------------------------------------------------------------
     def run(self) -> None:
@@ -319,6 +297,60 @@ class Interpreter:
         if func == "ceil":
             return math.ceil(args[0])
         raise InterpreterError(f"unknown intrinsic {func!r}")
+
+
+def bind_arguments(
+    fn: KernelFunction, args: dict[str, object]
+) -> tuple[dict[str, float | int], dict[str, np.ndarray], dict[str, tuple[int, ...]]]:
+    """Validate ``args`` against ``fn``'s parameter list.
+
+    Returns ``(scalars, arrays, lowers)``: the scalar environment, the array
+    bindings (the caller's ndarrays, not copies), and per-array declared
+    lower bounds (absent for pointer-shaped arrays, which index flat).
+    Raises :class:`InterpreterError` on missing/extra arguments, non-array
+    values for array parameters, or extent mismatches.
+    """
+    scalars: dict[str, float | int] = {}
+    arrays: dict[str, np.ndarray] = {}
+    for param in fn.params:
+        if param.name not in args:
+            raise InterpreterError(f"missing argument {param.name!r}")
+        value = args[param.name]
+        if param.is_array:
+            if not isinstance(value, np.ndarray):
+                raise InterpreterError(f"argument {param.name!r} must be ndarray")
+            arrays[param.name] = value
+        else:
+            scalars[param.name] = value
+    extra = set(args) - {p.name for p in fn.params}
+    if extra:
+        raise InterpreterError(f"unknown arguments {sorted(extra)}")
+
+    def dim_value(bound: int | Symbol) -> int:
+        if isinstance(bound, int):
+            return bound
+        value = scalars.get(bound.name)
+        if value is None:
+            raise InterpreterError(f"array bound {bound.name!r} not supplied")
+        return int(value)
+
+    # Resolve lower bounds and validate declared shapes.
+    lowers: dict[str, tuple[int, ...]] = {}
+    for param in fn.params:
+        if param.array is None or param.array.is_pointer:
+            continue
+        arr = arrays[param.name]
+        lower_list = []
+        for axis, dim in enumerate(param.array.dims):
+            extent = dim_value(dim.extent)
+            lower_list.append(dim_value(dim.lower))
+            if arr.shape[axis] != extent:
+                raise InterpreterError(
+                    f"array {param.name!r} axis {axis}: expected extent "
+                    f"{extent}, got {arr.shape[axis]}"
+                )
+        lowers[param.name] = tuple(lower_list)
+    return scalars, arrays, lowers
 
 
 def run_kernel(

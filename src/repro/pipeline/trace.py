@@ -114,6 +114,16 @@ class SessionStats:
     timings: int = 0
     #: Stand-alone feedback optimisations (``optimize_region``).
     feedback_optimizations: int = 0
+    #: Functional kernel executions (``CompilerSession.execute``).
+    executions: int = 0
+    #: ... of which ran through the vectorized engine.
+    vector_executions: int = 0
+    #: ... of which fell back to the scalar interpreter.
+    scalar_fallbacks: int = 0
+    #: One record per execution: the kernel name plus the
+    #: :class:`~repro.gpu.vector_exec.ExecutionInfo` payload (executor
+    #: requested/used, fallback reason, per-region element counts).
+    execution_traces: list[dict] = field(default_factory=list)
     traces: list[CompileTrace] = field(default_factory=list)
     #: Oldest traces are dropped past this bound.
     max_traces: int = 4096
@@ -123,6 +133,18 @@ class SessionStats:
         self.traces.append(trace)
         if len(self.traces) > self.max_traces:
             del self.traces[: len(self.traces) - self.max_traces]
+
+    def record_execution(self, function: str, info: dict) -> None:
+        self.executions += 1
+        if info.get("used") == "vector":
+            self.vector_executions += 1
+        else:
+            self.scalar_fallbacks += 1
+        self.execution_traces.append({"kernel": function, **info})
+        if len(self.execution_traces) > self.max_traces:
+            del self.execution_traces[
+                : len(self.execution_traces) - self.max_traces
+            ]
 
     def pass_totals(self) -> dict[str, dict]:
         """Aggregate (calls, wall time, backend compiles) per pass name."""
@@ -152,10 +174,20 @@ class SessionStats:
             "feedback_optimizations": self.feedback_optimizations,
             "pass_totals": self.pass_totals(),
             "traces": [t.as_dict() for t in self.traces],
+            "execution": {
+                "executions": self.executions,
+                "vector": self.vector_executions,
+                "scalar_fallbacks": self.scalar_fallbacks,
+                "kernels": list(self.execution_traces),
+            },
         }
 
     def reset(self) -> None:
         self.compilations = 0
         self.timings = 0
         self.feedback_optimizations = 0
+        self.executions = 0
+        self.vector_executions = 0
+        self.scalar_fallbacks = 0
+        self.execution_traces.clear()
         self.traces.clear()

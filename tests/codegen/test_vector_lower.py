@@ -1,0 +1,241 @@
+"""Tests for the vectorization planner (`repro.codegen.vector_lower`).
+
+Each case checks a *decision* — axis or demotion with a specific reason —
+on a kernel built to isolate one rule.  Execution-level equivalence is
+covered by tests/gpu/test_vector_exec.py; here we pin down why the
+planner accepts or rejects, so a regression in one soundness argument
+fails loudly instead of silently demoting half the benchmarks.
+"""
+
+from repro.codegen.vector_lower import AXIS, SEQ, plan_kernel
+from repro.ir import build_module
+from repro.lang import parse_program
+
+
+def plan(src):
+    fn = build_module(parse_program(src)).functions[0]
+    return plan_kernel(fn)
+
+
+def modes(kernel_plan):
+    return {lp.var: lp.mode for lp in kernel_plan.by_loop_id.values()}
+
+
+class TestBasicDecisions:
+    def test_independent_parallel_loop_is_axis(self):
+        p = plan(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n; i++) { a[i] = b[i] + 1.0; }
+            }
+            """
+        )
+        assert modes(p) == {"i": AXIS}
+        assert not p.demotion_reasons
+
+    def test_seq_directive_stays_sequential_without_reason(self):
+        p = plan(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc loop seq
+              for (i = 0; i < n; i++) { a[i] = 1.0; }
+            }
+            """
+        )
+        assert modes(p) == {"i": SEQ}
+        assert not p.demotion_reasons
+
+    def test_reduction_clause_demotes(self):
+        p = plan(
+            """
+            kernel k(const double b[n], double s[1], int n) {
+              double acc = 0.0;
+              #pragma acc kernels loop gang vector(64) reduction(+:acc)
+              for (i = 0; i < n; i++) { acc += b[i]; }
+              s[0] = acc;
+            }
+            """
+        )
+        assert modes(p)["i"] == SEQ
+        assert any("reduction" in r for r in p.demotion_reasons)
+
+    def test_carried_scalar_demotes(self):
+        p = plan(
+            """
+            kernel k(double a[n], const double b[n], int n) {
+              double s = 0.0;
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n; i++) { s = s * 0.5 + b[i]; a[i] = s; }
+            }
+            """
+        )
+        assert modes(p)["i"] == SEQ
+        assert any("carried across iterations" in r for r in p.demotion_reasons)
+
+    def test_private_read_after_loop_demotes(self):
+        p = plan(
+            """
+            kernel k(double a[n], const double b[n], double t[1], int n) {
+              double s = 0.0;
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n; i++) { s = b[i] * 2.0; a[i] = s; }
+              t[0] = s;
+            }
+            """
+        )
+        assert modes(p)["i"] == SEQ
+        assert any("read after the loop" in r for r in p.demotion_reasons)
+
+    def test_cross_lane_read_write_overlap_demotes(self):
+        p = plan(
+            """
+            kernel k(double a[n], int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n - 1; i++) { a[i] = a[i + 1] * 0.5; }
+            }
+            """
+        )
+        assert modes(p)["i"] == SEQ
+        assert any("overlap" in r for r in p.demotion_reasons)
+
+
+class TestDelinearization:
+    def test_flat_pointer_subscript_vectorizes_within_radix(self):
+        # (j*nx + i) with 1 <= i <= nx-2: the digit fits its radix, so the
+        # flat offset is injective in (j, i) and both loops become axes.
+        p = plan(
+            """
+            kernel k(double * restrict a, const double * restrict b,
+                     int ny, int nx) {
+              #pragma acc kernels loop gang vector(64)
+              for (j = 1; j < ny - 1; j++) {
+                #pragma acc loop vector
+                for (i = 1; i < nx - 1; i++) {
+                  a[j * nx + i] = b[j * nx + i] + b[j * nx + i - 1];
+                }
+              }
+            }
+            """
+        )
+        assert modes(p) == {"j": AXIS, "i": AXIS}
+
+    def test_digit_overflowing_its_radix_demotes(self):
+        # i runs to nx+1: the low digit can overflow into j's stride, so
+        # distinct (j, i) pairs may alias.  The read forces the planner to
+        # prove injectivity, which it can't — it must refuse.
+        p = plan(
+            """
+            kernel k(double * restrict a, int ny, int nx) {
+              #pragma acc kernels loop gang vector(64)
+              for (j = 1; j < ny - 1; j++) {
+                #pragma acc loop vector
+                for (i = 0; i < nx + 2; i++) {
+                  a[j * nx + i] = a[j * nx + i] + 1.0;
+                }
+              }
+            }
+            """
+        )
+        assert SEQ in modes(p).values()
+        assert any("overlap" in r for r in p.demotion_reasons)
+
+
+class TestLaneDeterminedWrites:
+    def test_unconditional_duplicate_write_is_axis(self):
+        # out[j] written by every i lane: last-wins resolves in C lane
+        # order, which is the scalar iteration order.
+        p = plan(
+            """
+            kernel k(double out[m], int m, int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (j = 0; j < m; j++) {
+                #pragma acc loop vector
+                for (i = 0; i < n; i++) { out[j] = i * 1.0; }
+              }
+            }
+            """
+        )
+        assert modes(p) == {"j": AXIS, "i": AXIS}
+
+    def test_lane_varying_guard_breaks_last_wins(self):
+        # Under `if (b[i] > 0)` some steps write on some lanes only; the
+        # last store touching out[j] need not come from the scalar order's
+        # winning lane, so the planner must demote.
+        p = plan(
+            """
+            kernel k(double out[m], const double b[n], int m, int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (j = 0; j < m; j++) {
+                #pragma acc loop vector
+                for (i = 0; i < n; i++) {
+                  if (b[i] > 0.0) { out[j] = i * 1.0; }
+                }
+              }
+            }
+            """
+        )
+        assert SEQ in modes(p).values()
+        assert any("collide" in r for r in p.demotion_reasons)
+
+    def test_lane_varying_trip_count_breaks_last_wins(self):
+        # The inner sequential loop's trip count depends on the lane (k
+        # runs to i), so later steps write on a shrinking subset of lanes.
+        p = plan(
+            """
+            kernel k(double out[m], int m, int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (j = 0; j < m; j++) {
+                #pragma acc loop vector
+                for (i = 0; i < n; i++) {
+                  #pragma acc loop seq
+                  for (k = 0; k < i; k++) { out[j] = k * 1.0; }
+                }
+              }
+            }
+            """
+        )
+        assert SEQ in modes(p).values()
+        assert any("collide" in r for r in p.demotion_reasons)
+
+    def test_lane_uniform_guard_keeps_last_wins(self):
+        # A guard on uniform symbols only (n) holds on all lanes or none;
+        # the last-wins argument survives.
+        p = plan(
+            """
+            kernel k(double out[m], int m, int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (j = 0; j < m; j++) {
+                #pragma acc loop vector
+                for (i = 0; i < n; i++) {
+                  if (n > 4) { out[j] = i * 1.0; }
+                }
+              }
+            }
+            """
+        )
+        assert modes(p) == {"j": AXIS, "i": AXIS}
+
+
+class TestFixpoint:
+    def test_failing_sibling_does_not_demote_safe_loop(self):
+        # The j loop's write pattern is unsafe under a joint (j, i) lane
+        # space only if both were axes; the fixpoint drops j and keeps i.
+        p = plan(
+            """
+            kernel k(double a[n], double c[n][n], const double b[n], int n) {
+              #pragma acc kernels loop gang vector(64)
+              for (i = 0; i < n - 1; i++) { a[i] = a[i + 1] + b[i]; }
+              #pragma acc kernels loop gang vector(64)
+              for (j = 0; j < n; j++) {
+                #pragma acc loop vector
+                for (i = 0; i < n; i++) { c[j][i] = b[i] * j; }
+              }
+            }
+            """
+        )
+        # The symbol table renames the second `i` to keep names unique.
+        m = {(lp.var, lp.mode) for lp in p.by_loop_id.values()}
+        assert ("j", AXIS) in m
+        assert any(var.startswith("i") and mode == AXIS for var, mode in m)
+        assert any(var.startswith("i") and mode == SEQ for var, mode in m)

@@ -1,5 +1,6 @@
-"""Property-based tests (hypothesis) on core data structures and the
-central invariant of the repo: scalar replacement never changes results.
+"""Property-based tests (hypothesis) on core data structures and the two
+central invariants of the repo: scalar replacement never changes results,
+and the vectorized execution engine is bit-for-bit the scalar interpreter.
 """
 
 import numpy as np
@@ -334,3 +335,123 @@ class TestReuseGroupProperties:
         a_xf, s_xf = run(True)
         np.testing.assert_array_equal(a_ref, a_xf)
         assert s_xf.loads <= s_ref.loads
+
+
+# ---------------------------------------------------------------------------
+# Vectorized execution engine: scalar interpreter equivalence
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def vectorizable_programs(draw):
+    """Random parallel kernels from the planner's safe fragment: stencil
+    reads at random offsets, optional lane-varying guards (mask semantics),
+    optional inner sequential accumulation, C-truncating integer div/mod."""
+    offsets = sorted(draw(st.sets(st.integers(-2, 2), min_size=1, max_size=3)))
+    coefs = [draw(st.floats(0.25, 2.0, allow_nan=False)) for _ in offsets]
+    terms = " + ".join(
+        f"b[i + {o}] * {c!r}" if o >= 0 else f"b[i - {-o}] * {c!r}"
+        for o, c in zip(offsets, coefs)
+    )
+    update = f"a[i] = {terms};"
+    if draw(st.booleans()):  # lane-varying guard: both-sides mask semantics
+        update = (
+            f"if (b[i] > 1.0) {{ {update} }} "
+            f"else {{ a[i] = b[i] * 0.125 - i; }}"
+        )
+    if draw(st.booleans()):  # inner sequential loop over a private scalar
+        width = draw(st.integers(1, 3))
+        update = f"""
+          double acc = 0.0;
+          #pragma acc loop seq
+          for (k = 0; k < {width}; k++) {{ acc = acc + b[i + k] * 0.25; }}
+          {update}
+          a[i] = a[i] + acc;
+        """
+    divisor = draw(st.integers(2, 5))
+    src = f"""
+    kernel k(double a[n], const double b[n], int q[n], const int p[n], int n) {{
+      #pragma acc kernels loop gang vector(64)
+      for (i = 2; i < n - 3; i++) {{
+        {update}
+      }}
+      #pragma acc kernels loop gang vector(64)
+      for (i = 0; i < n; i++) {{
+        q[i] = (p[i] * 7 - 11) / {divisor} + (p[i] * 5 - 7) % {divisor};
+      }}
+    }}
+    """
+    return src
+
+
+@st.composite
+def fallback_programs(draw):
+    """Random kernels built around one construct the planner must reject."""
+    kind = draw(st.sampled_from(["overlap", "carried", "escape"]))
+    if kind == "overlap":
+        body = "a[i] = a[i + 1] * 0.5 + b[i];"
+        prefix, suffix = "", ""
+    elif kind == "carried":
+        prefix = "double s = 0.0;"
+        body = "s = s * 0.5 + b[i]; a[i] = s;"
+        suffix = ""
+    else:
+        prefix = "double s = 0.0;"
+        body = "s = b[i] * 2.0; a[i] = s;"
+        suffix = "a[0] = s;"
+    return f"""
+    kernel k(double a[n], const double b[n], int n) {{
+      {prefix}
+      #pragma acc kernels loop gang vector(64)
+      for (i = 0; i < n - 1; i++) {{ {body} }}
+      {suffix}
+    }}
+    """
+
+
+class TestVectorExecutionProperty:
+    def _run_both(self, src, n, seed):
+        from repro.gpu.vector_exec import execute_kernel
+
+        rng = np.random.default_rng(seed)
+        b = rng.uniform(0.5, 2.0, size=n)
+        p = rng.integers(-3, 4, size=n).astype(np.int32)
+
+        def args():
+            return {
+                "a": np.zeros(n),
+                "b": b.copy(),
+                "q": np.zeros(n, dtype=np.int32),
+                "p": p.copy(),
+                "n": n,
+            }
+
+        fn = build_module(parse_program(src)).functions[0]
+        wanted = {prm.name for prm in fn.params}
+        s_arrays, s_stats = run_kernel(
+            fn, {k: v for k, v in args().items() if k in wanted}
+        )
+        fn2 = build_module(parse_program(src)).functions[0]
+        v_arrays, v_stats, info = execute_kernel(
+            fn2, {k: v for k, v in args().items() if k in wanted}
+        )
+        return s_arrays, s_stats, v_arrays, v_stats, info
+
+    @given(vectorizable_programs(), st.integers(8, 24), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_vector_path_is_bit_identical(self, src, n, seed):
+        s_arrays, s_stats, v_arrays, v_stats, info = self._run_both(src, n, seed)
+        assert info.used == "vector"
+        for name in s_arrays:
+            np.testing.assert_array_equal(s_arrays[name], v_arrays[name])
+        assert s_stats == v_stats
+
+    @given(fallback_programs(), st.integers(8, 24), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_fallback_reports_reason_and_matches_scalar(self, src, n, seed):
+        s_arrays, s_stats, v_arrays, v_stats, info = self._run_both(src, n, seed)
+        assert info.used == "scalar"
+        assert info.fallback_reason
+        for name in s_arrays:
+            np.testing.assert_array_equal(s_arrays[name], v_arrays[name])
+        assert s_stats == v_stats
