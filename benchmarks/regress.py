@@ -1,0 +1,189 @@
+"""Benchmark-regression ledger over the analytic performance model.
+
+Compiles every modelled SPEC ACCEL / NAS benchmark under a set of compiler
+configurations, evaluates the timing model at the paper's problem sizes,
+and writes one ledger entry per (benchmark, configuration) cell to
+``BENCH_obs.json`` at the repository root:
+
+* ``model_ms`` — the analytic timing-model estimate (deterministic);
+* ``max_registers`` — peak per-kernel register usage (deterministic);
+* ``speedup_over_base`` — model speedup vs the ``OpenUH(base)`` config.
+
+Before writing, the run is compared against the previous ledger over the
+intersection of keys and **fails (exit 1) on a >20% regression** in any
+gated metric: model time up, speedup down, or registers up.  The gated
+metrics come from the deterministic compile pipeline and analytic model —
+not wall clock — so the gate is machine-independent and a failure means a
+*code* change moved the model, never scheduler noise.  Wall-clock compile
+time and cache counters are recorded informationally in ``meta``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regress.py            # full sweep
+    PYTHONPATH=src python benchmarks/regress.py --quick    # CI subset
+    PYTHONPATH=src python benchmarks/regress.py --trace t.json
+
+``--quick`` restricts the benchmark and configuration set; entries are
+deterministic, so quick-run cells agree with full-run cells and the
+key-intersection comparison stays sound across modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.bench import NAS, SPEC, load_all
+from repro.bench.runner import run_configs
+from repro.compiler.options import (
+    BASE,
+    CARR_KENNEDY,
+    SAFARA_ONLY,
+    SMALL_DIM_SAFARA,
+)
+from repro.compiler.session import CompilerSession
+
+LEDGER = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+#: Relative regression tolerance on every gated metric.
+THRESHOLD = 0.20
+
+QUICK_BENCHMARKS = ("303.ostencil", "304.olbm", "354.cg", "BT", "SP")
+QUICK_CONFIGS = (BASE, SMALL_DIM_SAFARA)
+FULL_CONFIGS = (BASE, CARR_KENNEDY, SAFARA_ONLY, SMALL_DIM_SAFARA)
+
+
+def collect(quick: bool) -> dict:
+    """Run the sweep and build the ledger document."""
+    load_all()
+    specs = list(SPEC.all()) + list(NAS.all())
+    configs = list(QUICK_CONFIGS if quick else FULL_CONFIGS)
+    if quick:
+        specs = [s for s in specs if s.name in QUICK_BENCHMARKS]
+
+    session = CompilerSession()
+    entries: dict[str, dict] = {}
+    t0 = time.perf_counter()
+    for spec in specs:
+        results = run_configs(spec, configs, session=session)
+        base_ms = results[BASE.name].total_ms
+        for cfg in configs:
+            r = results[cfg.name]
+            entries[f"{spec.name}|{cfg.name}"] = {
+                "model_ms": round(r.total_ms, 6),
+                "max_registers": r.max_registers,
+                "speedup_over_base": round(base_ms / r.total_ms, 6),
+            }
+    wall_ms = (time.perf_counter() - t0) * 1000.0
+    return {
+        "version": 1,
+        "quick": quick,
+        "entries": entries,
+        "meta": {
+            "benchmarks": len(specs),
+            "configs": [c.name for c in configs],
+            "wall_ms": round(wall_ms, 3),
+            "cache": session.cache.as_dict(),
+            "compilations": session.stats.compilations,
+        },
+    }
+
+
+def compare(old: dict, new: dict) -> list[str]:
+    """Regression messages over the key intersection of two ledgers."""
+    problems: list[str] = []
+    old_entries = old.get("entries", {})
+    for key, entry in new["entries"].items():
+        prev = old_entries.get(key)
+        if prev is None:
+            continue
+        checks = (
+            # (metric, regression == new value worse when larger?)
+            ("model_ms", True),
+            ("speedup_over_base", False),
+            ("max_registers", True),
+        )
+        for metric, larger_is_worse in checks:
+            was, now = prev.get(metric), entry.get(metric)
+            if not was or now is None:
+                continue
+            ratio = now / was if larger_is_worse else was / now
+            if ratio > 1.0 + THRESHOLD:
+                problems.append(
+                    f"{key}: {metric} regressed {was} -> {now} "
+                    f"({(ratio - 1.0) * 100.0:.1f}% past the "
+                    f"{THRESHOLD * 100.0:.0f}% gate)"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI subset of benchmarks/configs"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=LEDGER,
+        help=f"ledger path (default: {LEDGER})",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="write a Chrome trace_event file of the whole sweep",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="compare only; leave the ledger untouched",
+    )
+    opts = parser.parse_args(argv)
+
+    if opts.trace:
+        from repro.obs.chrome import write_chrome_trace
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(enabled=True)
+        with tracer.activate():
+            doc = collect(opts.quick)
+        write_chrome_trace(opts.trace, tracer)
+        print(f"trace: {len(tracer.spans)} spans -> {opts.trace}")
+    else:
+        doc = collect(opts.quick)
+
+    meta = doc["meta"]
+    print(
+        f"{len(doc['entries'])} cells over {meta['benchmarks']} benchmarks x "
+        f"{len(meta['configs'])} configs in {meta['wall_ms']:.0f} ms "
+        f"({meta['cache']['hits']} cache hits)"
+    )
+
+    if opts.output.exists():
+        old = json.loads(opts.output.read_text())
+        problems = compare(old, doc)
+        if problems:
+            print(f"\nFAIL: {len(problems)} regression(s) vs {opts.output}:",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        shared = len(set(old.get("entries", {})) & set(doc["entries"]))
+        print(f"no regressions over {shared} shared cells")
+        # A quick run only covers a subset of cells: keep the cells it did
+        # not re-measure so the full baseline survives partial updates.
+        doc["entries"] = {**old.get("entries", {}), **doc["entries"]}
+    else:
+        print(f"no previous ledger at {opts.output}; writing a baseline")
+
+    if not opts.no_write:
+        opts.output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {opts.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

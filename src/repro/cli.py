@@ -8,7 +8,18 @@ Commands
     ``--dump-vir`` shows the virtual ISA, ``--cuda`` the CUDA-like source,
     ``--run`` executes the kernel functionally on deterministic inputs
     (``--executor`` picks the engine), ``--stats`` the per-pass pipeline
-    trace, cache counters and execution records as JSON.
+    trace, cache counters and execution records as JSON, ``--trace OUT``
+    a Chrome ``trace_event`` file of every span the invocation produced.
+
+``profile FILE``
+    Per-kernel execution profile: registers and spills, occupancy, static
+    memory traffic by space and coalescing class, the vector planner's
+    per-loop verdicts; ``--run`` attaches dynamic counts, ``--json``
+    machine-readable output.
+
+``stats FILE``
+    Compile the file and render the session's metrics registry (counters,
+    gauges, histograms) as text or ``--json``.
 
 ``experiments [NAME ...]``
     Regenerate the paper's tables/figures (default: all).
@@ -97,6 +108,20 @@ def _build_run_args(fn, env: dict[str, int], seed: int = 0) -> dict[str, object]
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
+    if args.trace:
+        from .obs.chrome import write_chrome_trace
+        from .obs.tracer import Tracer
+
+        tracer = Tracer(enabled=True)
+        with tracer.activate():
+            rc = _cmd_compile(args)
+        write_chrome_trace(args.trace, tracer)
+        print(f"trace: {len(tracer.spans)} spans -> {args.trace}")
+        return rc
+    return _cmd_compile(args)
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
     source = open(args.file).read() if args.file != "-" else sys.stdin.read()
     config_names = args.config or [BASE.name, SMALL_DIM_SAFARA.name]
     env = _parse_env(args.env)
@@ -160,6 +185,62 @@ def cmd_compile(args: argparse.Namespace) -> int:
         import json
 
         print(json.dumps(session.stats_dict(), indent=2))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    config = ALL_CONFIGS.get(args.config)
+    if config is None:
+        known = ", ".join(sorted(ALL_CONFIGS))
+        raise SystemExit(f"unknown config {args.config!r}; known: {known}")
+    from .obs.profiler import profile_source
+
+    session = CompilerSession()
+    profile = profile_source(source, config, session=session)
+    if args.run:
+        from .ir.builder import build_module
+        from .lang.parser import parse_program
+
+        env = _parse_env(args.env)
+        fn = build_module(parse_program(source)).functions[0]
+        run_args = _build_run_args(fn, env)
+        _arrays, stats, info = session.execute(fn, run_args)
+        profile.execution = {
+            **info.as_dict(),
+            "loads": stats.loads,
+            "stores": stats.stores,
+            "flops": stats.flops,
+            "iterations": stats.iterations,
+        }
+    if args.json:
+        import json
+
+        print(json.dumps(profile.as_dict(), indent=2))
+    else:
+        print(profile.render())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Compile a file in-process and render the session's metrics registry
+    (`repro stats FILE`): every counter, gauge, and histogram the compile
+    touched, as text or JSON."""
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    config_names = args.config or [BASE.name, SMALL_DIM_SAFARA.name]
+    session = CompilerSession()
+    for name in config_names:
+        config = ALL_CONFIGS.get(name)
+        if config is None:
+            known = ", ".join(sorted(ALL_CONFIGS))
+            raise SystemExit(f"unknown config {name!r}; known: {known}")
+        session.compile_source(source, config)
+    if args.json:
+        import json
+
+        print(json.dumps(session.metrics.as_dict(), indent=2))
+    else:
+        print(session.metrics.render_text())
     return 0
 
 
@@ -238,7 +319,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the per-pass pipeline trace and cache counters as JSON",
     )
+    p.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="record spans for the whole invocation and write a Chrome "
+        "trace_event file (load in Perfetto or chrome://tracing)",
+    )
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "profile", help="per-kernel execution profile of a MiniACC file"
+    )
+    p.add_argument("file", help="MiniACC source file ('-' for stdin)")
+    p.add_argument(
+        "--config",
+        default=SMALL_DIM_SAFARA.name,
+        help=f"configuration name; known: {', '.join(sorted(ALL_CONFIGS))}",
+    )
+    p.add_argument("--env", action="append", default=[], help="problem size name=value")
+    p.add_argument(
+        "--run",
+        action="store_true",
+        help="also execute the kernel functionally and attach dynamic counts",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "stats", help="compile a file and render the session metrics registry"
+    )
+    p.add_argument("file", help="MiniACC source file ('-' for stdin)")
+    p.add_argument(
+        "--config",
+        action="append",
+        help=f"configuration name (repeatable); known: {', '.join(sorted(ALL_CONFIGS))}",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("names", nargs="*", help=f"subset of: {', '.join(ALL_EXPERIMENTS)}")

@@ -66,6 +66,7 @@ from dataclasses import dataclass, field
 from ..analysis.subscripts import AffineForm, Monomial, affine_of, subscript_forms
 from ..ir.expr import ArrayRef, Expr, VarRef, array_refs, scalar_reads
 from ..ir.module import KernelFunction
+from ..obs.tracer import span as _span
 from ..ir.stmt import (
     Assign,
     If,
@@ -717,6 +718,21 @@ def plan_kernel(fn: KernelFunction) -> KernelPlan:
     (Demotion only removes lane symbols, making the remaining proofs
     strictly harder, so the iteration converges.)
     """
+    with _span("vector.plan", kernel=fn.name) as _sp:
+        plan = _plan_kernel(fn)
+        _sp.set(
+            loops=len(plan.by_loop_id),
+            axes=sum(
+                1 for lp in plan.by_loop_id.values() if lp.mode == AXIS
+            ),
+            demoted=sum(
+                1 for lp in plan.by_loop_id.values() if lp.reason
+            ),
+        )
+    return plan
+
+
+def _plan_kernel(fn: KernelFunction) -> KernelPlan:
     plan = KernelPlan(function=fn.name)
     # (loop, parent loop, RegionPlan, region varying-set, continuation)
     records: list[tuple[Loop, Loop | None, RegionPlan, set[str], list]] = []

@@ -38,6 +38,8 @@ from ..gpu.timing import estimate_time
 from ..ir.builder import build_module
 from ..ir.module import KernelFunction
 from ..lang.parser import parse_program
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import span
 from ..pipeline.cache import CompileCache, cache_key
 from ..pipeline.passes import Pass, PassContext, PassManager, run_safara
 from ..pipeline.trace import CompileTrace, SessionStats
@@ -86,9 +88,13 @@ class CompilerSession:
         max_workers: int | None = None,
         executor: str = "auto",
     ):
-        self.cache = CompileCache(maxsize=cache_size)
+        #: One registry for the whole session: the cache's hit/miss/evict
+        #: counters and the stats' compile/execution counters share it, so
+        #: ``session.metrics.as_dict()`` is the single metrics surface.
+        self.metrics = MetricsRegistry()
+        self.cache = CompileCache(maxsize=cache_size, metrics=self.metrics)
         self.pipeline = PassManager(passes)
-        self.stats = SessionStats()
+        self.stats = SessionStats(self.metrics)
         self.max_workers = max_workers
         #: Default functional-execution engine for :meth:`execute`:
         #: ``"auto"`` (vectorized with automatic scalar fallback),
@@ -99,48 +105,65 @@ class CompilerSession:
     # -- core compilation --------------------------------------------------
 
     def compile_function(
-        self, fn: KernelFunction, config: CompilerConfig = BASE
+        self,
+        fn: KernelFunction,
+        config: CompilerConfig = BASE,
+        *,
+        cache_key: str | None = None,
     ) -> CompiledProgram:
         """Compile every offload region of ``fn`` under ``config``.
 
         The function's IR is mutated by the passes (like a real
         compilation); parse fresh per configuration.  Never cached — the
         caller owns the IR object; use :meth:`compile_source` for the
-        cached path.
+        cached path (which threads its ``cache_key`` through so the
+        resulting :class:`CompileTrace` can be joined to the cache entry).
         """
         t0 = time.perf_counter()
-        program = CompiledProgram(function=fn, config=config)
-        trace = CompileTrace(function=fn.name, config=config.name)
-        codegen_opts = config.codegen_options()
-        for index, region in enumerate(fn.regions(), start=1):
-            name = f"{fn.name}_k{index}"
-            ctx = PassContext(
-                region=region,
-                symtab=fn.symtab,
-                config=config,
-                options=codegen_opts,
-                kernel_name=name,
+        with span(
+            "compile.function", function=fn.name, config=config.name
+        ) as fn_span:
+            program = CompiledProgram(function=fn, config=config)
+            trace = CompileTrace(
+                function=fn.name, config=config.name, cache_key=cache_key
             )
-            region_trace = self.pipeline.run(ctx)
-            vir = generate_kernel(region, fn.symtab, codegen_opts, name=name)
-            info = ptxas_info(vir, config.arch, config.register_limit)
-            ctx.backend_compilations += 1
-            program.kernels.append(
-                CompiledKernel(
-                    name=name,
-                    region_id=region.region_id,
-                    vir=vir,
-                    ptxas=info,
-                    safara=ctx.reports.get("safara"),
-                    carr_kennedy=ctx.reports.get("carr_kennedy"),
-                    licm=ctx.reports.get("licm"),
-                    autopar=ctx.reports.get("autopar"),
-                    unroll=ctx.reports.get("unroll"),
-                    backend_compilations=ctx.backend_compilations,
+            codegen_opts = config.codegen_options()
+            for index, region in enumerate(fn.regions(), start=1):
+                name = f"{fn.name}_k{index}"
+                ctx = PassContext(
+                    region=region,
+                    symtab=fn.symtab,
+                    config=config,
+                    options=codegen_opts,
+                    kernel_name=name,
                 )
-            )
-            trace.regions.append(region_trace)
-        trace.wall_ms = (time.perf_counter() - t0) * 1000.0
+                region_trace = self.pipeline.run(ctx)
+                with span("codegen", kernel=name) as cg_span:
+                    vir = generate_kernel(
+                        region, fn.symtab, codegen_opts, name=name
+                    )
+                    info = ptxas_info(vir, config.arch, config.register_limit)
+                    cg_span.set(
+                        registers=info.registers, spill_bytes=info.spill_bytes
+                    )
+                ctx.backend_compilations += 1
+                program.kernels.append(
+                    CompiledKernel(
+                        name=name,
+                        region_id=region.region_id,
+                        vir=vir,
+                        ptxas=info,
+                        safara=ctx.reports.get("safara"),
+                        carr_kennedy=ctx.reports.get("carr_kennedy"),
+                        licm=ctx.reports.get("licm"),
+                        autopar=ctx.reports.get("autopar"),
+                        unroll=ctx.reports.get("unroll"),
+                        backend_compilations=ctx.backend_compilations,
+                    )
+                )
+                trace.regions.append(region_trace)
+            trace.wall_ms = (time.perf_counter() - t0) * 1000.0
+            fn_span.set(kernels=len(program.kernels), wall_ms=trace.wall_ms)
         with self._lock:
             self.stats.record(trace)
         return program
@@ -164,21 +187,26 @@ class CompilerSession:
             env=dict(env) if env else None,
         )
         key = job.key()
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
-        program = self._compile_job(job)
-        self.cache.put(key, program)
+        with span("compile", config=config.name, cache_key=key) as sp:
+            cached = self.cache.get(key)
+            if cached is not None:
+                sp.set(cache_hit=True)
+                return cached
+            sp.set(cache_hit=False)
+            program = self._compile_job(job, key)
+            self.cache.put(key, program)
         return program
 
-    def _compile_job(self, job: CompileJob) -> CompiledProgram:
+    def _compile_job(
+        self, job: CompileJob, key: str | None = None
+    ) -> CompiledProgram:
         module = build_module(parse_program(job.source, job.filename))
         fn = (
             module.functions[0]
             if job.kernel_name is None
             else module.function(job.kernel_name)
         )
-        return self.compile_function(fn, job.config)
+        return self.compile_function(fn, job.config, cache_key=key)
 
     # -- batch compilation -------------------------------------------------
 
@@ -219,11 +247,14 @@ class CompilerSession:
             )
             workers = max(1, min(workers, len(to_compile)))
             if workers == 1:
-                compiled = [self._compile_job(job_for[k]) for k in to_compile]
+                compiled = [self._compile_job(job_for[k], k) for k in to_compile]
             else:
                 with ThreadPoolExecutor(max_workers=workers) as pool:
                     compiled = list(
-                        pool.map(self._compile_job, (job_for[k] for k in to_compile))
+                        pool.map(
+                            lambda k: self._compile_job(job_for[k], k),
+                            to_compile,
+                        )
                     )
             for key, program in zip(to_compile, compiled):
                 self.cache.put(key, program)
@@ -265,7 +296,7 @@ class CompilerSession:
                 )
             )
         with self._lock:
-            self.stats.timings += 1
+            self.stats.record_timing()
         return timing
 
     def execute(
@@ -333,7 +364,7 @@ class CompilerSession:
             name=name,
         )
         with self._lock:
-            self.stats.feedback_optimizations += 1
+            self.stats.record_feedback_optimization()
         return report, feedback
 
     # -- introspection -----------------------------------------------------

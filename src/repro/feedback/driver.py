@@ -17,6 +17,7 @@ from ..gpu.arch import GpuArch, KEPLER_K20XM
 from ..gpu.registers import PtxasInfo, ptxas_info
 from ..ir.stmt import Region
 from ..ir.symbols import SymbolTable
+from ..obs.tracer import span
 from ..transforms.safara import SafaraReport
 
 
@@ -32,8 +33,16 @@ class FeedbackCompiler:
     history: list[PtxasInfo] = field(default_factory=list)
 
     def __call__(self, region: Region) -> PtxasInfo:
-        kernel = generate_kernel(region, self.symtab, self.options, name=self.name)
-        info = ptxas_info(kernel, self.arch, self.register_limit)
+        with span(
+            "ptxas",
+            kernel=self.name or "<region>",
+            iteration=len(self.history),
+        ) as sp:
+            kernel = generate_kernel(
+                region, self.symtab, self.options, name=self.name
+            )
+            info = ptxas_info(kernel, self.arch, self.register_limit)
+            sp.set(registers=info.registers, spill_bytes=info.spill_bytes)
         self.history.append(info)
         return info
 

@@ -53,6 +53,7 @@ from ..ir.expr import (
 )
 from ..ir.module import KernelFunction
 from ..ir.stmt import Assign, If, LocalDecl, Loop, Region, Stmt
+from ..obs.tracer import span
 from .interpreter import ExecutionStats, bind_arguments, run_kernel
 
 logger = logging.getLogger(__name__)
@@ -882,6 +883,23 @@ def execute_kernel(
     path on pristine inputs and reproduces its behaviour exactly, including
     exceptions and the partial mutation preceding them.
     """
+    with span("execute", kernel=fn.name, requested=executor) as sp:
+        arrays, stats, info = _execute_kernel(
+            fn, args, executor=executor, plan=plan
+        )
+        sp.set(used=info.used, elements=info.elements)
+        if info.fallback_reason is not None:
+            sp.set(fallback_reason=info.fallback_reason)
+    return arrays, stats, info
+
+
+def _execute_kernel(
+    fn: KernelFunction,
+    args: dict[str, object],
+    *,
+    executor: str,
+    plan: KernelPlan | None,
+) -> tuple[dict[str, np.ndarray], ExecutionStats, ExecutionInfo]:
     if executor not in ("auto", "vector", "scalar"):
         raise ValueError(f"unknown executor {executor!r}")
     if executor == "scalar":

@@ -13,6 +13,7 @@ from .directives import ComputeDirective, LoopDirective, parse_directive
 from .errors import ParseError, SourceLocation
 from .lexer import tokenize
 from .tokens import Token, TokenKind
+from ..obs.tracer import span
 
 #: Math intrinsics callable from kernel code.
 INTRINSICS = frozenset(
@@ -478,7 +479,11 @@ def _flatten_decls(stmts: list[ast.Stmt]) -> list[ast.Stmt]:
 
 def parse_program(source: str, filename: str = "<string>") -> ast.Program:
     """Parse MiniACC ``source`` into a :class:`Program`."""
-    program = Parser(tokenize(source, filename)).parse_program()
-    for kernel in program.kernels:
-        kernel.body = _flatten_decls(kernel.body)
+    with span("parse", filename=filename, bytes=len(source)) as sp:
+        with span("lex", filename=filename):
+            tokens = tokenize(source, filename)
+        program = Parser(tokens).parse_program()
+        for kernel in program.kernels:
+            kernel.body = _flatten_decls(kernel.body)
+        sp.set(kernels=len(program.kernels))
     return program

@@ -1,0 +1,71 @@
+"""``repro.obs`` — the unified observability layer.
+
+Four pieces, threaded through every layer of the toolchain:
+
+* :mod:`~repro.obs.tracer` — span-based tracing (lex → parse → passes →
+  feedback iterations → cache lookups → vector planning → execution);
+* :mod:`~repro.obs.chrome` — Chrome ``trace_event`` export of those
+  spans, loadable in Perfetto / ``chrome://tracing``;
+* :mod:`~repro.obs.metrics` — the counter/gauge/histogram registry
+  backing ``SessionStats`` and ``CompileCache``;
+* :mod:`~repro.obs.profiler` — per-kernel execution profiles (memory
+  traffic by space and coalescing class, occupancy, register pressure,
+  vector-planner decisions).
+
+See ``docs/observability.md`` for the span model and file formats.
+"""
+
+from .chrome import chrome_trace, write_chrome_trace
+from .metrics import (
+    COUNT_BUCKETS,
+    MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer, span, traced
+
+#: Profiler names are loaded lazily: the profiler imports the analysis and
+#: codegen layers, which themselves import ``repro.obs.tracer`` — an eager
+#: import here would close that cycle during package initialisation.
+_PROFILER_NAMES = {
+    "KernelProfile",
+    "LoopDecision",
+    "ProgramProfile",
+    "TrafficEntry",
+    "profile_program",
+    "profile_source",
+}
+
+
+def __getattr__(name: str):
+    if name in _PROFILER_NAMES:
+        from . import profiler
+
+        return getattr(profiler, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "MS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelProfile",
+    "LoopDecision",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ProgramProfile",
+    "Span",
+    "Tracer",
+    "TrafficEntry",
+    "chrome_trace",
+    "get_tracer",
+    "profile_program",
+    "profile_source",
+    "set_tracer",
+    "span",
+    "traced",
+    "write_chrome_trace",
+]

@@ -1,0 +1,92 @@
+"""Chrome ``trace_event`` export for :class:`~repro.obs.tracer.Tracer`.
+
+Emits the JSON Object Format of the Trace Event specification: a
+``traceEvents`` list of *complete* events (``ph: "X"``) plus ``M``
+metadata events naming the process and threads.  The output loads in
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` — nesting is
+reconstructed from timestamp containment per thread, so a SAFARA run
+renders as a ``compile`` bar containing ``pass:safara`` containing one
+``ptxas`` bar per feedback iteration.
+
+Timestamps and durations are microseconds (floats allowed by the spec);
+``pid`` is fixed at 1 — there is only ever one process in a trace, and a
+stable value keeps golden-schema tests and diffs deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import Tracer
+
+#: Fixed process id for every exported event (single-process traces).
+PID = 1
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_events(tracer: Tracer, process_name: str = "repro") -> list[dict]:
+    """The ``traceEvents`` list: metadata first, then complete events in
+    (start, -duration) order so parents precede their children."""
+    spans = tracer.spans
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid in sorted({s.tid for s in spans}):
+        label = "main" if tid == 0 else f"worker-{tid}"
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": label},
+            }
+        )
+    for s in sorted(spans, key=lambda s: (s.ts_us, -s.dur_us)):
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "ph": "X",
+                "ts": round(s.ts_us, 3),
+                "dur": round(s.dur_us, 3),
+                "pid": PID,
+                "tid": s.tid,
+                "args": {k: _json_safe(v) for k, v in s.args.items()},
+            }
+        )
+    return events
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """The full JSON-object-format document."""
+    return {
+        "traceEvents": chrome_events(tracer, process_name),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "spans": len(tracer.spans),
+            "dropped": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, process_name: str = "repro"
+) -> None:
+    with open(path, "w") as f:
+        json.dump(chrome_trace(tracer, process_name), f, indent=1)
+        f.write("\n")

@@ -21,6 +21,9 @@ import threading
 from collections import OrderedDict
 from typing import Any, Mapping
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import span
+
 
 def config_token(config) -> str:
     """A deterministic serialisation of a :class:`CompilerConfig`.
@@ -61,28 +64,67 @@ def cache_key(
 
 
 class CompileCache:
-    """Thread-safe LRU cache of compiled programs, keyed by content hash."""
+    """Thread-safe LRU cache of compiled programs, keyed by content hash.
 
-    def __init__(self, maxsize: int = 512):
+    Hit/miss/evict counters live in a :class:`MetricsRegistry` (pass the
+    session's to share one namespace; a private registry is created
+    otherwise).  ``cache.hits`` and friends remain available as
+    compatibility properties.
+    """
+
+    def __init__(self, maxsize: int = 512, metrics: MetricsRegistry | None = None):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("cache.hits", "compile cache hits")
+        self._misses = self.metrics.counter("cache.misses", "compile cache misses")
+        self._evictions = self.metrics.counter(
+            "cache.evictions", "LRU evictions past maxsize"
+        )
+        self._entries = self.metrics.gauge("cache.entries", "resident programs")
         self._data: OrderedDict[str, Any] = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+
+    # -- compatibility properties over the named metrics -------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.value = value
 
     def get(self, key: str) -> Any | None:
         """Look up ``key``; counts a hit or a miss.  ``None`` on miss."""
-        with self._lock:
-            try:
-                value = self._data[key]
-            except KeyError:
-                self.misses += 1
-                return None
-            self._data.move_to_end(key)
-            self.hits += 1
+        with span("cache.lookup", cache_key=key) as sp:
+            with self._lock:
+                try:
+                    value = self._data[key]
+                except KeyError:
+                    self._misses.inc()
+                    sp.set(hit=False)
+                    return None
+                self._data.move_to_end(key)
+                self._hits.inc()
+            sp.set(hit=True)
             return value
 
     def peek(self, key: str) -> bool:
@@ -98,21 +140,24 @@ class CompileCache:
                 return
             while len(self._data) >= self.maxsize:
                 self._data.popitem(last=False)
-                self.evictions += 1
+                self._evictions.inc()
             self._data[key] = value
+            self._entries.set(len(self._data))
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; see :meth:`reset`)."""
         with self._lock:
             self._data.clear()
+            self._entries.set(0)
 
     def reset(self) -> None:
         """Drop all entries and zero the counters."""
         with self._lock:
             self._data.clear()
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+            self._hits.zero()
+            self._misses.zero()
+            self._evictions.zero()
+            self._entries.set(0)
 
     def __len__(self) -> int:
         with self._lock:

@@ -26,6 +26,7 @@ from ..gpu.arch import GpuArch, KEPLER_K20XM
 from ..gpu.registers import PtxasInfo
 from ..ir.stmt import Region, walk_stmts
 from ..ir.symbols import SymbolTable
+from ..obs.tracer import span as obs_span
 from ..transforms.autopar import auto_parallelize
 from ..transforms.carr_kennedy import apply_carr_kennedy
 from ..transforms.licm import apply_licm
@@ -247,32 +248,40 @@ class PassManager:
     def run(self, ctx: PassContext) -> RegionTrace:
         """Run every enabled pass over ``ctx.region``, in order."""
         trace = RegionTrace(kernel=ctx.kernel_name)
-        for p in self.passes:
-            if not p.enabled(ctx.config):
-                trace.passes.append(PassTrace(name=p.name, ran=False))
-                continue
-            ctx.ptxas_history = None
-            compilations_before = ctx.backend_compilations
-            before = ir_size(ctx.region)
-            t0 = time.perf_counter()
-            report = p.run(ctx)
-            wall_ms = (time.perf_counter() - t0) * 1000.0
-            entry = PassTrace(
-                name=p.name,
-                ran=True,
-                wall_ms=wall_ms,
-                ir_before=before,
-                ir_after=ir_size(ctx.region),
-            )
-            if ctx.ptxas_history:
-                entry.registers_before = ctx.ptxas_history[0].registers
-                entry.registers_after = ctx.ptxas_history[-1].registers
-                entry.backend_compilations = len(ctx.ptxas_history)
-            elif ctx.backend_compilations != compilations_before:
-                entry.backend_compilations = (
-                    ctx.backend_compilations - compilations_before
-                )
-            if report is not None and p.report_key:
-                ctx.reports[p.report_key] = report
-            trace.passes.append(entry)
+        with obs_span("pipeline", kernel=ctx.kernel_name):
+            for p in self.passes:
+                if not p.enabled(ctx.config):
+                    trace.passes.append(PassTrace(name=p.name, ran=False))
+                    continue
+                ctx.ptxas_history = None
+                compilations_before = ctx.backend_compilations
+                before = ir_size(ctx.region)
+                with obs_span(f"pass:{p.name}", kernel=ctx.kernel_name) as sp:
+                    t0 = time.perf_counter()
+                    report = p.run(ctx)
+                    wall_ms = (time.perf_counter() - t0) * 1000.0
+                    entry = PassTrace(
+                        name=p.name,
+                        ran=True,
+                        wall_ms=wall_ms,
+                        ir_before=before,
+                        ir_after=ir_size(ctx.region),
+                    )
+                    if ctx.ptxas_history:
+                        entry.registers_before = ctx.ptxas_history[0].registers
+                        entry.registers_after = ctx.ptxas_history[-1].registers
+                        entry.backend_compilations = len(ctx.ptxas_history)
+                    elif ctx.backend_compilations != compilations_before:
+                        entry.backend_compilations = (
+                            ctx.backend_compilations - compilations_before
+                        )
+                    sp.set(
+                        ir_delta=entry.ir_delta,
+                        backend_compilations=entry.backend_compilations,
+                    )
+                    if entry.registers_after is not None:
+                        sp.set(registers=entry.registers_after)
+                if report is not None and p.report_key:
+                    ctx.reports[p.report_key] = report
+                trace.passes.append(entry)
         return trace

@@ -6,12 +6,21 @@ produces one :class:`CompileTrace` (per program) holding one
 :class:`PassTrace` per registered pass — wall time, IR-size delta, and
 (where the pass talks to the backend) the register delta read off the
 ``FeedbackCompiler`` history.  The same objects serialise to JSON for the
-CLI's ``--stats`` flag.
+CLI's ``--stats`` flag, and each ``CompileTrace`` carries the compile
+cache key of its program so traces can be joined to cache entries.
+
+:class:`SessionStats` aggregates those traces.  Its counters are backed
+by a :class:`~repro.obs.metrics.MetricsRegistry` (shared with the
+session's :class:`~repro.pipeline.cache.CompileCache`); the historical
+attributes — ``compilations``, ``timings``, ``scalar_fallbacks``, … —
+survive as compatibility properties over the named metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry
 
 
 @dataclass(slots=True)
@@ -94,52 +103,161 @@ class CompileTrace:
     config: str
     regions: list[RegionTrace] = field(default_factory=list)
     wall_ms: float = 0.0
+    #: Compile-cache key of the program this trace describes (``None`` for
+    #: uncached entrypoints like ``compile_function`` on caller-owned IR).
+    cache_key: str | None = None
 
     def as_dict(self) -> dict:
         return {
             "function": self.function,
             "config": self.config,
+            "cache_key": self.cache_key,
             "wall_ms": round(self.wall_ms, 4),
             "regions": [r.as_dict() for r in self.regions],
         }
 
 
-@dataclass(slots=True)
 class SessionStats:
-    """Aggregate counters and traces for one compiler session."""
+    """Aggregate counters and traces for one compiler session.
 
-    #: Programs actually compiled (cache misses + uncached entrypoints).
-    compilations: int = 0
-    #: Timing-model evaluations.
-    timings: int = 0
-    #: Stand-alone feedback optimisations (``optimize_region``).
-    feedback_optimizations: int = 0
-    #: Functional kernel executions (``CompilerSession.execute``).
-    executions: int = 0
-    #: ... of which ran through the vectorized engine.
-    vector_executions: int = 0
-    #: ... of which fell back to the scalar interpreter.
-    scalar_fallbacks: int = 0
-    #: One record per execution: the kernel name plus the
-    #: :class:`~repro.gpu.vector_exec.ExecutionInfo` payload (executor
-    #: requested/used, fallback reason, per-region element counts).
-    execution_traces: list[dict] = field(default_factory=list)
-    traces: list[CompileTrace] = field(default_factory=list)
-    #: Oldest traces are dropped past this bound.
-    max_traces: int = 4096
+    Counters live in a metrics registry (pass one to share it with the
+    compile cache; a private one is created otherwise).  The attribute
+    API is unchanged from the dataclass era: ``stats.compilations`` still
+    reads — and, for backward compatibility, still assigns — the counter.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        m = self.metrics
+        self._compilations = m.counter(
+            "session.compilations",
+            "programs actually compiled (cache misses + uncached entrypoints)",
+        )
+        self._timings = m.counter(
+            "session.timings", "timing-model evaluations"
+        )
+        self._feedback_optimizations = m.counter(
+            "session.feedback_optimizations",
+            "stand-alone feedback optimisations (optimize_region)",
+        )
+        self._executions = m.counter(
+            "session.executions", "functional kernel executions"
+        )
+        self._vector_executions = m.counter(
+            "session.executions.vector", "executions through the vector engine"
+        )
+        self._scalar_fallbacks = m.counter(
+            "session.executions.scalar_fallback",
+            "vector/auto requests that fell back to the scalar interpreter",
+        )
+        self._scalar_requested = m.counter(
+            "session.executions.scalar_requested",
+            "executions that explicitly requested the scalar interpreter",
+        )
+        self._compile_wall_ms = m.histogram(
+            "session.compile_wall_ms", help="wall time per compiled program"
+        )
+        self._execution_elements = m.histogram(
+            "session.execution_elements",
+            boundaries=COUNT_BUCKETS,
+            help="batched lane-iterations per vector execution",
+        )
+        #: One record per execution: the kernel name plus the
+        #: :class:`~repro.gpu.vector_exec.ExecutionInfo` payload (executor
+        #: requested/used, fallback reason, per-region element counts).
+        self.execution_traces: list[dict] = []
+        self.traces: list[CompileTrace] = []
+        #: Oldest traces are dropped past this bound.
+        self.max_traces: int = 4096
+
+    # -- compatibility properties over the named metrics -------------------
+
+    @property
+    def compilations(self) -> int:
+        return int(self._compilations.value)
+
+    @compilations.setter
+    def compilations(self, value: int) -> None:
+        self._compilations.value = value
+
+    @property
+    def timings(self) -> int:
+        return int(self._timings.value)
+
+    @timings.setter
+    def timings(self, value: int) -> None:
+        self._timings.value = value
+
+    @property
+    def feedback_optimizations(self) -> int:
+        return int(self._feedback_optimizations.value)
+
+    @feedback_optimizations.setter
+    def feedback_optimizations(self, value: int) -> None:
+        self._feedback_optimizations.value = value
+
+    @property
+    def executions(self) -> int:
+        return int(self._executions.value)
+
+    @property
+    def vector_executions(self) -> int:
+        return int(self._vector_executions.value)
+
+    @property
+    def scalar_fallbacks(self) -> int:
+        return int(self._scalar_fallbacks.value)
+
+    @property
+    def scalar_requested(self) -> int:
+        return int(self._scalar_requested.value)
+
+    # -- recording ---------------------------------------------------------
 
     def record(self, trace: CompileTrace) -> None:
-        self.compilations += 1
+        self._compilations.inc()
+        self._compile_wall_ms.observe(trace.wall_ms)
+        m = self.metrics
+        for region in trace.regions:
+            for p in region.passes:
+                base = f"pipeline.pass.{p.name}"
+                if p.ran:
+                    m.counter(base + ".runs").inc()
+                    m.counter(base + ".wall_ms").inc(p.wall_ms)
+                    if p.backend_compilations:
+                        m.counter(base + ".backend_compilations").inc(
+                            p.backend_compilations
+                        )
+                else:
+                    m.counter(base + ".skips").inc()
         self.traces.append(trace)
         if len(self.traces) > self.max_traces:
             del self.traces[: len(self.traces) - self.max_traces]
 
+    def record_timing(self) -> None:
+        self._timings.inc()
+
+    def record_feedback_optimization(self) -> None:
+        self._feedback_optimizations.inc()
+
     def record_execution(self, function: str, info: dict) -> None:
-        self.executions += 1
-        if info.get("used") == "vector":
-            self.vector_executions += 1
+        """Record one functional execution.
+
+        A *fallback* is counted only when the caller asked for the vector
+        engine (``requested`` of ``vector`` or ``auto``) and the scalar
+        interpreter ran anyway; an explicitly requested scalar run counts
+        under ``scalar_requested`` instead.
+        """
+        self._executions.inc()
+        requested = info.get("requested")
+        used = info.get("used")
+        if used == "vector":
+            self._vector_executions.inc()
+            self._execution_elements.observe(info.get("elements", 0))
+        elif requested in ("vector", "auto"):
+            self._scalar_fallbacks.inc()
         else:
-            self.scalar_fallbacks += 1
+            self._scalar_requested.inc()
         self.execution_traces.append({"kernel": function, **info})
         if len(self.execution_traces) > self.max_traces:
             del self.execution_traces[
@@ -178,16 +296,14 @@ class SessionStats:
                 "executions": self.executions,
                 "vector": self.vector_executions,
                 "scalar_fallbacks": self.scalar_fallbacks,
+                "scalar_requested": self.scalar_requested,
                 "kernels": list(self.execution_traces),
             },
         }
 
     def reset(self) -> None:
-        self.compilations = 0
-        self.timings = 0
-        self.feedback_optimizations = 0
-        self.executions = 0
-        self.vector_executions = 0
-        self.scalar_fallbacks = 0
+        """Zero every counter and drop every trace (metric registrations
+        are kept — a shared registry stays shared)."""
+        self.metrics.reset()
         self.execution_traces.clear()
         self.traces.clear()

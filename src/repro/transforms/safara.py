@@ -31,6 +31,7 @@ from ..analysis.memspace import classify_memspaces
 from ..analysis.reuse import GroupKind, find_reuse_groups
 from ..ir.stmt import Loop, Region
 from ..ir.symbols import SymbolTable
+from ..obs.tracer import span
 from .carr_kennedy import _parent_stmts
 from .scalar_replacement import ReplacementResult, can_replace, replace_group
 
@@ -145,31 +146,37 @@ def apply_safara(
     4. repeat until saturation or exhaustion.
     """
     report = SafaraReport(register_limit=register_limit)
-    for _ in range(max_iterations):
-        info = feedback(region)
-        available = register_limit - info.registers
-        if available <= 0:
-            report.final_registers = info.registers
-            return report
-        candidates = collect_candidates(
-            region, has_readonly_cache=has_readonly_cache, latency=latency
-        )
-        if not candidates:
-            report.final_registers = info.registers
-            return report
-        iteration = SafaraIteration(registers_before=info.registers, available=available)
-        budget = available
-        for cand in candidates:
-            if cand.registers_needed > budget:
-                continue
-            loop = cand.group.loop
-            parent = _parent_stmts(region, loop)
-            result = replace_group(parent, loop, cand.group, symtab)
-            iteration.applied.append(result)
-            budget -= cand.registers_needed
-        if not iteration.applied:
-            report.final_registers = info.registers
-            return report
-        report.iterations.append(iteration)
+    for i in range(max_iterations):
+        with span("safara.iteration", iteration=i) as sp:
+            info = feedback(region)
+            available = register_limit - info.registers
+            sp.set(registers=info.registers, available=available)
+            if available <= 0:
+                report.final_registers = info.registers
+                return report
+            candidates = collect_candidates(
+                region, has_readonly_cache=has_readonly_cache, latency=latency
+            )
+            sp.set(candidates=len(candidates))
+            if not candidates:
+                report.final_registers = info.registers
+                return report
+            iteration = SafaraIteration(
+                registers_before=info.registers, available=available
+            )
+            budget = available
+            for cand in candidates:
+                if cand.registers_needed > budget:
+                    continue
+                loop = cand.group.loop
+                parent = _parent_stmts(region, loop)
+                result = replace_group(parent, loop, cand.group, symtab)
+                iteration.applied.append(result)
+                budget -= cand.registers_needed
+            sp.set(replaced=len(iteration.applied))
+            if not iteration.applied:
+                report.final_registers = info.registers
+                return report
+            report.iterations.append(iteration)
     report.final_registers = feedback(region).registers
     return report

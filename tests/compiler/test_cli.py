@@ -67,6 +67,65 @@ class TestCompileCommand:
         out = capsys.readouterr().out
         assert "__global__ void" in out
 
+    def test_trace_writes_chrome_trace(self, demo_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["compile", demo_file, "--trace", str(trace_path)]) == 0
+        assert "trace:" in capsys.readouterr().out
+        doc = json.loads(trace_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"compile", "pipeline", "pass:safara", "ptxas"} <= names
+
+
+class TestProfileCommand:
+    def test_text_report(self, demo_file, capsys):
+        assert main(["profile", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "== profile: demo" in out
+        assert "registers" in out
+        assert "memory traffic" in out
+        assert "vector planner" in out
+
+    def test_json_report(self, demo_file, capsys):
+        import json
+
+        assert main(["profile", demo_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["function"] == "demo"
+        assert doc["kernels"][0]["traffic"]
+
+    def test_run_attaches_execution(self, tmp_path, capsys):
+        path = tmp_path / "saxpy.acc"
+        path.write_text(
+            "kernel k(double a[n], const double b[n], int n) {\n"
+            "  #pragma acc kernels loop gang vector(64)\n"
+            "  for (i = 0; i < n; i++) { a[i] = 2.0 * b[i] + i; }\n"
+            "}\n"
+        )
+        assert main(["profile", str(path), "--run", "--env", "n=16"]) == 0
+        assert "execution: executor=" in capsys.readouterr().out
+
+    def test_unknown_config_rejected(self, demo_file):
+        with pytest.raises(SystemExit, match="unknown config"):
+            main(["profile", demo_file, "--config", "zzz"])
+
+
+class TestStatsCommand:
+    def test_text_output(self, demo_file, capsys):
+        assert main(["stats", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "session.compilations" in out
+        assert "cache.misses" in out
+
+    def test_json_output(self, demo_file, capsys):
+        import json
+
+        assert main(["stats", demo_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["session.compilations"]["value"] == 2
+        assert doc["cache.misses"]["type"] == "counter"
+
 
 class TestOtherCommands:
     def test_bench_listing(self, capsys):

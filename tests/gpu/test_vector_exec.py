@@ -229,11 +229,16 @@ class TestSessionWiring:
         execution = session.stats_dict()["execution"]
         assert execution["executions"] == 2
         assert execution["vector"] == 1
-        assert execution["scalar_fallbacks"] == 1
+        # An *explicitly requested* scalar run is not a fallback: only
+        # vector/auto requests that came back scalar count as fallbacks.
+        assert execution["scalar_fallbacks"] == 0
+        assert execution["scalar_requested"] == 1
         kernels = execution["kernels"]
         assert [k["kernel"] for k in kernels] == ["k", "k"]
+        assert kernels[0]["requested"] == "auto"
         assert kernels[0]["used"] == "vector"
         assert kernels[0]["elements"] == 5
+        assert kernels[1]["requested"] == "scalar"
 
     def test_execute_program_shim(self):
         arrays, stats, info = execute_program(lower(self.SRC), self._args())

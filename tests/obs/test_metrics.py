@@ -1,0 +1,123 @@
+"""Tests for the metrics registry (`repro.obs.metrics`)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_default_and_amount(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_as_dict_integralizes_whole_values(self):
+        c = Counter("c")
+        c.inc(2)
+        assert c.as_dict() == {"type": "counter", "value": 2}
+        c.inc(0.25)
+        assert c.as_dict() == {"type": "counter", "value": 2.25}
+
+
+class TestGauge:
+    def test_set_and_zero(self):
+        g = Gauge("g")
+        g.set(7)
+        assert g.value == 7
+        g.zero()
+        assert g.value == 0
+
+
+class TestHistogram:
+    def test_boundaries_must_be_sorted_nonempty(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=())
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(2, 1))
+
+    def test_observe_buckets_upper_inclusive(self):
+        h = Histogram("h", boundaries=(1, 10, 100))
+        for v in (0.5, 1, 5, 10, 99, 1000):
+            h.observe(v)
+        # bisect_left: value == boundary lands in that boundary's bucket.
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.cumulative() == {"le_1": 2, "le_10": 4, "le_100": 5, "le_inf": 6}
+
+    def test_mean_and_zero(self):
+        h = Histogram("h", boundaries=(1,))
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+        h.zero()
+        assert h.count == 0 and h.total == 0.0 and h.counts == [0, 0]
+
+    def test_float_boundary_keys(self):
+        h = Histogram("h", boundaries=(0.5, 2))
+        h.observe(0.1)
+        assert list(h.cumulative()) == ["le_0.5", "le_2", "le_inf"]
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instances(self):
+        m = MetricsRegistry()
+        a = m.counter("x", "first registration wins the help text")
+        b = m.counter("x", "ignored")
+        assert a is b
+        assert a.help == "first registration wins the help text"
+
+    def test_kind_mismatch_raises(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            m.gauge("x")
+
+    def test_names_sorted_and_get(self):
+        m = MetricsRegistry()
+        m.counter("b.two")
+        m.gauge("a.one")
+        assert m.names() == ["a.one", "b.two"]
+        assert m.get("a.one").kind == "gauge"
+        assert m.get("missing") is None
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        m = MetricsRegistry()
+        c = m.counter("c")
+        h = m.histogram("h", boundaries=COUNT_BUCKETS)
+        c.inc(5)
+        h.observe(3)
+        m.reset()
+        assert m.counter("c") is c and c.value == 0
+        assert h.count == 0
+
+    def test_as_dict_shape(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.gauge("g").set(2)
+        m.histogram("h").observe(1.0)
+        d = m.as_dict()
+        assert list(d) == ["c", "g", "h"]
+        assert d["c"] == {"type": "counter", "value": 1}
+        assert d["g"] == {"type": "gauge", "value": 2}
+        assert d["h"]["type"] == "histogram"
+        assert {"count", "sum", "mean", "buckets"} <= set(d["h"])
+
+    def test_render_text_lists_metrics_and_informative_buckets(self):
+        m = MetricsRegistry()
+        m.counter("session.compilations").inc(3)
+        m.histogram("wall", boundaries=(1, 10)).observe(5)
+        text = m.render_text()
+        assert "session.compilations" in text
+        assert "counter" in text
+        assert "le_10" in text
+        assert "le_inf" in text
+        # The empty le_1 bucket adds nothing and is elided.
+        assert "le_1 " not in text

@@ -1,0 +1,151 @@
+"""Tests for the benchmark-regression ledger (`benchmarks/regress.py`)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REGRESS = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "regress.py"
+)
+
+
+@pytest.fixture(scope="module")
+def regress():
+    spec = importlib.util.spec_from_file_location("regress", REGRESS)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def quick_doc(regress):
+    return regress.collect(quick=True)
+
+
+class TestCollect:
+    def test_quick_doc_shape(self, quick_doc):
+        assert set(quick_doc) == {"version", "quick", "entries", "meta"}
+        assert quick_doc["quick"] is True
+        assert len(quick_doc["entries"]) == (
+            len(quick_doc["meta"]["configs"]) * quick_doc["meta"]["benchmarks"]
+        )
+        for key, entry in quick_doc["entries"].items():
+            assert "|" in key
+            assert set(entry) == {
+                "model_ms", "max_registers", "speedup_over_base"
+            }
+            assert entry["model_ms"] > 0
+            assert entry["max_registers"] > 0
+            assert entry["speedup_over_base"] > 0
+
+    def test_base_cells_have_unit_speedup(self, quick_doc):
+        base_cells = [
+            e for k, e in quick_doc["entries"].items()
+            if k.endswith("|OpenUH(base)")
+        ]
+        assert base_cells
+        assert all(e["speedup_over_base"] == 1.0 for e in base_cells)
+
+    def test_deterministic_across_runs(self, regress, quick_doc):
+        again = regress.collect(quick=True)
+        assert again["entries"] == quick_doc["entries"]
+
+    def test_committed_ledger_matches_current_code(self, regress, quick_doc):
+        """BENCH_obs.json at the repo root is the current code's output."""
+        committed = json.loads(
+            (REGRESS.parent.parent / "BENCH_obs.json").read_text()
+        )
+        for key, entry in quick_doc["entries"].items():
+            assert committed["entries"][key] == entry, key
+
+
+class TestCompare:
+    def _doc(self, **entry):
+        cell = {"model_ms": 100.0, "max_registers": 32,
+                "speedup_over_base": 2.0}
+        cell.update(entry)
+        return {"entries": {"b|cfg": cell}}
+
+    def test_no_regression_within_threshold(self, regress):
+        old = self._doc()
+        new = self._doc(model_ms=115.0, speedup_over_base=1.7,
+                        max_registers=38)
+        assert regress.compare(old, new) == []
+
+    def test_model_time_regression_flagged(self, regress):
+        problems = regress.compare(self._doc(), self._doc(model_ms=125.0))
+        assert len(problems) == 1
+        assert "model_ms" in problems[0]
+
+    def test_speedup_drop_flagged(self, regress):
+        problems = regress.compare(self._doc(),
+                                   self._doc(speedup_over_base=1.5))
+        assert len(problems) == 1
+        assert "speedup_over_base" in problems[0]
+
+    def test_register_growth_flagged(self, regress):
+        problems = regress.compare(self._doc(), self._doc(max_registers=40))
+        assert len(problems) == 1
+        assert "max_registers" in problems[0]
+
+    def test_improvements_never_flagged(self, regress):
+        new = self._doc(model_ms=10.0, speedup_over_base=20.0,
+                        max_registers=8)
+        assert regress.compare(self._doc(), new) == []
+
+    def test_new_and_removed_cells_ignored(self, regress):
+        old = {"entries": {"gone|cfg": {"model_ms": 1.0}}}
+        assert regress.compare(old, self._doc()) == []
+
+
+class TestMain:
+    def test_baseline_then_clean_rerun(self, regress, tmp_path, capsys):
+        ledger = tmp_path / "ledger.json"
+        assert regress.main(["--quick", "--output", str(ledger)]) == 0
+        assert ledger.exists()
+        assert regress.main(["--quick", "--output", str(ledger)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_fails_and_preserves_ledger(self, regress, tmp_path,
+                                                   capsys):
+        ledger = tmp_path / "ledger.json"
+        assert regress.main(["--quick", "--output", str(ledger)]) == 0
+        doc = json.loads(ledger.read_text())
+        # Shrink a recorded model time so the (unchanged) new run looks
+        # like a >20% slowdown against it.
+        key = next(iter(doc["entries"]))
+        doc["entries"][key]["model_ms"] /= 2.0
+        ledger.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert regress.main(["--quick", "--output", str(ledger)]) == 1
+        err = capsys.readouterr().err
+        assert "model_ms regressed" in err
+        assert json.loads(ledger.read_text())["entries"][key]["model_ms"] == (
+            doc["entries"][key]["model_ms"]
+        ), "a failing run must not rewrite the ledger"
+
+    def test_partial_run_merges_into_existing_ledger(self, regress, tmp_path):
+        ledger = tmp_path / "ledger.json"
+        seed = {
+            "version": 1,
+            "entries": {"other|cfg": {"model_ms": 1.0, "max_registers": 2,
+                                      "speedup_over_base": 1.0}},
+            "meta": {},
+        }
+        ledger.write_text(json.dumps(seed))
+        assert regress.main(["--quick", "--output", str(ledger)]) == 0
+        merged = json.loads(ledger.read_text())
+        assert "other|cfg" in merged["entries"]
+        assert len(merged["entries"]) > 1
+
+    def test_trace_flag_writes_chrome_trace(self, regress, tmp_path):
+        ledger = tmp_path / "ledger.json"
+        trace = tmp_path / "trace.json"
+        assert regress.main([
+            "--quick", "--output", str(ledger), "--trace", str(trace),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "compile.function" in names and "pipeline" in names

@@ -1,0 +1,158 @@
+"""Tests for the span tracer (`repro.obs.tracer`)."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    traced,
+)
+
+
+class TestNullPath:
+    def test_module_span_is_null_when_disabled(self):
+        assert span("anything") is NULL_SPAN
+
+    def test_null_span_is_a_working_context_manager(self):
+        with span("anything", key="value") as sp:
+            sp.set(more="attrs")  # must not raise
+
+    def test_disabled_tracer_hands_out_null(self):
+        t = Tracer()
+        assert t.span("x") is NULL_SPAN
+        assert t.spans == []
+
+
+class TestRecording:
+    def test_span_records_name_cat_args_and_timing(self):
+        t = Tracer(enabled=True)
+        with t.span("work", cat="test", kernel="k1") as sp:
+            sp.set(registers=32)
+        (recorded,) = t.spans
+        assert recorded is sp
+        assert recorded.name == "work"
+        assert recorded.cat == "test"
+        assert recorded.args == {"kernel": "k1", "registers": 32}
+        assert recorded.dur_us >= 0.0
+
+    def test_nesting_by_containment(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        inner, outer = t.spans  # inner closes (records) first
+        assert [s.name for s in (inner, outer)] == ["inner", "outer"]
+        assert outer.ts_us <= inner.ts_us
+        assert inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us
+
+    def test_exception_is_recorded_and_propagates(self):
+        t = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with t.span("doomed"):
+                raise ValueError("boom")
+        (recorded,) = t.spans
+        assert recorded.args["error"] == "ValueError"
+
+    def test_max_spans_drops_and_counts(self):
+        t = Tracer(enabled=True, max_spans=2)
+        for i in range(5):
+            with t.span(f"s{i}"):
+                pass
+        assert len(t.spans) == 2
+        assert t.dropped == 3
+
+    def test_clear(self):
+        t = Tracer(enabled=True, max_spans=1)
+        for _ in range(3):
+            with t.span("s"):
+                pass
+        t.clear()
+        assert t.spans == [] and t.dropped == 0
+
+    def test_threads_get_stable_small_tids(self):
+        t = Tracer(enabled=True)
+        with t.span("main-span"):
+            pass
+
+        def work():
+            with t.span("worker-span"):
+                pass
+
+        th = threading.Thread(target=work)
+        th.start()
+        th.join()
+        tids = {s.name: s.tid for s in t.spans}
+        assert tids["main-span"] == 0
+        assert tids["worker-span"] == 1
+
+
+class TestActivation:
+    def test_activate_swaps_and_restores(self):
+        before = get_tracer()
+        t = Tracer()
+        with t.activate():
+            assert get_tracer() is t
+            assert t.enabled
+            with span("scoped"):
+                pass
+        assert get_tracer() is before
+        assert [s.name for s in t.spans] == ["scoped"]
+
+    def test_set_tracer_none_restores_default(self):
+        t = Tracer(enabled=True)
+        set_tracer(t)
+        try:
+            assert get_tracer() is t
+        finally:
+            set_tracer(None)
+        assert get_tracer() is not t
+
+    def test_traced_decorator(self):
+        @traced()
+        def add(a, b):
+            return a + b
+
+        t = Tracer()
+        with t.activate():
+            assert add(2, 3) == 5
+        (recorded,) = t.spans
+        assert recorded.name.endswith("add")
+        # Disabled again: calls bypass span creation entirely.
+        assert add(1, 1) == 2
+        assert len(t.spans) == 1
+
+    def test_span_reports_instrumented_pipeline(self):
+        # End-to-end: a compile through the session emits the span tree the
+        # docs promise (parse > pipeline > passes, cache lookup, codegen).
+        from repro.compiler.options import SMALL_DIM_SAFARA
+        from repro.compiler.session import CompilerSession
+
+        src = """
+        kernel k(double a[n], const double b[n], int n) {
+          #pragma acc kernels loop gang vector(64)
+          for (i = 0; i < n; i++) { a[i] = 2.0 * b[i] + i; }
+        }
+        """
+        t = Tracer()
+        with t.activate():
+            CompilerSession().compile_source(src, SMALL_DIM_SAFARA)
+        names = set(t.span_names())
+        assert {
+            "lex",
+            "parse",
+            "compile",
+            "compile.function",
+            "cache.lookup",
+            "pipeline",
+            "pass:licm",
+            "pass:safara",
+            "safara.iteration",
+            "ptxas",
+            "codegen",
+        } <= names
