@@ -17,6 +17,14 @@ not wall clock — so the gate is machine-independent and a failure means a
 *code* change moved the model, never scheduler noise.  Wall-clock compile
 time and cache counters are recorded informationally in ``meta``.
 
+The ledger also carries a ``serve`` row measuring the warm-restart
+property of the persistent compile cache (``docs/serving.md``): the
+quick benchmark set is compiled cold through a disk-backed session, then
+again through a *fresh* session over the same cache directory.  The gate
+is on deterministic counters, consistent with the rest of the ledger:
+the warm pass must perform **zero** backend (ptxas) compilations and hit
+the disk cache once per job; cold/warm wall times are informational.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/regress.py            # full sweep
@@ -92,6 +100,75 @@ def collect(quick: bool) -> dict:
     }
 
 
+def collect_serve() -> dict:
+    """The warm-restart serving row (cold compile vs disk-cache restart).
+
+    Models a ``repro serve`` daemon kill/restart: the second session is a
+    fresh process stand-in sharing only the cache directory.  Returns the
+    ledger row; :func:`check_serve` gates its deterministic counters.
+    """
+    import tempfile
+
+    load_all()
+    specs = list(SPEC.all()) + list(NAS.all())
+    specs = [s for s in specs if s.name in QUICK_BENCHMARKS]
+    backend_metric = "pipeline.pass.safara.backend_compilations"
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        cold = CompilerSession(cache_dir=tmp)
+        t0 = time.perf_counter()
+        for spec in specs:
+            cold.compile_source(spec.source, SMALL_DIM_SAFARA)
+        cold_ms = (time.perf_counter() - t0) * 1000.0
+        cold_backend = cold.metrics.get(backend_metric)
+
+        warm = CompilerSession(cache_dir=tmp)
+        t0 = time.perf_counter()
+        for spec in specs:
+            warm.compile_source(spec.source, SMALL_DIM_SAFARA)
+        warm_ms = (time.perf_counter() - t0) * 1000.0
+        warm_backend = warm.metrics.get(backend_metric)
+
+        return {
+            "benchmarks": [s.name for s in specs],
+            "config": SMALL_DIM_SAFARA.name,
+            # gated (deterministic counters):
+            "cold_backend_compilations": int(cold_backend.value)
+            if cold_backend
+            else 0,
+            "warm_backend_compilations": int(warm_backend.value)
+            if warm_backend
+            else 0,
+            "disk_hits": warm.disk_cache.hits,
+            # informational (wall clock):
+            "cold_compile_ms": round(cold_ms, 3),
+            "warm_compile_ms": round(warm_ms, 3),
+        }
+
+
+def check_serve(serve: dict) -> list[str]:
+    """Absolute (not baseline-relative) gates on the serve row."""
+    problems: list[str] = []
+    if serve["cold_backend_compilations"] <= 0:
+        problems.append(
+            "serve: cold pass performed no backend compilations — the "
+            "SAFARA feedback loop did not run, the row measures nothing"
+        )
+    if serve["warm_backend_compilations"] > 0:
+        problems.append(
+            f"serve: warm restart re-ran the feedback loop "
+            f"({serve['warm_backend_compilations']} backend compilations; "
+            f"expected 0) — the disk cache did not serve the programs"
+        )
+    expected_hits = len(serve["benchmarks"])
+    if serve["disk_hits"] != expected_hits:
+        problems.append(
+            f"serve: warm restart hit the disk cache {serve['disk_hits']} "
+            f"times (expected {expected_hits})"
+        )
+    return problems
+
+
 def compare(old: dict, new: dict) -> list[str]:
     """Regression messages over the key intersection of two ledgers."""
     problems: list[str] = []
@@ -160,6 +237,19 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(doc['entries'])} cells over {meta['benchmarks']} benchmarks x "
         f"{len(meta['configs'])} configs in {meta['wall_ms']:.0f} ms "
         f"({meta['cache']['hits']} cache hits)"
+    )
+
+    doc["serve"] = collect_serve()
+    serve_problems = check_serve(doc["serve"])
+    if serve_problems:
+        print(f"\nFAIL: serve warm-restart gate:", file=sys.stderr)
+        for p in serve_problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        f"serve: warm restart {doc['serve']['warm_compile_ms']:.0f} ms vs "
+        f"{doc['serve']['cold_compile_ms']:.0f} ms cold, "
+        f"0 backend compilations over {doc['serve']['disk_hits']} disk hits"
     )
 
     if opts.output.exists():

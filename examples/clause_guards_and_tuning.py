@@ -14,6 +14,10 @@ Two topics from the paper beyond the core algorithm:
    register cap (the `ptxas --maxrregcount` analogue) we sweep the
    trade-off curve on the seismic flagship.
 
+(``compile_guarded``/``compile_source``/``time_program`` are
+default-``CompilerSession`` shims; see ``docs/pipeline.md`` for the
+session API they delegate to.)
+
 Run:  python examples/clause_guards_and_tuning.py
 """
 

@@ -11,6 +11,9 @@ example:
 * shows how the same kernel compiles for a Kepler-class vs a Fermi-class
   device (no read-only cache, 63-register limit) and how SAFARA adapts.
 
+(``compile_source``/``time_program`` are default-``CompilerSession``
+shims; see ``docs/pipeline.md`` for the session API they delegate to.)
+
 Run:  python examples/device_exploration.py
 """
 

@@ -11,6 +11,9 @@ transformation machinery:
   replaces it only in the *sequential* inner loop;
 * the per-step PTXAS feedback trace.
 
+(``compile_function``/``optimize_region`` are default-``CompilerSession``
+shims; see ``docs/pipeline.md`` for the session API they delegate to.)
+
 Run:  python examples/paper_walkthrough.py
 """
 

@@ -10,6 +10,11 @@ Walks the paper's machinery end to end on a small seismic-style kernel:
 4. estimate execution time on the simulated Tesla K20Xm;
 5. verify that every configuration computes identical results.
 
+``compile_source`` / ``time_program`` used here are shims over the
+process-wide default ``CompilerSession`` — the session API
+(``docs/pipeline.md``) is the primary entrypoint and adds caching
+(including a persistent disk tier), batching, and statistics.
+
 Run:  python examples/quickstart.py
 """
 

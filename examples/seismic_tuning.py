@@ -11,6 +11,9 @@ Reproduces the Section V narrative on the seismic benchmark model:
 Also prints the CUDA-like rendering of the Figure 8 kernel (HOT5) so you
 can see the offset sharing the ``dim`` clause enables.
 
+(``compile_source``/``time_program`` are default-``CompilerSession``
+shims; see ``docs/pipeline.md`` for the session API they delegate to.)
+
 Run:  python examples/seismic_tuning.py
 """
 

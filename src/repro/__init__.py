@@ -15,9 +15,13 @@ Subpackages:
   occupancy/memory/timing models, microbenchmarks, interpreter;
 * :mod:`repro.feedback` — the PTXAS-info feedback loop;
 * :mod:`repro.pipeline` — the instrumented pass pipeline and the
-  content-addressed compile cache;
+  content-addressed compile cache (in-memory LRU + persistent sharded
+  disk tier);
 * :mod:`repro.compiler` — configurations, the :class:`CompilerSession`
   service (cache + pipeline + stats), runtime clause guards;
+* :mod:`repro.obs` — span tracer, metrics registry, kernel profiler;
+* :mod:`repro.serve` — the long-running compile-and-run daemon (bounded
+  admission, retries with backoff, deadlines, JSON-lines protocol);
 * :mod:`repro.bench` — SPEC/NAS benchmark models and the per-figure
   experiment harness.
 """

@@ -21,6 +21,17 @@ Commands
     Compile the file and render the session's metrics registry (counters,
     gauges, histograms) as text or ``--json``.
 
+``serve``
+    Run the long-running compile-and-run daemon: JSON-lines requests on
+    stdin, responses on stdout (``compile`` / ``run`` / ``stats`` /
+    ``shutdown`` — see ``docs/serving.md``), backed by a worker pool and,
+    with ``--cache-dir``, a persistent compile cache that survives
+    restarts.
+
+``submit FILE``
+    One-shot client: compile (or ``--run``) a file through the same
+    broker/protocol path as ``serve`` and print the JSON response.
+
 ``experiments [NAME ...]``
     Regenerate the paper's tables/figures (default: all).
 
@@ -61,50 +72,17 @@ def _parse_env(pairs: list[str]) -> dict[str, int | float]:
 
 
 def _build_run_args(fn, env: dict[str, int], seed: int = 0) -> dict[str, object]:
-    """Deterministic functional-run arguments for ``repro compile --run``:
-    scalars from ``--env``, arrays random but seeded, pointer arrays sized
-    by ``--env __len_<name>=N``."""
-    import numpy as np
+    """Deterministic functional-run arguments for ``repro compile --run``
+    (see :func:`repro.gpu.interpreter.build_run_args`); missing bindings
+    become the CLI's usage errors."""
+    from .gpu.interpreter import build_run_args
 
-    from .gpu.interpreter import numpy_dtype
-
-    rng = np.random.default_rng(seed)
-    run_args: dict[str, object] = {
-        k: v for k, v in env.items() if not k.startswith("__")
-    }
-    for param in fn.params:
-        if param.array is None:
-            if param.name not in run_args:
-                raise SystemExit(
-                    f"--run needs --env {param.name}=<value> for scalar "
-                    f"parameter {param.name!r}"
-                )
-            continue
-        if param.array.is_pointer:
-            size = env.get(f"__len_{param.name}")
-            if size is None:
-                raise SystemExit(
-                    f"--run needs --env __len_{param.name}=<size> for "
-                    f"pointer parameter {param.name!r}"
-                )
-            shape: tuple[int, ...] = (int(size),)
-        else:
-            try:
-                shape = tuple(
-                    d.extent if isinstance(d.extent, int) else int(env[d.extent.name])
-                    for d in param.array.dims
-                )
-            except KeyError as missing:
-                raise SystemExit(
-                    f"--run needs --env {missing.args[0]}=<value> to size "
-                    f"array parameter {param.name!r}"
-                ) from None
-        dtype = numpy_dtype(param)
-        if np.issubdtype(dtype, np.floating):
-            run_args[param.name] = rng.uniform(0.5, 2.0, size=shape).astype(dtype)
-        else:
-            run_args[param.name] = rng.integers(0, 3, size=shape).astype(dtype)
-    return run_args
+    try:
+        return build_run_args(fn, env, seed)
+    except ValueError as exc:
+        raise SystemExit(
+            str(exc).replace("run needs env", "--run needs --env")
+        ) from None
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -244,6 +222,58 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _broker_config(args: argparse.Namespace) -> "BrokerConfig":
+    from .serve.broker import BrokerConfig
+
+    kwargs: dict = {}
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    if args.queue_limit is not None:
+        kwargs["queue_limit"] = args.queue_limit
+    if args.deadline_ms is not None:
+        kwargs["default_deadline_ms"] = args.deadline_ms
+    if args.retries is not None:
+        kwargs["max_retries"] = args.retries
+    if args.cache_dir is not None:
+        kwargs["cache_dir"] = args.cache_dir
+    return BrokerConfig(**kwargs)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.daemon import run_daemon
+
+    return run_daemon(_broker_config(args))
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """One-shot client: build a request, run it through an in-process
+    broker (sharing the daemon's disk cache via ``--cache-dir``), print
+    the JSON-lines response.  Exit 0 iff the response is ``ok``."""
+    import json
+
+    from .serve.broker import Broker
+
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    request: dict = {
+        "id": 0,
+        "op": "run" if args.run else "compile",
+        "source": source,
+    }
+    if args.config:
+        request["config"] = args.config
+    env = _parse_env(args.env)
+    if env:
+        request["env"] = env
+    if args.deadline_ms is not None:
+        request["deadline_ms"] = args.deadline_ms
+    if args.run and args.executor:
+        request["executor"] = args.executor
+    with Broker(_broker_config(args)) as broker:
+        response = broker.handle(request)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response["ok"] else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     names = args.names or list(ALL_EXPERIMENTS)
     for name in names:
@@ -356,6 +386,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_stats)
+
+    def add_broker_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, help="worker threads (default: 4)"
+        )
+        p.add_argument(
+            "--queue-limit",
+            type=int,
+            dest="queue_limit",
+            help="waiting requests admitted beyond the workers (default: 32)",
+        )
+        p.add_argument(
+            "--deadline-ms",
+            type=float,
+            dest="deadline_ms",
+            help="default per-request deadline in milliseconds",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            help="retry attempts for transient backend failures (default: 3)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            dest="cache_dir",
+            help="persistent compile-cache directory (warm starts survive "
+            "restarts; shared between serve and submit)",
+        )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the JSON-lines compile daemon (requests on stdin, "
+        "responses on stdout; see docs/serving.md)",
+    )
+    add_broker_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="one-shot client over the serve broker/protocol"
+    )
+    p.add_argument("file", help="MiniACC source file ('-' for stdin)")
+    p.add_argument(
+        "--config",
+        help=f"configuration name; known: {', '.join(sorted(ALL_CONFIGS))}",
+    )
+    p.add_argument("--env", action="append", default=[], help="problem size name=value")
+    p.add_argument(
+        "--run",
+        action="store_true",
+        help="submit a 'run' request (functional execution) instead of 'compile'",
+    )
+    p.add_argument(
+        "--executor",
+        choices=("auto", "vector", "scalar"),
+        default=None,
+        help="execution engine for --run",
+    )
+    add_broker_flags(p)
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("names", nargs="*", help=f"subset of: {', '.join(ALL_EXPERIMENTS)}")

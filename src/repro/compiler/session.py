@@ -41,6 +41,7 @@ from ..lang.parser import parse_program
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import span
 from ..pipeline.cache import CompileCache, cache_key
+from ..pipeline.diskcache import DiskCache
 from ..pipeline.passes import Pass, PassContext, PassManager, run_safara
 from ..pipeline.trace import CompileTrace, SessionStats
 from ..analysis.cost_model import LatencyModel
@@ -87,12 +88,26 @@ class CompilerSession:
         passes: list[Pass] | None = None,
         max_workers: int | None = None,
         executor: str = "auto",
+        cache_dir: "str | None" = None,
+        disk_cache: DiskCache | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         #: One registry for the whole session: the cache's hit/miss/evict
         #: counters and the stats' compile/execution counters share it, so
         #: ``session.metrics.as_dict()`` is the single metrics surface.
-        self.metrics = MetricsRegistry()
+        #: Pass one in to share the namespace across sessions (the serving
+        #: broker gives each worker a session over one registry).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = CompileCache(maxsize=cache_size, metrics=self.metrics)
+        #: Optional persistent tier behind the in-memory cache.  A memory
+        #: miss consults it before compiling; fresh compiles write through,
+        #: so warm starts survive process restarts (``docs/serving.md``).
+        if disk_cache is not None:
+            self.disk_cache: DiskCache | None = disk_cache
+        elif cache_dir is not None:
+            self.disk_cache = DiskCache(cache_dir, metrics=self.metrics)
+        else:
+            self.disk_cache = None
         self.pipeline = PassManager(passes)
         self.stats = SessionStats(self.metrics)
         self.max_workers = max_workers
@@ -188,14 +203,32 @@ class CompilerSession:
         )
         key = job.key()
         with span("compile", config=config.name, cache_key=key) as sp:
-            cached = self.cache.get(key)
+            cached = self._cache_lookup(key)
             if cached is not None:
                 sp.set(cache_hit=True)
                 return cached
             sp.set(cache_hit=False)
             program = self._compile_job(job, key)
-            self.cache.put(key, program)
+            self._cache_store(key, program)
         return program
+
+    def _cache_lookup(self, key: str) -> CompiledProgram | None:
+        """Two-tier lookup: memory first, then the persistent tier (a disk
+        hit is promoted into the in-memory cache)."""
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        if self.disk_cache is not None:
+            program = self.disk_cache.get(key)
+            if program is not None:
+                self.cache.put(key, program)
+                return program
+        return None
+
+    def _cache_store(self, key: str, program: CompiledProgram) -> None:
+        self.cache.put(key, program)
+        if self.disk_cache is not None:
+            self.disk_cache.put(key, program)
 
     def _compile_job(
         self, job: CompileJob, key: str | None = None
@@ -234,7 +267,7 @@ class CompilerSession:
 
         to_compile: list[str] = []
         for key in indices_for:
-            cached = self.cache.get(key)
+            cached = self._cache_lookup(key)
             if cached is not None:
                 for i in indices_for[key]:
                     results[i] = cached
@@ -257,7 +290,7 @@ class CompilerSession:
                         )
                     )
             for key, program in zip(to_compile, compiled):
-                self.cache.put(key, program)
+                self._cache_store(key, program)
                 for i in indices_for[key]:
                     results[i] = program
         return results  # type: ignore[return-value]
@@ -373,10 +406,14 @@ class CompilerSession:
         """The session's statistics (and cache counters) as JSON-ready data."""
         d = self.stats.as_dict()
         d["cache"] = self.cache.as_dict()
+        if self.disk_cache is not None:
+            d["cache"]["disk"] = self.disk_cache.as_dict()
         return d
 
     def reset(self) -> None:
-        """Drop cached programs and zero every counter and trace."""
+        """Drop cached programs and zero every counter and trace.  The
+        persistent tier keeps its entries (that is its purpose); use
+        ``session.disk_cache.clear()`` to wipe it too."""
         self.cache.reset()
         with self._lock:
             self.stats.reset()

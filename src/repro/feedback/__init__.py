@@ -1,5 +1,27 @@
-"""Register-usage feedback: the PTXAS-info loop driving SAFARA."""
+"""Register-usage feedback: the PTXAS-info loop driving SAFARA, plus the
+failure semantics (deadlines, transient/permanent taxonomy, fault
+injection) the serving broker builds on."""
 
-from .driver import FeedbackCompiler, optimize_region
+from .driver import (
+    FeedbackCompiler,
+    FeedbackError,
+    FeedbackTimeout,
+    PermanentFeedbackError,
+    TransientFeedbackError,
+    classify_failure,
+    deadline_scope,
+    fault_scope,
+    optimize_region,
+)
 
-__all__ = ["FeedbackCompiler", "optimize_region"]
+__all__ = [
+    "FeedbackCompiler",
+    "FeedbackError",
+    "FeedbackTimeout",
+    "PermanentFeedbackError",
+    "TransientFeedbackError",
+    "classify_failure",
+    "deadline_scope",
+    "fault_scope",
+    "optimize_region",
+]

@@ -371,3 +371,53 @@ def numpy_dtype(sym: Symbol) -> type:
     assert sym.array is not None
     elem = sym.array.elem
     return _NUMPY_DTYPES[(elem.name, elem.bits)]
+
+
+def build_run_args(
+    fn: KernelFunction, env: dict, seed: int = 0
+) -> dict[str, object]:
+    """Deterministic functional-run arguments for a kernel function.
+
+    Scalars come from ``env``; array arguments are random but seeded
+    (identical across processes), with extents resolved from ``env`` and
+    raw-pointer sizes from ``env['__len_<name>']``.  Shared by the CLI's
+    ``--run`` flag and the serving daemon's ``run`` op.  Raises
+    :class:`ValueError` naming the missing binding otherwise.
+    """
+    rng = np.random.default_rng(seed)
+    run_args: dict[str, object] = {
+        k: v for k, v in env.items() if not k.startswith("__")
+    }
+    for param in fn.params:
+        if param.array is None:
+            if param.name not in run_args:
+                raise ValueError(
+                    f"run needs env {param.name}=<value> for scalar "
+                    f"parameter {param.name!r}"
+                )
+            continue
+        if param.array.is_pointer:
+            size = env.get(f"__len_{param.name}")
+            if size is None:
+                raise ValueError(
+                    f"run needs env __len_{param.name}=<size> for "
+                    f"pointer parameter {param.name!r}"
+                )
+            shape: tuple[int, ...] = (int(size),)
+        else:
+            try:
+                shape = tuple(
+                    d.extent if isinstance(d.extent, int) else int(env[d.extent.name])
+                    for d in param.array.dims
+                )
+            except KeyError as missing:
+                raise ValueError(
+                    f"run needs env {missing.args[0]}=<value> to size "
+                    f"array parameter {param.name!r}"
+                ) from None
+        dtype = numpy_dtype(param)
+        if np.issubdtype(dtype, np.floating):
+            run_args[param.name] = rng.uniform(0.5, 2.0, size=shape).astype(dtype)
+        else:
+            run_args[param.name] = rng.integers(0, 3, size=shape).astype(dtype)
+    return run_args

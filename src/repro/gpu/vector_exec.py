@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import logging
 import math
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -62,6 +64,33 @@ logger = logging.getLogger(__name__)
 class VectorUnsupported(Exception):
     """The vector engine cannot reproduce scalar semantics here; callers
     fall back to the interpreter (the message is the logged reason)."""
+
+
+_fallback_local = threading.local()
+
+
+@contextmanager
+def fallback_listener(callback):
+    """Install a thread-local degradation hook for the calling thread.
+
+    ``callback(kernel_name, reason)`` fires every time a vector/auto
+    execution inside the scope falls back to the scalar interpreter.  The
+    serving broker uses this to count degradations (with their reasons)
+    in its metrics registry without threading a callback through every
+    execution call site.
+    """
+    previous = getattr(_fallback_local, "callback", None)
+    _fallback_local.callback = callback
+    try:
+        yield
+    finally:
+        _fallback_local.callback = previous
+
+
+def _notify_fallback(kernel: str, reason: str) -> None:
+    callback = getattr(_fallback_local, "callback", None)
+    if callback is not None:
+        callback(kernel, reason)
 
 
 # -- value kinds -------------------------------------------------------------
@@ -915,6 +944,7 @@ def _execute_kernel(
         if executor == "vector":
             raise VectorUnsupported(reason)
         logger.info("vector executor: %s falls back to scalar: %s", fn.name, reason)
+        _notify_fallback(fn.name, reason)
         arrays, stats = run_kernel(fn, args)
         return arrays, stats, ExecutionInfo(
             requested=executor, used="scalar", fallback_reason=reason,
@@ -932,6 +962,7 @@ def _execute_kernel(
         logger.info(
             "vector executor: %s falls back to scalar: %s", fn.name, reason
         )
+        _notify_fallback(fn.name, reason)
         arrays, stats = run_kernel(fn, args)
         return arrays, stats, ExecutionInfo(
             requested=executor, used="scalar", fallback_reason=reason,

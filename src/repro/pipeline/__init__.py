@@ -5,6 +5,8 @@ the content-addressed compile cache.
   passes wrapping the paper's transformations;
 * :mod:`repro.pipeline.cache` — the (source, config, env, arch)-keyed
   LRU compile cache with hit/miss/evict counters;
+* :mod:`repro.pipeline.diskcache` — the persistent, sharded on-disk tier
+  behind the in-memory cache (warm starts survive process restarts);
 * :mod:`repro.pipeline.trace` — structured per-pass instrumentation
   (wall time, IR-size delta, register delta) and session statistics.
 
@@ -13,6 +15,7 @@ together; see ``docs/pipeline.md``.
 """
 
 from .cache import CompileCache, cache_key, config_token
+from .diskcache import DiskCache
 from .passes import (
     AutoParallelizePass,
     CarrKennedyPass,
@@ -33,6 +36,7 @@ __all__ = [
     "CarrKennedyPass",
     "CompileCache",
     "CompileTrace",
+    "DiskCache",
     "LicmPass",
     "Pass",
     "PassContext",

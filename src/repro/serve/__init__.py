@@ -1,0 +1,31 @@
+"""The compile-and-run service: a long-running daemon over compiler
+sessions.
+
+* :mod:`repro.serve.protocol` — the JSON-lines request/response schemas
+  and error codes;
+* :mod:`repro.serve.broker` — bounded admission, a worker pool of
+  per-worker :class:`~repro.compiler.session.CompilerSession` objects
+  sharing one metrics registry and one persistent disk cache, per-request
+  deadlines, retry-with-backoff on transient backend failures, and
+  graceful degradation to the scalar executor;
+* :mod:`repro.serve.daemon` — the stdin/stdout loop behind
+  ``repro serve`` (and the in-process path behind ``repro submit``).
+
+See ``docs/serving.md`` for the protocol reference and the disk-cache
+layout, and ``docs/architecture.md`` for where this layer sits.
+"""
+
+from .broker import Broker, BrokerConfig
+from .daemon import run_daemon, serve_loop
+from .protocol import ServeError, error_response, ok_response, validate_request
+
+__all__ = [
+    "Broker",
+    "BrokerConfig",
+    "ServeError",
+    "error_response",
+    "ok_response",
+    "run_daemon",
+    "serve_loop",
+    "validate_request",
+]

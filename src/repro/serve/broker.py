@@ -1,0 +1,485 @@
+"""The async request broker: admission, workers, retries, degradation.
+
+:class:`Broker` sits between the wire protocol (:mod:`repro.serve.daemon`)
+and the compiler (:class:`~repro.compiler.session.CompilerSession`):
+
+* **bounded admission** — at most ``workers + queue_limit`` requests are
+  in flight; past that, :meth:`submit` answers ``queue_full`` immediately
+  (the protocol's 429) instead of letting latency grow without bound;
+* **worker pool over per-worker sessions** — each worker thread owns a
+  private :class:`CompilerSession` (its own in-memory cache and pass
+  pipeline), but all sessions share one :class:`MetricsRegistry` and one
+  persistent :class:`~repro.pipeline.diskcache.DiskCache`, so the service
+  has a single metrics surface and a single warm store;
+* **per-request deadlines** — the clock starts at admission (queue wait
+  eats into the budget); the deadline is pushed into the feedback driver
+  (:func:`~repro.feedback.driver.deadline_scope`), so even a mid-SAFARA
+  compile stops at the fence instead of holding a worker;
+* **retry with exponential backoff and jitter** — failures classified
+  transient by :func:`~repro.feedback.driver.classify_failure` are
+  retried up to ``max_retries`` times, sleeping
+  ``min(cap, base·2^attempt)`` scaled by deterministic jitter; permanent
+  failures (parse errors, deterministic compiler bugs) fail fast with a
+  structured, non-retryable error;
+* **graceful degradation** — ``run`` requests under deadline pressure
+  (remaining budget below ``degrade_threshold_ms``) are demoted from the
+  vectorized executor to the scalar interpreter, and vector-engine
+  fallbacks are observed through the PR 3 hook
+  (:func:`~repro.gpu.vector_exec.fallback_listener`); both are counted
+  with their reasons under ``serve.degradations.*``.
+
+Everything is exported through the shared registry: ``serve.requests.*``,
+``serve.rejected``, ``serve.retries``, ``serve.degradations.*``,
+``serve.wait_ms`` / ``serve.handle_ms`` histograms, and the
+``serve.queue_depth`` gauge, next to the sessions' ``cache.*`` /
+``cache.disk.*`` / ``session.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from random import Random
+
+from ..compiler.options import ALL_CONFIGS, SMALL_DIM_SAFARA
+from ..compiler.session import CompileJob, CompilerSession
+from ..feedback.driver import (
+    FeedbackTimeout,
+    classify_failure,
+    deadline_scope,
+)
+from ..gpu.vector_exec import VectorUnsupported, fallback_listener
+from ..lang.errors import MiniAccError
+from ..obs.metrics import MS_BUCKETS, MetricsRegistry
+from ..obs.tracer import span
+from ..pipeline.diskcache import DiskCache
+from . import protocol
+from .protocol import ServeError
+
+
+@dataclass(frozen=True, slots=True)
+class BrokerConfig:
+    """Service tuning knobs (see ``docs/serving.md`` for semantics)."""
+
+    #: Worker threads, each with a private compiler session.
+    workers: int = 4
+    #: Requests allowed to *wait* beyond the ones being worked on; the
+    #: total in-flight bound is ``workers + queue_limit``.
+    queue_limit: int = 32
+    #: Budget per request (admission → response) when the request does
+    #: not carry its own ``deadline_ms``.
+    default_deadline_ms: float = 30_000.0
+    #: Retry attempts after the first try, for transient failures only.
+    max_retries: int = 3
+    #: Exponential-backoff base and cap (milliseconds).
+    backoff_base_ms: float = 25.0
+    backoff_cap_ms: float = 1_000.0
+    #: Backoff is scaled by ``1 + jitter·U[0,1)`` to decorrelate retries.
+    jitter: float = 0.25
+    #: ``run`` requests with less remaining budget than this are demoted
+    #: to the scalar executor rather than risk a vector plan + fallback.
+    degrade_threshold_ms: float = 250.0
+    #: Persistent cache directory (``None`` → memory-only service).
+    cache_dir: str | None = None
+    #: Size bound for the persistent tier.
+    cache_max_bytes: int = 256 * 1024 * 1024
+    #: In-memory compile-cache entries per worker session.
+    cache_size: int = 512
+    #: Configuration used when a request names none.
+    default_config: str = SMALL_DIM_SAFARA.name
+    #: Seed for the jitter RNG (deterministic backoff schedules in tests).
+    seed: int = 0
+
+
+class Broker:
+    """Bounded, retrying, deadline-aware front end over compiler sessions."""
+
+    def __init__(self, config: BrokerConfig | None = None):
+        self.config = config or BrokerConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.metrics = MetricsRegistry()
+        self.disk_cache = (
+            DiskCache(
+                self.config.cache_dir,
+                max_bytes=self.config.cache_max_bytes,
+                metrics=self.metrics,
+            )
+            if self.config.cache_dir is not None
+            else None
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        self._sessions = threading.local()
+        self._all_sessions: list[CompilerSession] = []
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._stopping = False
+        self._rng = Random(self.config.seed)
+        self._sleep = time.sleep  # overridable for tests
+
+        m = self.metrics
+        self._queue_depth = m.gauge(
+            "serve.queue_depth", "requests admitted and not yet answered"
+        )
+        self._rejected = m.counter(
+            "serve.rejected", "requests refused at admission (queue_full)"
+        )
+        self._retries = m.counter(
+            "serve.retries", "retry attempts after transient failures"
+        )
+        self._deadline_exceeded = m.counter(
+            "serve.deadline_exceeded", "requests that ran out of budget"
+        )
+        self._degraded_total = m.counter(
+            "serve.degradations", "executions demoted to the scalar engine"
+        )
+        self._wait_ms = m.histogram(
+            "serve.wait_ms", MS_BUCKETS, help="admission → worker pickup"
+        )
+        self._handle_ms = m.histogram(
+            "serve.handle_ms", MS_BUCKETS, help="worker pickup → response"
+        )
+
+    # -- sessions ----------------------------------------------------------
+
+    def _session(self) -> CompilerSession:
+        """The calling worker thread's session (created on first use)."""
+        session = getattr(self._sessions, "session", None)
+        if session is None:
+            session = CompilerSession(
+                cache_size=self.config.cache_size,
+                disk_cache=self.disk_cache,
+                metrics=self.metrics,
+            )
+            self._sessions.session = session
+            with self._lock:
+                self._all_sessions.append(session)
+        return session
+
+    # -- admission ---------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def submit(self, request: dict) -> "Future[dict]":
+        """Admit a request; always returns a future resolving to a
+        response dict (rejections resolve immediately)."""
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            protocol.validate_request(request)
+        except ServeError as exc:
+            return self._rejection(request_id, exc.code, exc.message)
+        op = request["op"]
+        self.metrics.counter(
+            f"serve.requests.{op}", f"admitted {op} requests"
+        )  # registered even if this one is rejected, for a stable surface
+        with self._lock:
+            if self._stopping:
+                return self._rejection(
+                    request_id,
+                    protocol.SHUTTING_DOWN,
+                    "daemon is draining; resubmit to the next instance",
+                )
+            capacity = self.config.workers + self.config.queue_limit
+            if self._pending >= capacity:
+                self._rejected.inc()
+                return self._rejection(
+                    request_id,
+                    protocol.QUEUE_FULL,
+                    f"admission queue full ({self._pending} in flight, "
+                    f"capacity {capacity}); retry later",
+                )
+            self._pending += 1
+            self._queue_depth.set(self._pending)
+        self.metrics.counter(f"serve.requests.{op}").inc()
+        deadline_ms = request.get("deadline_ms") or self.config.default_deadline_ms
+        enqueue_t = time.monotonic()
+        deadline = enqueue_t + deadline_ms / 1000.0
+        return self._pool.submit(self._process, request, enqueue_t, deadline)
+
+    def _rejection(self, request_id, code: str, message: str) -> "Future[dict]":
+        future: "Future[dict]" = Future()
+        future.set_result(protocol.error_response(request_id, code, message))
+        return future
+
+    def handle(self, request: dict) -> dict:
+        """Synchronous convenience: submit and wait (the one-shot client)."""
+        return self.submit(request).result()
+
+    # -- processing --------------------------------------------------------
+
+    def _process(self, request: dict, enqueue_t: float, deadline: float) -> dict:
+        request_id = request.get("id")
+        op = request["op"]
+        start = time.monotonic()
+        self._wait_ms.observe((start - enqueue_t) * 1000.0)
+        try:
+            with span("serve.request", op=op, id=request_id) as sp:
+                if op == "compile":
+                    response = self._handle_compile(request, deadline)
+                elif op == "run":
+                    response = self._handle_run(request, deadline)
+                elif op == "stats":
+                    response = protocol.ok_response(request_id, self.stats())
+                else:  # "shutdown" — answered here, drained by the daemon
+                    response = protocol.ok_response(request_id, {"stopping": True})
+                sp.set(ok=response["ok"])
+                if not response["ok"]:
+                    sp.set(error=response["error"]["code"])
+            return response
+        except ServeError as exc:
+            return protocol.error_response(
+                request_id, exc.code, exc.message, retryable=exc.retryable
+            )
+        except Exception as exc:  # a service bug must still answer
+            return protocol.error_response(
+                request_id, protocol.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._handle_ms.observe((time.monotonic() - start) * 1000.0)
+            with self._lock:
+                self._pending -= 1
+                self._queue_depth.set(self._pending)
+
+    def _remaining_ms(self, deadline: float) -> float:
+        return (deadline - time.monotonic()) * 1000.0
+
+    def _config_for(self, request: dict):
+        name = request.get("config") or self.config.default_config
+        config = ALL_CONFIGS.get(name)
+        if config is None:
+            raise ServeError(
+                protocol.UNKNOWN_CONFIG,
+                f"unknown config {name!r}; known: {', '.join(sorted(ALL_CONFIGS))}",
+            )
+        return config
+
+    @staticmethod
+    def _int_env(request: dict) -> dict[str, int] | None:
+        env = request.get("env")
+        return {k: int(v) for k, v in env.items()} if env else None
+
+    def _handle_compile(self, request: dict, deadline: float) -> dict:
+        """Compile with retry-on-transient inside the request deadline."""
+        request_id = request.get("id")
+        session = self._session()
+        config = self._config_for(request)
+        env = self._int_env(request)
+        job = CompileJob(
+            source=request["source"],
+            config=config,
+            kernel_name=request.get("kernel"),
+            env=env,
+        )
+        key = job.key()
+        tier = (
+            "memory"
+            if session.cache.peek(key)
+            else "disk"
+            if self.disk_cache is not None and self.disk_cache.peek(key)
+            else None
+        )
+
+        attempt = 0
+        while True:
+            if self._remaining_ms(deadline) <= 0.0:
+                self._deadline_exceeded.inc()
+                return protocol.error_response(
+                    request_id,
+                    protocol.DEADLINE_EXCEEDED,
+                    f"deadline passed after {attempt} attempt(s)",
+                )
+            try:
+                with deadline_scope(deadline):
+                    program = session.compile_source(
+                        job.source,
+                        job.config,
+                        kernel_name=job.kernel_name,
+                        env=job.env,
+                    )
+                break
+            except MiniAccError as exc:
+                return protocol.error_response(
+                    request_id, protocol.PARSE_ERROR, str(exc)
+                )
+            except Exception as exc:
+                if classify_failure(exc) != "transient":
+                    return protocol.error_response(
+                        request_id,
+                        protocol.COMPILE_ERROR,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                if isinstance(exc, FeedbackTimeout) and self._remaining_ms(
+                    deadline
+                ) <= 0.0:
+                    self._deadline_exceeded.inc()
+                    return protocol.error_response(
+                        request_id, protocol.DEADLINE_EXCEEDED, str(exc)
+                    )
+                if attempt >= self.config.max_retries:
+                    return protocol.error_response(
+                        request_id,
+                        protocol.TRANSIENT_FAILURE,
+                        f"still failing after {attempt + 1} attempts: "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                self._backoff(attempt, deadline)
+                attempt += 1
+                self._retries.inc()
+
+        result: dict = {
+            "config": config.name,
+            "cache_key": key,
+            "cached": tier,
+            "attempts": attempt + 1,
+            "kernels": [
+                {
+                    "name": k.name,
+                    "registers": k.ptxas.registers,
+                    "spill_bytes": k.ptxas.spill_bytes,
+                    "backend_compilations": k.backend_compilations,
+                }
+                for k in program.kernels
+            ],
+        }
+        if env:
+            timing = session.time_program(program, env)
+            result["timing"] = {
+                "total_ms": round(timing.total_ms, 6),
+                "kernels": [
+                    {
+                        "name": kt.name,
+                        "time_ms": round(kt.time_ms, 6),
+                        "bound": kt.bound,
+                    }
+                    for kt in timing.kernels
+                ],
+            }
+        return protocol.ok_response(request_id, result)
+
+    def _backoff(self, attempt: int, deadline: float) -> None:
+        """Sleep ``min(cap, base·2^attempt)·(1 + jitter·U[0,1))``, clipped
+        to the remaining budget."""
+        c = self.config
+        backoff_ms = min(c.backoff_cap_ms, c.backoff_base_ms * (2.0**attempt))
+        with self._lock:
+            scale = 1.0 + c.jitter * self._rng.random()
+        sleep_ms = min(backoff_ms * scale, max(0.0, self._remaining_ms(deadline)))
+        if sleep_ms > 0.0:
+            self._sleep(sleep_ms / 1000.0)
+
+    def _handle_run(self, request: dict, deadline: float) -> dict:
+        """Functional execution with deadline-pressure degradation."""
+        from ..gpu.interpreter import build_run_args
+        from ..ir.builder import build_module
+        from ..lang.parser import parse_program
+
+        request_id = request.get("id")
+        session = self._session()
+        requested = request.get("executor", "auto")
+        if requested not in ("auto", "vector", "scalar"):
+            raise ServeError(
+                protocol.BAD_REQUEST, f"unknown executor {requested!r}"
+            )
+        try:
+            fn = build_module(parse_program(request["source"])).functions[0]
+        except MiniAccError as exc:
+            return protocol.error_response(
+                request_id, protocol.PARSE_ERROR, str(exc)
+            )
+        try:
+            run_args = build_run_args(fn, request.get("env") or {})
+        except ValueError as exc:
+            raise ServeError(protocol.BAD_REQUEST, str(exc)) from None
+
+        executor = requested
+        degraded: str | None = None
+        if (
+            requested == "auto"
+            and self._remaining_ms(deadline) < self.config.degrade_threshold_ms
+        ):
+            executor = "scalar"
+            degraded = "deadline_pressure"
+            self._degraded_total.inc()
+            self.metrics.counter(
+                "serve.degradations.deadline",
+                "runs demoted to scalar under deadline pressure",
+            ).inc()
+
+        def on_fallback(kernel: str, reason: str) -> None:
+            self._degraded_total.inc()
+            self.metrics.counter(
+                "serve.degradations.vector_fallback",
+                "vector executions that fell back to the scalar engine",
+            ).inc()
+
+        try:
+            with fallback_listener(on_fallback):
+                _arrays, stats, info = session.execute(
+                    fn, run_args, executor=executor
+                )
+        except VectorUnsupported as exc:
+            return protocol.error_response(
+                request_id,
+                protocol.EXECUTION_ERROR,
+                f"vector executor unsupported: {exc}",
+            )
+        except Exception as exc:
+            return protocol.error_response(
+                request_id,
+                protocol.EXECUTION_ERROR,
+                f"{type(exc).__name__}: {exc}",
+            )
+        result = {
+            "kernel": fn.name,
+            "executor": {
+                "requested": requested,
+                "used": info.used,
+                "fallback_reason": info.fallback_reason,
+                "degraded": degraded,
+            },
+            "stats": {
+                "loads": stats.loads,
+                "stores": stats.stores,
+                "flops": stats.flops,
+                "iterations": stats.iterations,
+            },
+            "elements": info.elements,
+        }
+        return protocol.ok_response(request_id, result)
+
+    # -- introspection & lifecycle ----------------------------------------
+
+    def stats(self) -> dict:
+        """The service-wide observability snapshot (the ``stats`` op)."""
+        out: dict = {
+            "broker": {
+                "workers": self.config.workers,
+                "queue_limit": self.config.queue_limit,
+                "pending": self.pending,
+                "stopping": self._stopping,
+                "sessions": len(self._all_sessions),
+            },
+            "metrics": self.metrics.as_dict(),
+        }
+        if self.disk_cache is not None:
+            out["disk_cache"] = self.disk_cache.as_dict()
+        return out
+
+    def drain(self) -> None:
+        """Stop admitting, then wait for in-flight requests to finish."""
+        with self._lock:
+            self._stopping = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.drain()

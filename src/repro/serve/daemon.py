@@ -1,0 +1,78 @@
+"""The JSON-lines daemon front end: ``repro serve``.
+
+Reads one request per line from a text stream (normally stdin), submits
+each to the :class:`~repro.serve.broker.Broker`, and writes one response
+per line (normally to stdout) **as results complete** — responses may be
+out of order with respect to requests; clients correlate by ``id``.
+
+Lifecycle: the loop ends on EOF or on a ``shutdown`` request.  Either
+way the broker drains — every admitted request is answered before the
+process exits; requests arriving after shutdown are answered
+``shutting_down``.  Diagnostics go to stderr; stdout carries protocol
+lines only.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import IO
+
+from .broker import Broker, BrokerConfig
+from . import protocol
+
+
+def _emit(stream: IO[str], lock: threading.Lock, response: dict) -> None:
+    line = json.dumps(response, sort_keys=True)
+    with lock:
+        stream.write(line + "\n")
+        stream.flush()
+
+
+def serve_loop(
+    broker: Broker,
+    stdin: IO[str] | None = None,
+    stdout: IO[str] | None = None,
+) -> int:
+    """Run the request/response loop until EOF or shutdown; returns 0."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    write_lock = threading.Lock()
+    stop = threading.Event()
+
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            _emit(
+                stdout,
+                write_lock,
+                protocol.error_response(None, protocol.BAD_JSON, str(exc)),
+            )
+            continue
+        is_shutdown = isinstance(request, dict) and request.get("op") == "shutdown"
+        future = broker.submit(request)
+        future.add_done_callback(
+            lambda f: _emit(stdout, write_lock, f.result())
+        )
+        if is_shutdown:
+            stop.set()
+            break
+
+    broker.drain()  # answers everything in flight before returning
+    return 0
+
+
+def run_daemon(config: BrokerConfig) -> int:
+    """Construct a broker from ``config`` and serve stdin/stdout."""
+    broker = Broker(config)
+    print(
+        f"repro serve: {config.workers} workers, queue limit "
+        f"{config.queue_limit}, cache dir {config.cache_dir or '(memory only)'}",
+        file=sys.stderr,
+    )
+    return serve_loop(broker)

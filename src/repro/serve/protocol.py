@@ -1,0 +1,124 @@
+"""The compile-service wire protocol: JSON-lines requests and responses.
+
+One request per line on stdin, one response per line on stdout (see
+``docs/serving.md`` for the full schemas).  Responses carry the request's
+``id`` and may arrive out of order — the broker answers requests as its
+workers finish them.
+
+Request envelope::
+
+    {"id": <any JSON value>, "op": "compile" | "run" | "stats" | "shutdown",
+     ...op-specific fields...}
+
+Response envelope::
+
+    {"id": ..., "ok": true,  "result": {...}}
+    {"id": ..., "ok": false, "error": {"code": "...", "message": "...",
+                                       "retryable": true|false}}
+
+``retryable`` tells clients whether resubmitting the identical request
+can succeed: ``queue_full`` and ``deadline_exceeded`` are backpressure
+(retry later, ideally with backoff); ``parse_error`` / ``bad_request`` /
+``compile_error`` are permanent — the request itself is wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# -- error codes -------------------------------------------------------------
+
+#: The request line was not valid JSON, or not a JSON object.
+BAD_JSON = "bad_json"
+#: The request object is malformed (unknown op, missing/mistyped field).
+BAD_REQUEST = "bad_request"
+#: The named compiler configuration does not exist.
+UNKNOWN_CONFIG = "unknown_config"
+#: The MiniACC source failed to parse or lower (permanent).
+PARSE_ERROR = "parse_error"
+#: The admission queue is full — the 429 of this protocol (retry later).
+QUEUE_FULL = "queue_full"
+#: The per-request deadline passed before a result was produced.
+DEADLINE_EXCEEDED = "deadline_exceeded"
+#: A transient backend failure survived every retry (retryable).
+TRANSIENT_FAILURE = "transient_failure"
+#: The compile failed permanently (deterministic failure; do not retry).
+COMPILE_ERROR = "compile_error"
+#: Functional execution failed (bad env bindings, runtime error).
+EXECUTION_ERROR = "execution_error"
+#: The daemon is draining after a shutdown request.
+SHUTTING_DOWN = "shutting_down"
+#: An unexpected failure inside the service itself (a bug; not retryable).
+INTERNAL = "internal"
+
+#: Codes whose requests may succeed if resubmitted later.
+RETRYABLE_CODES = frozenset({QUEUE_FULL, DEADLINE_EXCEEDED, TRANSIENT_FAILURE})
+
+VALID_OPS = ("compile", "run", "stats", "shutdown")
+
+
+class ServeError(Exception):
+    """A structured protocol failure, rendered as an error response."""
+
+    def __init__(self, code: str, message: str, *, retryable: bool | None = None):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.retryable = (
+            retryable if retryable is not None else code in RETRYABLE_CODES
+        )
+
+
+def validate_request(obj: Any) -> dict:
+    """Check the envelope and op-specific required fields; returns ``obj``.
+
+    Raises :class:`ServeError` (``bad_request``) on any violation — field
+    *values* (config names, env bindings) are validated by the handlers,
+    which own the relevant namespaces.
+    """
+    if not isinstance(obj, dict):
+        raise ServeError(BAD_REQUEST, "request must be a JSON object")
+    op = obj.get("op")
+    if op not in VALID_OPS:
+        raise ServeError(
+            BAD_REQUEST, f"unknown op {op!r}; expected one of {VALID_OPS}"
+        )
+    if op in ("compile", "run"):
+        source = obj.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise ServeError(BAD_REQUEST, f"op {op!r} needs a 'source' string")
+    env = obj.get("env")
+    if env is not None:
+        if not isinstance(env, dict) or not all(
+            isinstance(k, str) and isinstance(v, (int, float))
+            for k, v in env.items()
+        ):
+            raise ServeError(
+                BAD_REQUEST, "'env' must map names to numeric values"
+            )
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+    ):
+        raise ServeError(BAD_REQUEST, "'deadline_ms' must be a positive number")
+    return obj
+
+
+def ok_response(request_id: Any, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any, code: str, message: str, *, retryable: bool | None = None
+) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": code,
+            "message": message,
+            "retryable": (
+                retryable if retryable is not None else code in RETRYABLE_CODES
+            ),
+        },
+    }

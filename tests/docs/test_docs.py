@@ -1,0 +1,109 @@
+"""Documentation lint: the docs set stays complete and navigable.
+
+Three invariants, cheap enough to gate CI:
+
+* every CLI subcommand is documented somewhere under ``docs/`` or the
+  top-level ``README.md`` (a new subcommand without docs fails here);
+* every page in ``docs/`` is reachable from the ``docs/README.md``
+  index (no orphaned documentation);
+* every relative intra-repo markdown link resolves to a real file.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs"
+
+#: ``[text](target)`` — good enough for this repo's plain markdown
+#: (no reference-style links, no angle-bracket targets in use).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Top-level documents that participate in the link graph.
+TOP_LEVEL = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+
+
+def doc_pages() -> list[Path]:
+    pages = sorted(DOCS.glob("*.md"))
+    assert pages, "docs/ contains no markdown pages?"
+    return pages
+
+
+def all_documents() -> list[Path]:
+    return doc_pages() + [REPO / name for name in TOP_LEVEL if (REPO / name).exists()]
+
+
+def links_of(page: Path) -> list[str]:
+    return LINK_RE.findall(page.read_text())
+
+
+def is_relative(target: str) -> bool:
+    return not target.startswith(("http://", "https://", "mailto:", "#"))
+
+
+class TestCliCoverage:
+    def test_every_subcommand_is_documented(self):
+        parser = build_parser()
+        (sub,) = parser._subparsers._group_actions
+        subcommands = sorted(sub.choices)
+        assert subcommands, "CLI has no subcommands?"
+        corpus = "\n".join(p.read_text() for p in all_documents())
+        undocumented = [
+            name
+            for name in subcommands
+            if not re.search(rf"\brepro {name}\b|`{name}`", corpus)
+        ]
+        assert not undocumented, (
+            f"CLI subcommands missing from docs/ and README.md: "
+            f"{undocumented} (document them, e.g. 'python -m repro <name>')"
+        )
+
+
+class TestIndexCoverage:
+    def test_index_exists(self):
+        assert (DOCS / "README.md").is_file(), "docs/README.md index is missing"
+
+    def test_every_page_is_reachable_from_the_index(self):
+        index = DOCS / "README.md"
+        linked = {
+            (DOCS / target.split("#")[0]).resolve()
+            for target in links_of(index)
+            if is_relative(target)
+        }
+        orphans = [
+            page.name
+            for page in doc_pages()
+            if page != index and page.resolve() not in linked
+        ]
+        assert not orphans, (
+            f"docs pages not linked from docs/README.md: {orphans}"
+        )
+
+    def test_readme_links_the_docs(self):
+        readme = (REPO / "README.md").read_text()
+        assert "docs/architecture.md" in readme
+        assert "docs/README.md" in readme
+
+
+class TestLinkIntegrity:
+    @pytest.mark.parametrize(
+        "page", all_documents(), ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_relative_links_resolve(self, page: Path):
+        broken = []
+        for target in links_of(page):
+            if not is_relative(target):
+                continue
+            path = target.split("#")[0]
+            if not path:  # pure-fragment link within the page
+                continue
+            resolved = (page.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(target)
+            elif REPO not in resolved.parents and resolved != REPO:
+                broken.append(f"{target} (escapes the repository)")
+        assert not broken, f"broken links in {page.name}: {broken}"

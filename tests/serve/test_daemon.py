@@ -1,0 +1,140 @@
+"""JSON-lines daemon loop: framing, correlation ids, shutdown, and the
+end-to-end CLI surface (`repro serve` / `repro submit`)."""
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serve.broker import Broker, BrokerConfig
+from repro.serve.daemon import serve_loop
+
+SRC = """
+kernel axpy(const double x[1:n], double y[1:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 1; i < n; i++) {
+    y[i] = x[i] + y[i];
+  }
+}
+"""
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_lines(requests, config=None):
+    """Feed request lines through serve_loop; return responses by id."""
+    lines = "\n".join(
+        r if isinstance(r, str) else json.dumps(r) for r in requests
+    )
+    out = io.StringIO()
+    with Broker(config or BrokerConfig(workers=2)) as broker:
+        rc = serve_loop(broker, stdin=io.StringIO(lines + "\n"), stdout=out)
+    assert rc == 0
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    return responses
+
+
+class TestServeLoop:
+    def test_compile_then_shutdown(self):
+        responses = run_lines(
+            [
+                {"id": 1, "op": "compile", "source": SRC},
+                {"id": 2, "op": "shutdown"},
+            ]
+        )
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[1]["ok"] and by_id[1]["result"]["kernels"]
+        assert by_id[2]["ok"] and by_id[2]["result"] == {"stopping": True}
+
+    def test_eof_ends_loop_and_answers_everything(self):
+        responses = run_lines(
+            [{"id": i, "op": "compile", "source": SRC} for i in range(4)]
+        )
+        assert sorted(r["id"] for r in responses) == [0, 1, 2, 3]
+        assert all(r["ok"] for r in responses)
+
+    def test_bad_json_line_answers_and_continues(self):
+        responses = run_lines(
+            [
+                "this is not json {",
+                {"id": 7, "op": "stats"},
+            ]
+        )
+        assert responses[0]["ok"] is False
+        assert responses[0]["error"]["code"] == "bad_json"
+        assert responses[0]["id"] is None
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[7]["ok"]
+
+    def test_blank_lines_skipped(self):
+        responses = run_lines(["", "   ", json.dumps({"id": 1, "op": "stats"})])
+        assert len(responses) == 1 and responses[0]["ok"]
+
+    def test_every_response_is_one_json_line(self):
+        out = io.StringIO()
+        requests = "\n".join(
+            json.dumps({"id": i, "op": "compile", "source": SRC})
+            for i in range(3)
+        )
+        with Broker(BrokerConfig(workers=3)) as broker:
+            serve_loop(broker, stdin=io.StringIO(requests + "\n"), stdout=out)
+        for line in out.getvalue().splitlines():
+            parsed = json.loads(line)  # each line parses independently
+            assert set(parsed) >= {"id", "ok"}
+
+
+class TestCliEndToEnd:
+    def test_serve_subprocess_round_trip(self, tmp_path):
+        """The real daemon over a pipe: compile, stats, shutdown.  One
+        worker makes processing serial, so the stats snapshot (id 2) is
+        taken after the compile (id 1) finished."""
+        requests = "\n".join(
+            json.dumps(r)
+            for r in [
+                {"id": 1, "op": "compile", "source": SRC},
+                {"id": 2, "op": "stats"},
+                {"id": 3, "op": "shutdown"},
+            ]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--workers", "1",
+             "--cache-dir", str(tmp_path)],
+            input=requests + "\n",
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        responses = {
+            r["id"]: r
+            for r in (json.loads(line) for line in proc.stdout.splitlines())
+        }
+        assert responses[1]["ok"]
+        assert responses[1]["result"]["kernels"][0]["registers"] > 0
+        assert responses[2]["ok"]
+        assert responses[2]["result"]["disk_cache"]["writes"] == 1
+        assert responses[3]["ok"]
+        # protocol lines only on stdout; banner went to stderr
+        assert "repro serve:" in proc.stderr
+
+    def test_submit_one_shot(self, tmp_path):
+        source_file = tmp_path / "axpy.acc"
+        source_file.write_text(SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", str(source_file),
+             "--env", "n=128", "--run"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        response = json.loads(proc.stdout)
+        assert response["ok"]
+        assert response["result"]["stats"]["iterations"] == 127
