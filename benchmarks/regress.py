@@ -25,6 +25,12 @@ is on deterministic counters, consistent with the rest of the ledger:
 the warm pass must perform **zero** backend (ptxas) compilations and hit
 the disk cache once per job; cold/warm wall times are informational.
 
+A ``tune`` row exercises the ``repro.tune`` autotuner on 355.seismic
+(``docs/tuning.md``): the tuned configuration's modeled time must not be
+worse than the ``OpenUH(SAFARA+small+dim)`` default, and a warm re-tune
+through the shared tuning ledger must replay every score with zero
+backend compilations.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/regress.py            # full sweep
@@ -146,6 +152,107 @@ def collect_serve() -> dict:
         }
 
 
+def collect_tune() -> dict:
+    """The autotuning row: ``repro.tune`` on the paper's seismic kernel.
+
+    Cold-tunes 355.seismic (beam search over the default knob space, a
+    shared compile cache directory and tuning ledger), then re-tunes
+    through a *fresh* session over the same ledger — the warm pass must
+    replay every score and perform zero backend compilations.  The tuned
+    configuration is gated against the PR-4 default
+    (``OpenUH(SAFARA+small+dim)``): its modeled time must not be worse.
+    """
+    import tempfile
+
+    from repro.bench.runner import run_benchmark
+    from repro.tune import tune
+
+    load_all()
+    spec = SPEC.get("355.seismic")
+    backend_metric = "pipeline.pass.safara.backend_compilations"
+
+    with tempfile.TemporaryDirectory(prefix="repro-tune-bench-") as tmp:
+        ledger = pathlib.Path(tmp) / "tune_ledger.json"
+        default_ms = run_benchmark(
+            spec, SMALL_DIM_SAFARA, session=CompilerSession(cache_dir=tmp)
+        ).timing.total_ms
+
+        cold_session = CompilerSession(cache_dir=tmp)
+        t0 = time.perf_counter()
+        cold = tune(
+            spec.source,
+            env=dict(spec.env),
+            launches=spec.launches,
+            strategy="beam",
+            budget=12,
+            session=cold_session,
+            ledger=ledger,
+        )
+        cold_ms = (time.perf_counter() - t0) * 1000.0
+
+        warm_session = CompilerSession(cache_dir=tmp)
+        t0 = time.perf_counter()
+        warm = tune(
+            spec.source,
+            env=dict(spec.env),
+            launches=spec.launches,
+            strategy="beam",
+            budget=12,
+            session=warm_session,
+            ledger=ledger,
+        )
+        warm_ms = (time.perf_counter() - t0) * 1000.0
+        warm_backend = warm_session.metrics.get(backend_metric)
+
+        return {
+            "benchmark": spec.name,
+            "strategy": "beam",
+            "budget": 12,
+            # gated (deterministic model times and counters):
+            "default_ms": round(default_ms, 6),
+            "tuned_ms": round(cold.best.model_ms, 6),
+            "speedup_over_default": round(default_ms / cold.best.model_ms, 6),
+            "warm_evaluated": warm.evaluated,
+            "warm_backend_compilations": int(warm_backend.value)
+            if warm_backend
+            else 0,
+            "warm_ledger_hits": warm.ledger_hits,
+            # informational:
+            "best_point": cold.best.point.as_dict(),
+            "trials": len(cold.trials),
+            "cold_tune_ms": round(cold_ms, 3),
+            "warm_tune_ms": round(warm_ms, 3),
+        }
+
+
+def check_tune(row: dict) -> list[str]:
+    """Absolute gates on the autotuning row."""
+    problems: list[str] = []
+    if row["tuned_ms"] > row["default_ms"]:
+        problems.append(
+            f"tune: tuned config is slower than the default "
+            f"({row['tuned_ms']} ms vs {row['default_ms']} ms) — the "
+            f"reference-first guarantee is broken"
+        )
+    if row["warm_evaluated"] != 0:
+        problems.append(
+            f"tune: warm re-tune evaluated {row['warm_evaluated']} points "
+            f"(expected 0) — the ledger did not replay the scores"
+        )
+    if row["warm_backend_compilations"] != 0:
+        problems.append(
+            f"tune: warm re-tune performed "
+            f"{row['warm_backend_compilations']} backend compilations "
+            f"(expected 0)"
+        )
+    if row["warm_ledger_hits"] != row["trials"]:
+        problems.append(
+            f"tune: warm re-tune replayed {row['warm_ledger_hits']} of "
+            f"{row['trials']} cold trials"
+        )
+    return problems
+
+
 def check_serve(serve: dict) -> list[str]:
     """Absolute (not baseline-relative) gates on the serve row."""
     problems: list[str] = []
@@ -250,6 +357,22 @@ def main(argv: list[str] | None = None) -> int:
         f"serve: warm restart {doc['serve']['warm_compile_ms']:.0f} ms vs "
         f"{doc['serve']['cold_compile_ms']:.0f} ms cold, "
         f"0 backend compilations over {doc['serve']['disk_hits']} disk hits"
+    )
+
+    doc["tune"] = collect_tune()
+    tune_problems = check_tune(doc["tune"])
+    if tune_problems:
+        print(f"\nFAIL: tune gate:", file=sys.stderr)
+        for p in tune_problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        f"tune: {doc['tune']['benchmark']} best "
+        f"{doc['tune']['tuned_ms']:.3f} ms vs default "
+        f"{doc['tune']['default_ms']:.3f} ms "
+        f"({doc['tune']['speedup_over_default']:.3f}x, "
+        f"{doc['tune']['trials']} trials; warm re-tune replayed all, "
+        f"0 backend compilations)"
     )
 
     if opts.output.exists():

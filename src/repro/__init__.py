@@ -1,6 +1,16 @@
 """repro — reproduction of "Optimizing GPU Register Usage: Extensions to
 OpenACC and Compiler Optimizations" (Tian et al., ICPP 2016).
 
+The stable public API is this module's ``__all__``: :func:`compile`,
+:func:`run`, and :func:`tune` over the process-default
+:class:`CompilerSession`, plus the session and :class:`CompilerConfig`
+types for callers that want isolation.  Everything else is reachable
+through the subpackages but is not covered by the facade's stability
+contract; the historical free functions (``compile_source``,
+``compile_function``, ``compile_guarded``, ``time_program``,
+``optimize_region``) still work but emit a ``DeprecationWarning`` once
+per process.
+
 Subpackages:
 
 * :mod:`repro.lang` — MiniACC front end (OpenACC directives incl. the
@@ -19,15 +29,78 @@ Subpackages:
   disk tier);
 * :mod:`repro.compiler` — configurations, the :class:`CompilerSession`
   service (cache + pipeline + stats), runtime clause guards;
+* :mod:`repro.errors` — the unified exception hierarchy, mapped 1:1
+  onto the serve protocol's wire error codes;
 * :mod:`repro.obs` — span tracer, metrics registry, kernel profiler;
 * :mod:`repro.serve` — the long-running compile-and-run daemon (bounded
   admission, retries with backoff, deadlines, JSON-lines protocol);
+* :mod:`repro.tune` — the feedback-guided per-kernel autotuner;
 * :mod:`repro.bench` — SPEC/NAS benchmark models and the per-figure
   experiment harness.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from .compiler.session import CompileJob, CompilerSession, compile_many, default_session
+from .compiler.options import BASE, CompilerConfig
+from .compiler.session import (
+    CompileJob,
+    CompilerSession,
+    compile_many,
+    default_session,
+)
 
-__all__ = ["CompileJob", "CompilerSession", "compile_many", "default_session"]
+__all__ = ["CompilerConfig", "CompilerSession", "compile", "run", "tune"]
+
+
+def compile(  # noqa: A001 - the facade deliberately shadows the builtin
+    source: str,
+    config: CompilerConfig = BASE,
+    *,
+    kernel_name: str | None = None,
+    filename: str = "<string>",
+    env: dict[str, int] | None = None,
+):
+    """Compile MiniACC source through the process-default session.
+
+    Returns a :class:`~repro.compiler.driver.CompiledProgram`; repeated
+    calls with identical (source, config, env) hit the session's
+    content-addressed cache.
+    """
+    return default_session().compile_source(
+        source, config, kernel_name=kernel_name, filename=filename, env=env
+    )
+
+
+def run(
+    source: str,
+    args: dict[str, object],
+    *,
+    kernel_name: str | None = None,
+    filename: str = "<string>",
+    executor: str | None = None,
+):
+    """Parse and execute MiniACC source functionally.
+
+    ``args`` binds every array and scalar parameter of the kernel
+    function.  Returns ``(arrays, stats, info)`` from the vectorized
+    execution engine (scalar fallback applies unless ``executor``
+    overrides the session default).
+    """
+    from .ir.builder import build_module
+    from .lang.parser import parse_program
+
+    module = build_module(parse_program(source, filename))
+    fn = (
+        module.functions[0]
+        if kernel_name is None
+        else module.function(kernel_name)
+    )
+    return default_session().execute(fn, args, executor=executor)
+
+
+# Imported last: the binding of the `tune` *function* deliberately
+# replaces the `repro.tune` submodule attribute on this package (the
+# submodule stays importable via `from repro.tune import ...` through
+# sys.modules).  repro.tune consumes only this facade, so it must be
+# fully initialised first.
+from .tune import tune  # noqa: E402

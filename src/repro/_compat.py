@@ -1,0 +1,41 @@
+"""One-shot deprecation machinery for the legacy free-function API.
+
+The historical entrypoints (``compile_source``, ``compile_function``,
+``compile_guarded``, ``time_program``, ``optimize_region``) predate the
+:class:`~repro.compiler.session.CompilerSession` service and survive as
+shims over the module-level default session.  Each now emits exactly one
+:class:`DeprecationWarning` per process pointing at the session API (and
+the :mod:`repro` facade), so a long-running service is not flooded while
+every consumer still gets told once.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Shim names that have already warned in this process.
+_warned: set[str] = set()
+
+
+def warn_legacy(name: str, replacement: str) -> None:
+    """Emit the one-per-process deprecation warning for shim ``name``.
+
+    ``stacklevel=3`` points the warning at the shim's *caller* (helper →
+    shim → caller), which is the code that needs migrating.
+    """
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"{name}() is a deprecated shim over the default CompilerSession; "
+        f"use {replacement} (or the repro facade: repro.compile / repro.run "
+        f"/ repro.tune) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which shims have warned (tests assert the once-only
+    contract and need a clean slate)."""
+    _warned.clear()

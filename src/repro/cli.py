@@ -21,12 +21,21 @@ Commands
     Compile the file and render the session's metrics registry (counters,
     gauges, histograms) as text or ``--json``.
 
+``tune FILE``
+    Autotune the file's optimization configuration: search register cap,
+    SAFARA (+candidate budget), ``dim``/``small`` honoring and unroll
+    factor for the best modeled runtime at ``--env``.  ``--strategy``
+    picks the search (exhaustive/greedy/beam), ``--budget`` caps the
+    trials, ``--ledger`` makes re-tunes resumable, ``--json`` emits the
+    machine-readable result, ``--trace`` a Chrome trace with one
+    ``tune.trial`` span per scored point (see ``docs/tuning.md``).
+
 ``serve``
     Run the long-running compile-and-run daemon: JSON-lines requests on
-    stdin, responses on stdout (``compile`` / ``run`` / ``stats`` /
-    ``shutdown`` — see ``docs/serving.md``), backed by a worker pool and,
-    with ``--cache-dir``, a persistent compile cache that survives
-    restarts.
+    stdin, responses on stdout (``compile`` / ``run`` / ``tune`` /
+    ``stats`` / ``shutdown`` — see ``docs/serving.md``), backed by a
+    worker pool and, with ``--cache-dir``, a persistent compile cache
+    that survives restarts.
 
 ``submit FILE``
     One-shot client: compile (or ``--run``) a file through the same
@@ -222,6 +231,72 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    if args.trace:
+        from .obs.chrome import write_chrome_trace
+        from .obs.tracer import Tracer
+
+        tracer = Tracer(enabled=True)
+        with tracer.activate():
+            rc = _cmd_tune(args)
+        write_chrome_trace(args.trace, tracer)
+        print(f"trace: {len(tracer.spans)} spans -> {args.trace}")
+        return rc
+    return _cmd_tune(args)
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .errors import TuneError
+    from .tune import tune
+
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    base = ALL_CONFIGS.get(args.config)
+    if base is None:
+        known = ", ".join(sorted(ALL_CONFIGS))
+        raise SystemExit(f"unknown config {args.config!r}; known: {known}")
+    env = _parse_env(args.env)
+    if not env:
+        raise SystemExit("tune needs --env (the problem sizes the model scores)")
+    session = CompilerSession()
+    try:
+        result = tune(
+            source,
+            env=env,
+            launches=args.launches,
+            base=base,
+            strategy=args.strategy,
+            budget=args.budget,
+            session=session,
+            ledger=args.ledger,
+            filename=args.file,
+        )
+    except TuneError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json:
+        import json
+
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"tune: {result.strategy} searched {len(result.trials)} of "
+        f"{result.unique_points} points ({result.pruned} pruned from "
+        f"{result.space_size}; {result.ledger_hits} ledger hits)"
+    )
+    print(
+        f"  reference {result.reference.config_name}: "
+        f"{result.reference.model_ms:.3f} ms "
+        f"({result.reference.max_registers} regs)"
+    )
+    print(
+        f"  best      {result.best.config_name}: "
+        f"{result.best.model_ms:.3f} ms "
+        f"({result.best.max_registers} regs, "
+        f"occupancy {result.best.min_occupancy:.2f})"
+    )
+    print(f"  speedup over reference: {result.speedup_over_reference:.3f}x")
+    return 0
+
+
 def _broker_config(args: argparse.Namespace) -> "BrokerConfig":
     from .serve.broker import BrokerConfig
 
@@ -236,6 +311,8 @@ def _broker_config(args: argparse.Namespace) -> "BrokerConfig":
         kwargs["max_retries"] = args.retries
     if args.cache_dir is not None:
         kwargs["cache_dir"] = args.cache_dir
+    if getattr(args, "tune_ledger", None) is not None:
+        kwargs["tune_ledger"] = args.tune_ledger
     return BrokerConfig(**kwargs)
 
 
@@ -254,11 +331,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from .serve.broker import Broker
 
     source = open(args.file).read() if args.file != "-" else sys.stdin.read()
-    request: dict = {
-        "id": 0,
-        "op": "run" if args.run else "compile",
-        "source": source,
-    }
+    op = "tune" if args.tune else "run" if args.run else "compile"
+    request: dict = {"id": 0, "op": op, "source": source}
     if args.config:
         request["config"] = args.config
     env = _parse_env(args.env)
@@ -268,6 +342,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
         request["deadline_ms"] = args.deadline_ms
     if args.run and args.executor:
         request["executor"] = args.executor
+    if args.tune:
+        request["strategy"] = args.strategy
+        if args.budget is not None:
+            request["budget"] = args.budget
     with Broker(_broker_config(args)) as broker:
         response = broker.handle(request)
     print(json.dumps(response, indent=2, sort_keys=True))
@@ -387,6 +465,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.set_defaults(func=cmd_stats)
 
+    p = sub.add_parser(
+        "tune",
+        help="autotune a file's optimization configuration "
+        "(register cap, SAFARA, clauses, unrolling)",
+    )
+    p.add_argument("file", help="MiniACC source file ('-' for stdin)")
+    p.add_argument(
+        "--env",
+        action="append",
+        default=[],
+        help="problem size name=value (required: the timing model's input)",
+    )
+    p.add_argument("--launches", type=int, default=1)
+    p.add_argument(
+        "--config",
+        default=BASE.name,
+        help="base configuration the knobs vary over "
+        f"(default: {BASE.name}); known: {', '.join(sorted(ALL_CONFIGS))}",
+    )
+    p.add_argument(
+        "--strategy",
+        choices=("exhaustive", "greedy", "beam"),
+        default="beam",
+        help="search strategy (default: beam — cost-model-ordered with "
+        "early stopping)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, help="max trial points to score"
+    )
+    p.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="resumable tuning ledger (JSON); warm re-tunes replay scores "
+        "and do zero backend compiles",
+    )
+    p.add_argument("--json", action="store_true", help="emit the result as JSON")
+    p.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="write a Chrome trace_event file with one tune.trial span "
+        "per scored point",
+    )
+    p.set_defaults(func=cmd_tune)
+
     def add_broker_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--workers", type=int, help="worker threads (default: 4)"
@@ -414,6 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="persistent compile-cache directory (warm starts survive "
             "restarts; shared between serve and submit)",
         )
+        p.add_argument(
+            "--tune-ledger",
+            dest="tune_ledger",
+            help="tuning-ledger path for 'tune' requests (default: "
+            "<cache-dir>/tune_ledger.json when --cache-dir is set)",
+        )
 
     p = sub.add_parser(
         "serve",
@@ -436,6 +564,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--run",
         action="store_true",
         help="submit a 'run' request (functional execution) instead of 'compile'",
+    )
+    p.add_argument(
+        "--tune",
+        action="store_true",
+        help="submit a 'tune' request (autotuning; requires --env)",
+    )
+    p.add_argument(
+        "--strategy",
+        choices=("exhaustive", "greedy", "beam"),
+        default="beam",
+        help="search strategy for --tune",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, help="max trials for --tune"
     )
     p.add_argument(
         "--executor",

@@ -84,13 +84,16 @@ class ProgramTiming:
 
 
 def compile_function(fn: KernelFunction, config: CompilerConfig = BASE) -> CompiledProgram:
-    """Compile every offload region of ``fn`` under ``config``.
+    """Deprecated shim: compile every offload region of ``fn`` under
+    ``config`` through the default session.
 
     The function's IR is mutated by the transformations (like a real
     compilation); parse fresh per configuration.
     """
+    from .._compat import warn_legacy
     from .session import default_session
 
+    warn_legacy("compile_function", "CompilerSession.compile_function()")
     return default_session().compile_function(fn, config)
 
 
@@ -101,9 +104,12 @@ def compile_source(
     kernel_name: str | None = None,
     filename: str = "<string>",
 ) -> CompiledProgram:
-    """Parse + lower + compile one kernel function from source text."""
+    """Deprecated shim: parse + lower + compile one kernel function from
+    source text through the default session."""
+    from .._compat import warn_legacy
     from .session import default_session
 
+    warn_legacy("compile_source", "CompilerSession.compile_source()")
     return default_session().compile_source(
         source, config, kernel_name=kernel_name, filename=filename
     )
@@ -115,14 +121,17 @@ def time_program(
     *,
     launches: dict[str, int] | list[int] | int = 1,
 ) -> ProgramTiming:
-    """Evaluate the timing model for every kernel of a compiled program.
+    """Deprecated shim: evaluate the timing model for every kernel of a
+    compiled program through the default session.
 
     ``launches`` is a global launch count, a per-kernel-name map, or a list
     aligned with region order (benchmarks launch hot kernels once per time
     step).
     """
+    from .._compat import warn_legacy
     from .session import default_session
 
+    warn_legacy("time_program", "CompilerSession.time_program()")
     return default_session().time_program(compiled, env, launches=launches)
 
 

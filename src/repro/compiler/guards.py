@@ -183,10 +183,13 @@ def compile_guarded(
     arch: GpuArch = KEPLER_K20XM,
     name: str = "guarded",
 ) -> GuardedKernel:
-    """Lower one region twice (clauses honored vs ignored) through the
-    default :class:`~repro.compiler.session.CompilerSession`."""
+    """Deprecated shim: lower one region twice (clauses honored vs
+    ignored) through the default
+    :class:`~repro.compiler.session.CompilerSession`."""
+    from .._compat import warn_legacy
     from .session import default_session
 
+    warn_legacy("compile_guarded", "CompilerSession.compile_guarded()")
     return default_session().compile_guarded(
         region, symtab, options=options, arch=arch, name=name
     )

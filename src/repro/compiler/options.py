@@ -13,10 +13,11 @@ Each :class:`CompilerConfig` is one bar group in the paper's figures:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from ..analysis.cost_model import LatencyModel
 from ..codegen.kernelgen import CodegenOptions
+from ..errors import ConfigError
 from ..gpu.arch import GpuArch, KEPLER_K20XM
 
 
@@ -30,6 +31,11 @@ class CompilerConfig:
     honor_dim: bool = False
     #: Run SAFARA (feedback-driven, latency-aware scalar replacement).
     safara: bool = False
+    #: Cap on scalar-replacement candidates SAFARA may apply per feedback
+    #: iteration (None = unlimited).  An autotuning knob: small budgets
+    #: trade loads-saved for register headroom (and shorter feedback
+    #: loops) without disabling SAFARA outright.
+    safara_max_candidates: int | None = None
     #: Run the classic Carr-Kennedy baseline instead.
     carr_kennedy: bool = False
     #: Restrict Carr-Kennedy to intra-iteration groups (used by the PGI
@@ -67,7 +73,19 @@ class CompilerConfig:
         The canonical way to vary a configuration (configs are immutable)::
 
             capped = SMALL_DIM_SAFARA.derive(name="cap32", register_limit=32)
+
+        Unknown keys are rejected with a :class:`~repro.errors.ConfigError`
+        (a ``ValueError``) naming the offending key — the autotuner relies
+        on this to catch knob-name typos in strategy definitions instead
+        of silently tuning nothing.
         """
+        valid = {f.name for f in fields(self)}
+        for key in overrides:
+            if key not in valid:
+                raise ConfigError(
+                    f"CompilerConfig.derive(): unknown field {key!r} "
+                    f"(valid fields: {', '.join(sorted(valid))})"
+                )
         return replace(self, **overrides)
 
     def with_arch(self, arch: GpuArch) -> "CompilerConfig":

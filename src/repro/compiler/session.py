@@ -46,7 +46,7 @@ from ..pipeline.passes import Pass, PassContext, PassManager, run_safara
 from ..pipeline.trace import CompileTrace, SessionStats
 from ..analysis.cost_model import LatencyModel
 from ..transforms.safara import SafaraReport
-from ..feedback.driver import FeedbackCompiler
+from ..feedback.driver import FeedbackCompiler, current_deadline, deadline_scope
 from .driver import CompiledKernel, CompiledProgram, ProgramTiming
 from .guards import GuardedKernel, _compile_guarded
 from .options import BASE, CompilerConfig
@@ -282,13 +282,19 @@ class CompilerSession:
             if workers == 1:
                 compiled = [self._compile_job(job_for[k], k) for k in to_compile]
             else:
+                # Backend deadlines are thread-local; re-install the
+                # caller's active deadline inside each worker so a batch
+                # under deadline_scope() still honors it.
+                deadline = current_deadline()
+
+                def compile_one(k: str) -> CompiledProgram:
+                    if deadline is None:
+                        return self._compile_job(job_for[k], k)
+                    with deadline_scope(deadline):
+                        return self._compile_job(job_for[k], k)
+
                 with ThreadPoolExecutor(max_workers=workers) as pool:
-                    compiled = list(
-                        pool.map(
-                            lambda k: self._compile_job(job_for[k], k),
-                            to_compile,
-                        )
-                    )
+                    compiled = list(pool.map(compile_one, to_compile))
             for key, program in zip(to_compile, compiled):
                 self._cache_store(key, program)
                 for i in indices_for[key]:

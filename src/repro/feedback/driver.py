@@ -35,6 +35,7 @@ from typing import Callable, Iterator
 
 from ..analysis.cost_model import LatencyModel
 from ..codegen.kernelgen import CodegenOptions, generate_kernel
+from ..errors import ReproError
 from ..gpu.arch import GpuArch, KEPLER_K20XM
 from ..gpu.registers import PtxasInfo, ptxas_info
 from ..ir.stmt import Region
@@ -43,8 +44,9 @@ from ..obs.tracer import span
 from ..transforms.safara import SafaraReport
 
 
-class FeedbackError(Exception):
-    """Base of every backend-invocation failure."""
+class FeedbackError(ReproError):
+    """Base of every backend-invocation failure (part of the unified
+    :class:`~repro.errors.ReproError` hierarchy)."""
 
 
 class TransientFeedbackError(FeedbackError):
@@ -125,6 +127,14 @@ def fault_scope(hook: Callable[[str, int], None]) -> Iterator[None]:
         _fault_hook = previous
 
 
+def current_deadline() -> float | None:
+    """This thread's active backend deadline (``time.monotonic()``-based),
+    or ``None``.  Fan-out layers (``CompilerSession.compile_many``, the
+    autotuner) read it here to re-install the caller's deadline inside
+    their worker threads — :func:`deadline_scope` is thread-local."""
+    return getattr(_local, "deadline", None)
+
+
 def check_deadline() -> None:
     """Raise :class:`FeedbackTimeout` if this thread's deadline passed."""
     deadline = getattr(_local, "deadline", None)
@@ -183,11 +193,14 @@ def optimize_region(
     """Run the full SAFARA feedback optimisation on one region.
 
     Returns the SAFARA trace and the feedback compiler (whose ``history``
-    holds every intermediate PTXAS report).  Shim over the default
-    :class:`~repro.compiler.session.CompilerSession` (whose pass pipeline
-    runs the same loop as its ``safara`` pass).
+    holds every intermediate PTXAS report).  Deprecated shim over the
+    default :class:`~repro.compiler.session.CompilerSession` (whose pass
+    pipeline runs the same loop as its ``safara`` pass).
     """
+    from .._compat import warn_legacy
     from ..compiler.session import default_session
+
+    warn_legacy("optimize_region", "CompilerSession.optimize_region()")
 
     return default_session().optimize_region(
         region,

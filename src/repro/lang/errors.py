@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ReproError
+
 
 @dataclass(frozen=True, slots=True)
 class SourceLocation:
@@ -22,8 +24,12 @@ class SourceLocation:
         return f"{self.filename}:{self.line}:{self.column}"
 
 
-class MiniAccError(Exception):
-    """Base class for every error produced by the MiniACC front end."""
+class MiniAccError(ReproError):
+    """Base class for every error produced by the MiniACC front end.
+
+    Part of the unified :class:`~repro.errors.ReproError` hierarchy; the
+    serve protocol maps it onto the ``parse_error`` wire code.
+    """
 
     def __init__(self, message: str, loc: SourceLocation | None = None):
         self.loc = loc or SourceLocation()

@@ -21,6 +21,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Mapping
 
+from ..errors import CacheError
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import span
 
@@ -74,7 +75,7 @@ class CompileCache:
 
     def __init__(self, maxsize: int = 512, metrics: MetricsRegistry | None = None):
         if maxsize < 1:
-            raise ValueError("maxsize must be >= 1")
+            raise CacheError("maxsize must be >= 1")
         self.maxsize = maxsize
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._hits = self.metrics.counter("cache.hits", "compile cache hits")

@@ -46,6 +46,7 @@ import threading
 from pathlib import Path
 from typing import Any
 
+from ..errors import CacheError
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import span
 
@@ -74,7 +75,7 @@ class DiskCache:
         metrics: MetricsRegistry | None = None,
     ):
         if max_bytes < 1:
-            raise ValueError("max_bytes must be >= 1")
+            raise CacheError("max_bytes must be >= 1")
         self.root = Path(root)
         self.shards = self.root / "shards"
         self.shards.mkdir(parents=True, exist_ok=True)
@@ -103,7 +104,7 @@ class DiskCache:
 
     def _path(self, key: str) -> Path:
         if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
-            raise ValueError(f"not a content-hash key: {key!r}")
+            raise CacheError(f"not a content-hash key: {key!r}")
         return self.shards / key[:2] / f"{key}.pkl"
 
     def _entries(self) -> list[Path]:

@@ -151,6 +151,7 @@ def run_safara(
     register_limit: int | None = None,
     latency: LatencyModel | None = None,
     name: str | None = None,
+    max_candidates: int | None = None,
 ) -> tuple[SafaraReport, FeedbackCompiler]:
     """The SAFARA feedback loop core: compile → read PTXAS info → replace.
 
@@ -172,6 +173,7 @@ def run_safara(
         register_limit=register_limit or arch.max_registers_per_thread,
         has_readonly_cache=options.readonly_cache and arch.has_readonly_cache,
         latency=latency or arch.latency,
+        max_candidates=max_candidates,
     )
     return report, feedback
 
@@ -196,6 +198,7 @@ class SafaraPass(Pass):
             register_limit=config.register_limit,
             latency=config.latency or config.arch.latency,
             name=ctx.kernel_name,
+            max_candidates=config.safara_max_candidates,
         )
         ctx.backend_compilations = feedback.compilations
         ctx.ptxas_history = feedback.history

@@ -89,6 +89,11 @@ class BrokerConfig:
     cache_size: int = 512
     #: Configuration used when a request names none.
     default_config: str = SMALL_DIM_SAFARA.name
+    #: Resumable tuning-ledger path for ``tune`` requests.  ``None``
+    #: defaults to ``<cache_dir>/tune_ledger.json`` when a cache
+    #: directory is configured (warm re-tunes then survive restarts,
+    #: like the compile cache), else tuning runs without a ledger.
+    tune_ledger: str | None = None
     #: Seed for the jitter RNG (deterministic backoff schedules in tests).
     seed: int = 0
 
@@ -225,6 +230,8 @@ class Broker:
                     response = self._handle_compile(request, deadline)
                 elif op == "run":
                     response = self._handle_run(request, deadline)
+                elif op == "tune":
+                    response = self._handle_tune(request, deadline)
                 elif op == "stats":
                     response = protocol.ok_response(request_id, self.stats())
                 else:  # "shutdown" — answered here, drained by the daemon
@@ -453,6 +460,60 @@ class Broker:
             "elements": info.elements,
         }
         return protocol.ok_response(request_id, result)
+
+    def _tune_ledger_path(self) -> str | None:
+        if self.config.tune_ledger is not None:
+            return self.config.tune_ledger
+        if self.config.cache_dir is not None:
+            import os
+
+            return os.path.join(self.config.cache_dir, "tune_ledger.json")
+        return None
+
+    def _handle_tune(self, request: dict, deadline: float) -> dict:
+        """Autotune under the request deadline (the deadline scope is
+        re-installed inside ``compile_many`` workers, so even a
+        mid-SAFARA trial compile stops at the fence)."""
+        from ..errors import TuneError
+        from ..tune import tune
+
+        request_id = request.get("id")
+        session = self._session()
+        base = self._config_for(request)
+        env = self._int_env(request) or {}
+        try:
+            with deadline_scope(deadline):
+                result = tune(
+                    request["source"],
+                    env=env,
+                    launches=request.get("launches", 1),
+                    base=base,
+                    strategy=request.get("strategy", "beam"),
+                    budget=request.get("budget"),
+                    session=session,
+                    ledger=self._tune_ledger_path(),
+                    kernel_name=request.get("kernel"),
+                )
+        except MiniAccError as exc:
+            return protocol.error_response(
+                request_id, protocol.PARSE_ERROR, str(exc)
+            )
+        except FeedbackTimeout as exc:
+            self._deadline_exceeded.inc()
+            return protocol.error_response(
+                request_id, protocol.DEADLINE_EXCEEDED, str(exc)
+            )
+        except TuneError as exc:
+            return protocol.error_response(
+                request_id, protocol.TUNE_ERROR, str(exc)
+            )
+        except Exception as exc:
+            return protocol.error_response(
+                request_id,
+                protocol.TUNE_ERROR,
+                f"{type(exc).__name__}: {exc}",
+            )
+        return protocol.ok_response(request_id, result.as_dict())
 
     # -- introspection & lifecycle ----------------------------------------
 

@@ -7,7 +7,8 @@ workers finish them.
 
 Request envelope::
 
-    {"id": <any JSON value>, "op": "compile" | "run" | "stats" | "shutdown",
+    {"id": <any JSON value>,
+     "op": "compile" | "run" | "tune" | "stats" | "shutdown",
      ...op-specific fields...}
 
 Response envelope::
@@ -20,11 +21,18 @@ Response envelope::
 can succeed: ``queue_full`` and ``deadline_exceeded`` are backpressure
 (retry later, ideally with backoff); ``parse_error`` / ``bad_request`` /
 ``compile_error`` are permanent — the request itself is wrong.
+
+Every error code maps 1:1 onto an exception type in :mod:`repro.errors`
+(:func:`repro.errors.error_for` / :func:`repro.errors.code_for`), so a
+client that calls :func:`repro.errors.raise_for_response` on a failed
+response raises the same exception type the in-process API would have.
 """
 
 from __future__ import annotations
 
 from typing import Any
+
+from ..errors import ReproError
 
 # -- error codes -------------------------------------------------------------
 
@@ -46,6 +54,8 @@ TRANSIENT_FAILURE = "transient_failure"
 COMPILE_ERROR = "compile_error"
 #: Functional execution failed (bad env bindings, runtime error).
 EXECUTION_ERROR = "execution_error"
+#: The autotuner failed (unknown strategy, empty space, un-timeable kernel).
+TUNE_ERROR = "tune_error"
 #: The daemon is draining after a shutdown request.
 SHUTTING_DOWN = "shutting_down"
 #: An unexpected failure inside the service itself (a bug; not retryable).
@@ -54,10 +64,10 @@ INTERNAL = "internal"
 #: Codes whose requests may succeed if resubmitted later.
 RETRYABLE_CODES = frozenset({QUEUE_FULL, DEADLINE_EXCEEDED, TRANSIENT_FAILURE})
 
-VALID_OPS = ("compile", "run", "stats", "shutdown")
+VALID_OPS = ("compile", "run", "tune", "stats", "shutdown")
 
 
-class ServeError(Exception):
+class ServeError(ReproError):
     """A structured protocol failure, rendered as an error response."""
 
     def __init__(self, code: str, message: str, *, retryable: bool | None = None):
@@ -83,10 +93,37 @@ def validate_request(obj: Any) -> dict:
         raise ServeError(
             BAD_REQUEST, f"unknown op {op!r}; expected one of {VALID_OPS}"
         )
-    if op in ("compile", "run"):
+    if op in ("compile", "run", "tune"):
         source = obj.get("source")
         if not isinstance(source, str) or not source.strip():
             raise ServeError(BAD_REQUEST, f"op {op!r} needs a 'source' string")
+    if op == "tune":
+        env = obj.get("env")
+        if not isinstance(env, dict) or not env:
+            raise ServeError(
+                BAD_REQUEST,
+                "op 'tune' needs a non-empty 'env' (the timing model "
+                "evaluates trip counts at a concrete problem size)",
+            )
+        strategy = obj.get("strategy")
+        if strategy is not None and not isinstance(strategy, str):
+            raise ServeError(BAD_REQUEST, "'strategy' must be a string")
+        budget = obj.get("budget")
+        if budget is not None and (
+            not isinstance(budget, int)
+            or isinstance(budget, bool)
+            or budget < 1
+        ):
+            raise ServeError(BAD_REQUEST, "'budget' must be a positive integer")
+        launches = obj.get("launches")
+        if launches is not None and (
+            not isinstance(launches, int)
+            or isinstance(launches, bool)
+            or launches < 1
+        ):
+            raise ServeError(
+                BAD_REQUEST, "'launches' must be a positive integer"
+            )
     env = obj.get("env")
     if env is not None:
         if not isinstance(env, dict) or not all(

@@ -137,6 +137,7 @@ def apply_safara(
     has_readonly_cache: bool = True,
     latency: LatencyModel | None = None,
     max_iterations: int = 16,
+    max_candidates: int | None = None,
 ) -> SafaraReport:
     """Run the full SAFARA loop on one offload region (paper Sec. III-B.4):
 
@@ -144,6 +145,10 @@ def apply_safara(
     2. compute ``available = register_limit - used``;
     3. replace the most beneficial candidates that fit;
     4. repeat until saturation or exhaustion.
+
+    ``max_candidates`` caps how many (top-cost) candidates each iteration
+    may consider — the autotuner's candidate-budget knob.  ``None`` keeps
+    the paper's behavior (consider every candidate that fits).
     """
     report = SafaraReport(register_limit=register_limit)
     for i in range(max_iterations):
@@ -157,6 +162,8 @@ def apply_safara(
             candidates = collect_candidates(
                 region, has_readonly_cache=has_readonly_cache, latency=latency
             )
+            if max_candidates is not None:
+                candidates = candidates[:max_candidates]
             sp.set(candidates=len(candidates))
             if not candidates:
                 report.final_registers = info.registers

@@ -140,17 +140,18 @@ def _replace_intra(
 
     new_body: list[Stmt] = []
     loaded = first.is_write  # a leading write defines the temp; no load
-    group_stmts = {id(o.stmt) for o in occs}
+    refs = set(group.distinct_refs)
     mapping: dict[Expr, Expr] = {ref: var_temp for ref in group.distinct_refs}
 
     for stmt in loop.body:
-        if id(stmt) not in group_stmts:
+        # Membership is decided structurally, not via the occurrences'
+        # recorded statement objects: an earlier group's replacement may
+        # have rebuilt the body, leaving those identities stale.
+        has_read, writes_here = _stmt_uses(stmt, refs)
+        if not has_read and not writes_here:
             new_body.append(stmt)
             continue
         assert isinstance(stmt, (Assign, LocalDecl))
-        stmt_occs = [o for o in occs if o.stmt is stmt]
-        has_read = any(not o.is_write for o in stmt_occs)
-        writes_here = any(o.is_write for o in stmt_occs)
         if has_read and not loaded:
             new_body.append(Assign(target=var_temp, value=first.ref))
             loaded = True
@@ -251,15 +252,38 @@ def _shift_ref(ref: ArrayRef, var: Symbol, init: Expr, offset: int) -> ArrayRef:
     return shifted
 
 
+def _contains_ref(e: Expr | None, refs: set) -> bool:
+    """Does ``e`` contain any of ``refs`` as a sub-expression (structural)?"""
+    if e is None:
+        return False
+    return any(node in refs for node in e.walk())
+
+
+def _stmt_uses(stmt: Stmt, refs: set) -> tuple[bool, bool]:
+    """(has_read, writes_here) of the group's refs in one body statement.
+
+    Decided by structure rather than the occurrence records' statement
+    identity, which goes stale once another group's replacement rebuilds
+    the loop body.
+    """
+    if isinstance(stmt, Assign):
+        writes_here = isinstance(stmt.target, ArrayRef) and stmt.target in refs
+        has_read = _contains_ref(stmt.value, refs) or (
+            isinstance(stmt.target, ArrayRef)
+            and any(_contains_ref(idx, refs) for idx in stmt.target.indices)
+        )
+        return has_read, writes_here
+    if isinstance(stmt, LocalDecl):
+        return _contains_ref(stmt.init, refs), False
+    return False, False
+
+
 def _substitute_in_body(
     body: list[Stmt], group: ReuseGroup, mapping: dict[Expr, Expr]
 ) -> None:
     """Replace the group's references throughout the loop body's immediate
     statements (reads in values/inits, and subscript positions)."""
-    group_stmts = {id(o.stmt) for o in group.occurrences}
-    for i, stmt in enumerate(body):
-        if id(stmt) not in group_stmts:
-            continue
+    for stmt in body:
         if isinstance(stmt, Assign):
             stmt.value = substitute(stmt.value, mapping)
             if isinstance(stmt.target, ArrayRef):

@@ -149,3 +149,30 @@ class TestMain:
         doc = json.loads(trace.read_text())
         names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
         assert "compile.function" in names and "pipeline" in names
+
+
+class TestTuneRow:
+    @pytest.fixture(scope="class")
+    def tune_row(self, regress):
+        return regress.collect_tune()
+
+    def test_row_shape_and_gates_pass(self, regress, tune_row):
+        assert tune_row["benchmark"] == "355.seismic"
+        assert regress.check_tune(tune_row) == []
+
+    def test_tuned_config_beats_or_matches_the_default(self, tune_row):
+        assert tune_row["tuned_ms"] <= tune_row["default_ms"]
+        assert tune_row["speedup_over_default"] >= 1.0
+
+    def test_warm_retune_is_compile_free(self, tune_row):
+        assert tune_row["warm_evaluated"] == 0
+        assert tune_row["warm_backend_compilations"] == 0
+        assert tune_row["warm_ledger_hits"] == tune_row["trials"]
+
+    def test_check_tune_flags_each_violation(self, regress, tune_row):
+        slower = dict(tune_row, tuned_ms=tune_row["default_ms"] * 2)
+        assert any("slower" in p for p in regress.check_tune(slower))
+        recompiled = dict(tune_row, warm_evaluated=3)
+        assert any("replay" in p for p in regress.check_tune(recompiled))
+        backend = dict(tune_row, warm_backend_compilations=7)
+        assert any("backend" in p for p in regress.check_tune(backend))

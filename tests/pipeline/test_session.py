@@ -141,7 +141,13 @@ class TestConfigDerive:
             BASE.register_limit = 32  # type: ignore[misc]
 
     def test_derive_rejects_unknown_fields(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(ValueError, match="no_such_field"):
+            BASE.derive(no_such_field=1)
+
+    def test_derive_unknown_field_error_is_config_error(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="no_such_field"):
             BASE.derive(no_such_field=1)
 
     def test_with_arch_is_derive(self):

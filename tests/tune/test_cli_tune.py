@@ -1,0 +1,133 @@
+"""The ``repro tune`` command: text output, the golden ``--json`` schema,
+trace export, and error handling."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.tune import RESULT_VERSION
+
+DEMO = """
+kernel demo(const double u[1:nz][1:ny][1:nx], double out[1:nz][1:ny][1:nx],
+            int nx, int ny, int nz) {
+  #pragma acc kernels loop gang vector(2) small(u, out) dim((1:nz,1:ny,1:nx)(u, out))
+  for (j = 1; j < ny; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx; i++) {
+      #pragma acc loop seq
+      for (k = 1; k < nz; k++) {
+        out[k][j][i] = u[k][j][i] + u[k-1][j][i];
+      }
+    }
+  }
+}
+"""
+
+ENV_ARGS = ["--env", "nx=32", "--env", "ny=16", "--env", "nz=8"]
+
+#: The golden schema of ``repro tune --json``: exact key sets, per level.
+GOLDEN_TOP = {
+    "version", "strategy", "budget", "task_key", "space", "evaluated",
+    "ledger", "reference", "best", "speedup_over_reference", "trials",
+}
+GOLDEN_SPACE = {"size", "unique", "pruned"}
+GOLDEN_LEDGER = {"path", "hits", "misses"}
+GOLDEN_TRIAL = {
+    "point", "config", "model_ms", "max_registers", "min_occupancy", "source",
+}
+GOLDEN_POINT = {
+    "register_limit", "safara", "safara_max_candidates",
+    "honor_small", "honor_dim", "unroll_factor",
+}
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.acc"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestTextOutput:
+    def test_reports_search_reference_best_speedup(self, demo_file, capsys):
+        assert main(["tune", demo_file, *ENV_ARGS, "--budget", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tune: beam searched" in out
+        assert "reference" in out
+        assert "best" in out
+        assert "speedup over reference:" in out
+
+    def test_env_is_required(self, demo_file):
+        with pytest.raises(SystemExit, match="--env"):
+            main(["tune", demo_file])
+
+    def test_unknown_config_rejected(self, demo_file):
+        with pytest.raises(SystemExit, match="unknown config"):
+            main(["tune", demo_file, *ENV_ARGS, "--config", "zzz"])
+
+    def test_strategy_choices_enforced(self, demo_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["tune", demo_file, *ENV_ARGS, "--strategy", "zzz"])
+
+
+class TestJsonGoldenSchema:
+    def test_exact_key_sets_at_every_level(self, demo_file, capsys):
+        assert main(
+            ["tune", demo_file, *ENV_ARGS, "--strategy", "exhaustive",
+             "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == GOLDEN_TOP
+        assert doc["version"] == RESULT_VERSION
+        assert set(doc["space"]) == GOLDEN_SPACE
+        assert set(doc["ledger"]) == GOLDEN_LEDGER
+        assert doc["trials"], "at least the reference must be scored"
+        for trial in [doc["reference"], doc["best"], *doc["trials"]]:
+            assert set(trial) == GOLDEN_TRIAL
+            assert set(trial["point"]) == GOLDEN_POINT
+        assert doc["speedup_over_reference"] >= 1.0
+        assert doc["evaluated"] == len(doc["trials"])
+        assert doc["space"]["size"] >= doc["space"]["unique"]
+
+    def test_json_is_sorted_and_deterministic(self, demo_file, capsys):
+        main(["tune", demo_file, *ENV_ARGS, "--strategy", "exhaustive",
+              "--json"])
+        first = capsys.readouterr().out
+        main(["tune", demo_file, *ENV_ARGS, "--strategy", "exhaustive",
+              "--json"])
+        second = capsys.readouterr().out
+        a, b = json.loads(first), json.loads(second)
+        for doc in (a, b):
+            del doc["trials"]  # order may differ across thread pools
+        assert a == b
+
+    def test_ledger_path_round_trips(self, demo_file, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.json")
+        main(["tune", demo_file, *ENV_ARGS, "--budget", "2", "--ledger",
+              ledger, "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ledger"]["path"] == ledger
+        assert doc["ledger"]["misses"] == 2
+        main(["tune", demo_file, *ENV_ARGS, "--budget", "2", "--ledger",
+              ledger, "--json"])
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["ledger"]["hits"] == 2
+        assert warm["evaluated"] == 0
+
+
+class TestTraceExport:
+    def test_chrome_trace_contains_tune_trial_spans(
+        self, demo_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["tune", demo_file, *ENV_ARGS, "--strategy", "exhaustive",
+             "--json", "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[: out.rindex("}") + 1])
+        events = json.loads(trace.read_text())["traceEvents"]
+        trials = [e for e in events if e["ph"] == "X" and e["name"] == "tune.trial"]
+        assert len(trials) == len(doc["trials"])
+        assert any(e["name"] == "tune" for e in events if e["ph"] == "X")

@@ -1,0 +1,128 @@
+"""The resumable tuning ledger: keys, persistence, crash recovery."""
+
+import json
+import threading
+
+from repro.compiler import BASE, SMALL_DIM_SAFARA
+from repro.tune import TuneLedger, task_key
+
+SCORE = {
+    "config": "tune(rl=none;safara=1;cand=none;small=1;dim=1;unroll=1)",
+    "model_ms": 1.25,
+    "max_registers": 24,
+    "min_occupancy": 1.0,
+}
+
+
+class TestTaskKey:
+    def test_stable_for_identical_inputs(self):
+        a = task_key("src", BASE, env={"nx": 8}, launches=1)
+        b = task_key("src", BASE, env={"nx": 8}, launches=1)
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        ref = task_key("src", BASE, env={"nx": 8}, launches=1)
+        assert task_key("src2", BASE, env={"nx": 8}, launches=1) != ref
+        assert task_key("src", SMALL_DIM_SAFARA, env={"nx": 8}, launches=1) != ref
+        assert task_key("src", BASE, env={"nx": 9}, launches=1) != ref
+        assert task_key("src", BASE, env={"nx": 8}, launches=2) != ref
+
+    def test_env_order_does_not_matter(self):
+        a = task_key("src", BASE, env={"nx": 8, "ny": 4})
+        b = task_key("src", BASE, env={"ny": 4, "nx": 8})
+        assert a == b
+
+
+class TestRoundTrip:
+    def test_record_get_flush_reload(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        led = TuneLedger(path)
+        assert led.get("t", "p") is None
+        led.record("t", "p", SCORE)
+        assert led.get("t", "p") == SCORE
+        led.flush()
+        # A fresh instance (a new process, in effect) sees the score.
+        again = TuneLedger(path)
+        assert again.get("t", "p") == SCORE
+        assert len(again) == 1
+
+    def test_flush_without_changes_writes_nothing(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        TuneLedger(path).flush()
+        assert not path.exists()
+
+    def test_returned_entries_are_copies(self, tmp_path):
+        led = TuneLedger(tmp_path / "l.json")
+        led.record("t", "p", SCORE)
+        led.get("t", "p")["model_ms"] = -1
+        assert led.get("t", "p") == SCORE
+
+
+class TestCrashRecovery:
+    def test_resume_after_kill_round_trip(self, tmp_path):
+        """A killed tune loses only unflushed points: whatever reached
+        disk replays verbatim in the next run."""
+        path = tmp_path / "ledger.json"
+        first = TuneLedger(path)
+        first.record("task", "p1", SCORE)
+        first.flush()
+        first.record("task", "p2", SCORE)  # staged, never flushed: "killed"
+        del first
+
+        resumed = TuneLedger(path)
+        assert resumed.get("task", "p1") == SCORE
+        assert resumed.get("task", "p2") is None
+        resumed.record("task", "p2", SCORE)
+        resumed.flush()
+        assert len(TuneLedger(path)) == 2
+
+    def test_corrupt_file_reads_as_empty(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text("{not json")
+        led = TuneLedger(path)
+        assert len(led) == 0
+        led.record("t", "p", SCORE)
+        led.flush()
+        assert TuneLedger(path).get("t", "p") == SCORE
+
+    def test_alien_version_reads_as_empty(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        path.write_text(json.dumps({"version": 99, "tasks": {"t": {}}}))
+        assert len(TuneLedger(path)) == 0
+
+    def test_flush_merges_concurrent_writers(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        a, b = TuneLedger(path), TuneLedger(path)
+        a.record("task", "pa", SCORE)
+        b.record("task", "pb", SCORE)
+        a.flush()
+        b.flush()  # must not clobber a's point
+        merged = TuneLedger(path)
+        assert merged.get("task", "pa") == SCORE
+        assert merged.get("task", "pb") == SCORE
+
+    def test_concurrent_records_are_thread_safe(self, tmp_path):
+        led = TuneLedger(tmp_path / "l.json")
+
+        def work(tag):
+            for i in range(50):
+                led.record("task", f"{tag}-{i}", SCORE)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        led.flush()
+        assert len(TuneLedger(led.path)) == 200
+
+
+class TestIntrospection:
+    def test_points_and_as_dict(self, tmp_path):
+        led = TuneLedger(tmp_path / "l.json")
+        led.record("t1", "p1", SCORE)
+        led.record("t1", "p2", SCORE)
+        led.record("t2", "p1", SCORE)
+        assert set(led.points("t1")) == {"p1", "p2"}
+        d = led.as_dict()
+        assert d["tasks"] == 2 and d["points"] == 3

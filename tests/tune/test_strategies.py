@@ -1,0 +1,183 @@
+"""Search strategies, driven by a synthetic (no-compile) SearchContext."""
+
+import pytest
+
+from repro.errors import TuneError
+from repro.tune import (
+    STRATEGIES,
+    BeamStrategy,
+    ExhaustiveStrategy,
+    GreedyStrategy,
+    KnobSpace,
+    SearchContext,
+    TrialPoint,
+    canonicalize,
+    make_strategy,
+    prune_points,
+)
+
+
+class FakeTrial:
+    def __init__(self, point, model_ms):
+        self.point = point
+        self.model_ms = model_ms
+
+
+class Harness:
+    """A deterministic scoring world: model time is a pure function of
+    the point, and every evaluate() goes through tuner-like dedup +
+    budget accounting."""
+
+    def __init__(self, space=None, budget=None, score=None):
+        self.space = space or KnobSpace(
+            register_limits=(None, 32, 48),
+            candidate_budgets=(None, 2),
+            honor_small=(False,),
+            honor_dim=(False,),
+            unroll_factors=(1,),
+        )
+        self.points, self.mapping, _ = prune_points(
+            self.space.points(), uses_small=False, uses_dim=False
+        )
+        self.reference = self.canonical(self.space.reference_point())
+        self.budget = budget
+        self.scored = {}
+        self.trials = []
+        self.batches = []
+        self._started = 0
+        self._score = score or self.default_score
+
+    @staticmethod
+    def default_score(p):
+        ms = 10.0
+        if p.register_limit == 48:
+            ms -= 2.0
+        if p.register_limit == 32:
+            ms -= 1.0
+        if p.safara:
+            ms -= 3.0
+        if p.safara_max_candidates is not None:
+            ms += 0.5
+        return ms
+
+    def canonical(self, p):
+        return canonicalize(p, uses_small=False, uses_dim=False)
+
+    def remaining(self):
+        return float("inf") if self.budget is None else self.budget - self._started
+
+    def evaluate(self, points):
+        batch = []
+        for p in points:
+            if p.key() in self.scored:
+                continue
+            if self.remaining() <= 0:
+                break
+            self._started += 1
+            t = FakeTrial(p, self._score(p))
+            self.scored[p.key()] = t
+            self.trials.append(t)
+            batch.append(t)
+        self.batches.append(len(batch))
+        return batch
+
+    def prior(self, p):
+        return self._score(p)  # an oracle prior
+
+    def best(self):
+        ref = self.reference.key()
+        return min(
+            self.trials,
+            key=lambda t: (t.model_ms, t.point.key() != ref, t.point.key()),
+        )
+
+    def context(self):
+        return SearchContext(
+            space=self.space,
+            points=self.points,
+            reference=self.reference,
+            evaluate=self.evaluate,
+            canonical=self.canonical,
+            prior=self.prior,
+            remaining=self.remaining,
+            best=self.best,
+            scored=self.scored,
+        )
+
+    def run(self, strategy):
+        self.evaluate([self.reference])  # the tuner always scores it first
+        strategy.run(self.context())
+        return self.best()
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(STRATEGIES) == {"exhaustive", "greedy", "beam"}
+        for name in STRATEGIES:
+            assert make_strategy(name).name == name
+
+    def test_instance_passthrough(self):
+        s = BeamStrategy(width=3)
+        assert make_strategy(s) is s
+
+    def test_unknown_name_raises_tune_error(self):
+        with pytest.raises(TuneError, match="unknown strategy"):
+            make_strategy("zzz")
+
+
+class TestExhaustive:
+    def test_scores_every_canonical_point(self):
+        h = Harness()
+        h.run(ExhaustiveStrategy(batch_size=4))
+        assert set(h.scored) == {p.key() for p in h.points}
+
+    def test_finds_the_true_best(self):
+        h = Harness()
+        best = h.run(ExhaustiveStrategy())
+        truth = min(h.default_score(p) for p in h.points)
+        assert best.model_ms == truth
+
+    def test_budget_caps_trials(self):
+        h = Harness(budget=3)
+        h.run(ExhaustiveStrategy(batch_size=2))
+        assert len(h.trials) == 3
+
+
+class TestGreedy:
+    def test_descends_to_the_true_best_on_separable_scores(self):
+        h = Harness()
+        best = h.run(GreedyStrategy())
+        truth = min(h.default_score(p) for p in h.points)
+        assert best.model_ms == truth
+
+    def test_costs_less_than_the_grid(self):
+        h = Harness()
+        h.run(GreedyStrategy())
+        assert len(h.trials) < len(h.points)
+
+    def test_respects_budget(self):
+        h = Harness(budget=2)
+        h.run(GreedyStrategy())
+        assert len(h.trials) == 2
+
+
+class TestBeam:
+    def test_oracle_prior_finds_best_in_first_batch(self):
+        h = Harness()
+        best = h.run(BeamStrategy(width=2, patience=1))
+        truth = min(h.default_score(p) for p in h.points)
+        assert best.model_ms == truth
+
+    def test_patience_stops_the_tail(self):
+        # An inverted prior makes every batch after the first stale.
+        h = Harness()
+        h.prior = lambda p: -h.default_score(p)
+        h.run(BeamStrategy(width=1, patience=2))
+        assert len(h.trials) < len(h.points)
+
+    def test_zero_stale_resets_on_improvement(self):
+        h = Harness()
+        h.run(BeamStrategy(width=1, patience=1))
+        # The oracle prior orders strictly by score: first non-reference
+        # batch improves, the one after cannot, so the run stops early.
+        assert len(h.trials) <= len(h.points)

@@ -1,0 +1,163 @@
+"""End-to-end tuner behavior: search, ledger warm starts, observability."""
+
+import pytest
+
+import repro
+from repro.compiler import BASE, CompilerSession
+from repro.errors import TuneError
+from repro.obs.tracer import Tracer
+from repro.tune import KnobSpace, Tuner, tune
+
+SRC = """
+kernel chain(const double u[1:nz][1:ny][1:nx], double out[1:nz][1:ny][1:nx],
+             int nx, int ny, int nz) {
+  #pragma acc kernels loop gang vector(2) small(u, out) dim((1:nz,1:ny,1:nx)(u, out))
+  for (j = 1; j < ny; j++) {
+    #pragma acc loop gang vector(64)
+    for (i = 1; i < nx; i++) {
+      #pragma acc loop seq
+      for (k = 1; k < nz; k++) {
+        out[k][j][i] = u[k][j][i] + u[k-1][j][i] + u[k-2][j][i];
+      }
+    }
+  }
+}
+"""
+
+ENV = {"nx": 32, "ny": 16, "nz": 8}
+
+#: A small but live space: 2 caps x safara on/off x 2 clause axes.
+SPACE = KnobSpace(
+    register_limits=(None, 32),
+    candidate_budgets=(None,),
+    unroll_factors=(1,),
+)
+
+
+def run_tune(**kw):
+    kw.setdefault("env", ENV)
+    kw.setdefault("strategy", "exhaustive")
+    kw.setdefault("space", SPACE)
+    kw.setdefault("session", CompilerSession())
+    return tune(SRC, **kw)
+
+
+class TestSearch:
+    def test_best_never_worse_than_reference(self):
+        result = run_tune()
+        assert result.best.model_ms <= result.reference.model_ms
+        assert result.speedup_over_reference >= 1.0
+
+    def test_exhaustive_scores_every_unique_point(self):
+        result = run_tune()
+        assert len(result.trials) == result.unique_points
+        assert len({t.point.key() for t in result.trials}) == len(result.trials)
+        assert result.pruned == result.space_size - result.unique_points
+
+    def test_reference_scored_first(self):
+        result = run_tune()
+        assert result.trials[0].point.key() == result.reference.point.key()
+
+    def test_budget_one_returns_the_reference(self):
+        result = run_tune(budget=1)
+        assert len(result.trials) == 1
+        assert result.best.point.key() == result.reference.point.key()
+
+    def test_best_config_is_derived_from_base(self):
+        result = run_tune()
+        assert result.best_config.arch is BASE.arch
+        assert result.best_config.register_limit == result.best.point.register_limit
+
+    def test_strategies_agree_on_this_tiny_space(self):
+        exhaustive = run_tune()
+        beam = run_tune(strategy="beam")
+        assert beam.best.model_ms == exhaustive.best.model_ms
+
+
+class TestValidation:
+    def test_env_is_required(self):
+        with pytest.raises(TuneError, match="env"):
+            Tuner(SRC, env=None)
+
+    def test_budget_must_admit_the_reference(self):
+        with pytest.raises(TuneError, match="budget"):
+            Tuner(SRC, env=ENV, budget=0)
+
+    def test_unknown_strategy_is_a_tune_error(self):
+        with pytest.raises(TuneError, match="unknown strategy"):
+            run_tune(strategy="zzz")
+
+
+class TestLedgerWarmStart:
+    def test_warm_retune_does_zero_backend_compilations(self, tmp_path):
+        ledger = tmp_path / "ledger.json"
+        cold = run_tune(ledger=ledger)
+        assert cold.evaluated == cold.unique_points
+        assert cold.ledger_hits == 0
+
+        # A fresh session: nothing in any compile cache, only the ledger.
+        session = CompilerSession()
+        warm = run_tune(ledger=ledger, session=session)
+        assert warm.evaluated == 0
+        assert warm.ledger_hits == warm.unique_points
+        assert session.stats.compilations == 0
+        safara = session.metrics.get("pipeline.pass.safara.backend_compilations")
+        assert safara is None or safara.value == 0
+        assert warm.best.model_ms == cold.best.model_ms
+        assert warm.best.point == cold.best.point
+
+    def test_partial_run_resumes_where_it_stopped(self, tmp_path):
+        ledger = tmp_path / "ledger.json"
+        partial = run_tune(ledger=ledger, budget=2)
+        assert partial.evaluated == 2
+        resumed = run_tune(ledger=ledger)
+        assert resumed.ledger_hits == 2
+        assert resumed.evaluated == resumed.unique_points - 2
+
+    def test_task_isolation(self, tmp_path):
+        """A different env is a different task: no cross-replay."""
+        ledger = tmp_path / "ledger.json"
+        run_tune(ledger=ledger)
+        other = run_tune(ledger=ledger, env={"nx": 64, "ny": 16, "nz": 8})
+        assert other.ledger_hits == 0
+
+
+class TestObservability:
+    def test_every_trial_is_a_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.activate():
+            result = run_tune()
+        names = [s.name for s in tracer.spans]
+        assert names.count("tune") == 1
+        assert names.count("tune.trial") == len(result.trials)
+
+    def test_ledger_replays_are_cached_spans(self, tmp_path):
+        ledger = tmp_path / "ledger.json"
+        run_tune(ledger=ledger)
+        tracer = Tracer(enabled=True)
+        with tracer.activate():
+            warm = run_tune(ledger=ledger)
+        trials = [s for s in tracer.spans if s.name == "tune.trial"]
+        assert len(trials) == warm.unique_points
+        assert all(s.args.get("cached") for s in trials)
+
+    def test_metrics_account_for_the_run(self, tmp_path):
+        session = CompilerSession()
+        ledger = tmp_path / "ledger.json"
+        result = run_tune(session=session, ledger=ledger)
+        m = session.metrics
+        assert m.get("tune.trials").value == len(result.trials)
+        assert m.get("tune.ledger.misses").value == result.evaluated
+        assert m.get("tune.pruned").value == result.pruned
+        assert m.get("tune.best_model_ms").value == result.best.model_ms
+        assert m.get("tune.batches").value >= 1
+
+
+class TestFacade:
+    def test_repro_tune_is_the_function(self):
+        assert repro.tune is tune
+
+    def test_tune_submodule_stays_importable(self):
+        from repro.tune import tune as inner
+
+        assert inner is tune
