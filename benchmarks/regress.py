@@ -31,6 +31,12 @@ worse than the ``OpenUH(SAFARA+small+dim)`` default, and a warm re-tune
 through the shared tuning ledger must replay every score with zero
 backend compilations.
 
+A ``fleet`` row gates the multi-arch serving layer
+(``docs/serving.md``): the CDNA2 profile's waves-per-SIMD table must
+match the published MI200 occupancy limits at every tier, and fleet
+placement over the full benchmark suite must never route a benchmark to
+an arch whose modeled time is worse than the single-arch default.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/regress.py            # full sweep
@@ -225,6 +231,78 @@ def collect_tune() -> dict:
         }
 
 
+#: Published MI200-series occupancy ladder: architected VGPRs per lane
+#: -> resident wavefronts per SIMD (the CDNA2 rule the `fleet` row
+#: gates; the same table is unit-tested in tests/gpu/test_arch_registry.py).
+CDNA2_EXPECTED_WAVES = {
+    64: 8, 72: 7, 84: 6, 102: 5, 128: 4, 170: 3, 256: 2,
+}
+
+
+def collect_fleet() -> dict:
+    """The multi-arch fleet row (``docs/serving.md``): the CDNA2
+    occupancy table, and the placement guarantee over the full benchmark
+    suite — routing each benchmark across a two-arch fleet must never
+    model slower than the single-arch (Kepler) default.
+    """
+    from repro.gpu.arch import CDNA2_MI250
+    from repro.serve.placement import choose_placement
+
+    load_all()
+    specs = list(SPEC.all()) + list(NAS.all())
+    fleet = ("kepler-k20xm", "cdna2-mi250")
+
+    session = CompilerSession()
+    placements: dict[str, dict] = {}
+    for spec in specs:
+        decision = choose_placement(
+            session,
+            spec.source,
+            SMALL_DIM_SAFARA,
+            fleet,
+            dict(spec.env),
+            launches=spec.launches,
+        )
+        default_ms = next(
+            c.model_ms for c in decision.candidates if c.arch == fleet[0]
+        )
+        placements[spec.name] = {
+            "arch": decision.arch,
+            "model_ms": round(decision.model_ms, 6),
+            "single_arch_default_ms": round(default_ms, 6),
+        }
+    return {
+        "fleet": list(fleet),
+        "config": SMALL_DIM_SAFARA.name,
+        # gated (deterministic):
+        "cdna2_waves_per_simd": {
+            str(vgprs): CDNA2_MI250.waves_per_simd(vgprs)
+            for vgprs in CDNA2_EXPECTED_WAVES
+        },
+        "placements": placements,
+    }
+
+
+def check_fleet(row: dict) -> list[str]:
+    """Absolute gates on the fleet row."""
+    problems: list[str] = []
+    for vgprs, expected in CDNA2_EXPECTED_WAVES.items():
+        got = row["cdna2_waves_per_simd"][str(vgprs)]
+        if got != expected:
+            problems.append(
+                f"fleet: CDNA2 occupancy at {vgprs} VGPRs is {got} "
+                f"waves/SIMD (published limit: {expected})"
+            )
+    for name, cell in row["placements"].items():
+        if cell["model_ms"] > cell["single_arch_default_ms"]:
+            problems.append(
+                f"fleet: {name} routed to {cell['arch']} at "
+                f"{cell['model_ms']} ms — worse than the single-arch "
+                f"default ({cell['single_arch_default_ms']} ms)"
+            )
+    return problems
+
+
 def check_tune(row: dict) -> list[str]:
     """Absolute gates on the autotuning row."""
     problems: list[str] = []
@@ -373,6 +451,24 @@ def main(argv: list[str] | None = None) -> int:
         f"({doc['tune']['speedup_over_default']:.3f}x, "
         f"{doc['tune']['trials']} trials; warm re-tune replayed all, "
         f"0 backend compilations)"
+    )
+
+    doc["fleet"] = collect_fleet()
+    fleet_problems = check_fleet(doc["fleet"])
+    if fleet_problems:
+        print(f"\nFAIL: fleet gate:", file=sys.stderr)
+        for p in fleet_problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    routed = doc["fleet"]["placements"]
+    by_arch: dict[str, int] = {}
+    for cell in routed.values():
+        by_arch[cell["arch"]] = by_arch.get(cell["arch"], 0) + 1
+    chosen = ", ".join(f"{n} -> {a}" for a, n in sorted(by_arch.items()))
+    print(
+        f"fleet: CDNA2 occupancy table matches the published limits; "
+        f"{len(routed)} benchmarks routed ({chosen}), none worse than "
+        f"the single-arch default"
     )
 
     if opts.output.exists():

@@ -4,7 +4,9 @@ OpenACC and Compiler Optimizations" (Tian et al., ICPP 2016).
 The stable public API is this module's ``__all__``: :func:`compile`,
 :func:`run`, and :func:`tune` over the process-default
 :class:`CompilerSession`, plus the session and :class:`CompilerConfig`
-types for callers that want isolation.  Everything else is reachable
+types for callers that want isolation, and :func:`get_arch` /
+:func:`list_archs` for selecting a registered GPU architecture profile
+by name.  Everything else is reachable
 through the subpackages but is not covered by the facade's stability
 contract; the historical free functions (``compile_source``,
 ``compile_function``, ``compile_guarded``, ``time_program``,
@@ -48,8 +50,17 @@ from .compiler.session import (
     compile_many,
     default_session,
 )
+from .gpu.arch import get_arch, list_archs
 
-__all__ = ["CompilerConfig", "CompilerSession", "compile", "run", "tune"]
+__all__ = [
+    "CompilerConfig",
+    "CompilerSession",
+    "compile",
+    "get_arch",
+    "list_archs",
+    "run",
+    "tune",
+]
 
 
 def compile(  # noqa: A001 - the facade deliberately shadows the builtin

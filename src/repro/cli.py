@@ -25,7 +25,8 @@ Commands
     Autotune the file's optimization configuration: search register cap,
     SAFARA (+candidate budget), ``dim``/``small`` honoring and unroll
     factor for the best modeled runtime at ``--env``.  ``--strategy``
-    picks the search (exhaustive/greedy/beam), ``--budget`` caps the
+    picks the search (exhaustive/greedy/beam), ``--fleet`` widens it
+    across arch profiles (per-arch best table), ``--budget`` caps the
     trials, ``--ledger`` makes re-tunes resumable, ``--json`` emits the
     machine-readable result, ``--trace`` a Chrome trace with one
     ``tune.trial`` span per scored point (see ``docs/tuning.md``).
@@ -94,6 +95,17 @@ def _build_run_args(fn, env: dict[str, int], seed: int = 0) -> dict[str, object]
         ) from None
 
 
+def _derive_arch(config, arch_name: str):
+    """``config`` retargeted to a named arch profile; unknown names are
+    CLI usage errors listing the registry."""
+    from .errors import ConfigError
+
+    try:
+        return config.derive(arch=arch_name)
+    except ConfigError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     if args.trace:
         from .obs.chrome import write_chrome_trace
@@ -119,6 +131,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         if config is None:
             known = ", ".join(sorted(ALL_CONFIGS))
             raise SystemExit(f"unknown config {name!r}; known: {known}")
+        if args.arch:
+            config = _derive_arch(config, args.arch)
         program = session.compile_source(source, config)
         print(f"== {config.name} ==")
         for kernel in program.kernels:
@@ -246,7 +260,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
-    from .errors import TuneError
+    from .errors import ConfigError, TuneError
     from .tune import tune
 
     source = open(args.file).read() if args.file != "-" else sys.stdin.read()
@@ -257,6 +271,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     env = _parse_env(args.env)
     if not env:
         raise SystemExit("tune needs --env (the problem sizes the model scores)")
+    archs = [a for a in (args.fleet or "").split(",") if a] or None
     session = CompilerSession()
     try:
         result = tune(
@@ -269,8 +284,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             session=session,
             ledger=args.ledger,
             filename=args.file,
+            archs=archs,
         )
-    except TuneError as exc:
+    except (TuneError, ConfigError) as exc:
         raise SystemExit(str(exc)) from None
     if args.json:
         import json
@@ -294,6 +310,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         f"occupancy {result.best.min_occupancy:.2f})"
     )
     print(f"  speedup over reference: {result.speedup_over_reference:.3f}x")
+    if len(result.per_arch_best) > 1:
+        print("  per-arch best:")
+        for key, trial in sorted(result.per_arch_best.items()):
+            print(
+                f"    {key:16s} {trial.model_ms:.3f} ms "
+                f"({trial.max_registers} regs, "
+                f"occupancy {trial.min_occupancy:.2f})"
+            )
     return 0
 
 
@@ -313,6 +337,17 @@ def _broker_config(args: argparse.Namespace) -> "BrokerConfig":
         kwargs["cache_dir"] = args.cache_dir
     if getattr(args, "tune_ledger", None) is not None:
         kwargs["tune_ledger"] = args.tune_ledger
+    if getattr(args, "fleet", None):
+        from .errors import ConfigError
+        from .gpu.arch import get_arch
+
+        fleet = tuple(a for a in args.fleet.split(",") if a)
+        try:
+            for name in fleet:
+                get_arch(name)
+        except ConfigError as exc:
+            raise SystemExit(str(exc)) from None
+        kwargs["fleet"] = fleet
     return BrokerConfig(**kwargs)
 
 
@@ -335,6 +370,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
     request: dict = {"id": 0, "op": op, "source": source}
     if args.config:
         request["config"] = args.config
+    if args.arch:
+        request["arch"] = args.arch
     env = _parse_env(args.env)
     if env:
         request["env"] = env
@@ -406,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"configuration name (repeatable); known: {', '.join(sorted(ALL_CONFIGS))}",
     )
     p.add_argument("--env", action="append", default=[], help="problem size name=value")
+    p.add_argument(
+        "--arch",
+        help="target a registered GPU arch profile by name "
+        "(e.g. kepler-k20xm, cdna2-mi250; see docs/device_model.md)",
+    )
     p.add_argument("--launches", type=int, default=1)
     p.add_argument("--dump-vir", action="store_true", help="print the virtual ISA")
     p.add_argument("--cuda", action="store_true", help="print CUDA-like source")
@@ -500,6 +542,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="resumable tuning ledger (JSON); warm re-tunes replay scores "
         "and do zero backend compiles",
     )
+    p.add_argument(
+        "--fleet",
+        metavar="ARCH,ARCH,...",
+        help="search across a fleet of arch profiles (comma-separated "
+        "registry names); the result reports a per-arch best table",
+    )
     p.add_argument("--json", action="store_true", help="emit the result as JSON")
     p.add_argument(
         "--trace",
@@ -542,6 +590,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="tuning-ledger path for 'tune' requests (default: "
             "<cache-dir>/tune_ledger.json when --cache-dir is set)",
         )
+        p.add_argument(
+            "--fleet",
+            metavar="ARCH,ARCH,...",
+            help="device fleet (comma-separated arch-registry names, in "
+            "preference order); run/compile requests without a pinned "
+            "arch are routed to the modeled-best profile",
+        )
 
     p = sub.add_parser(
         "serve",
@@ -560,6 +615,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"configuration name; known: {', '.join(sorted(ALL_CONFIGS))}",
     )
     p.add_argument("--env", action="append", default=[], help="problem size name=value")
+    p.add_argument(
+        "--arch",
+        help="pin the request to a registered arch profile (the server "
+        "answers unknown_arch for unregistered names)",
+    )
     p.add_argument(
         "--run",
         action="store_true",

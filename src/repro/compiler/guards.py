@@ -155,10 +155,20 @@ def _compile_guarded(
     symtab: SymbolTable,
     *,
     options: CodegenOptions | None = None,
-    arch: GpuArch = KEPLER_K20XM,
+    arch: "GpuArch | str" = KEPLER_K20XM,
     name: str = "guarded",
 ) -> GuardedKernel:
-    """Lower one region twice: clauses honored vs ignored."""
+    """Lower one region twice: clauses honored vs ignored.
+
+    The ``arch`` keyword is routed through ``CompilerConfig.derive`` so a
+    caller-supplied arch (including a registry name) hits the same
+    validation path as every other configuration field — an unknown name
+    raises :class:`~repro.errors.ConfigError` here instead of silently
+    compiling for an unintended device.
+    """
+    from .options import BASE
+
+    arch = BASE.derive(arch=arch).arch
     options = options or CodegenOptions()
     opt = generate_kernel(region, symtab, options, name=f"{name}_opt")
     from dataclasses import replace
@@ -180,7 +190,7 @@ def compile_guarded(
     symtab: SymbolTable,
     *,
     options: CodegenOptions | None = None,
-    arch: GpuArch = KEPLER_K20XM,
+    arch: "GpuArch | str" = KEPLER_K20XM,
     name: str = "guarded",
 ) -> GuardedKernel:
     """Deprecated shim: lower one region twice (clauses honored vs

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field, fields, replace
 from ..analysis.cost_model import LatencyModel
 from ..codegen.kernelgen import CodegenOptions
 from ..errors import ConfigError
-from ..gpu.arch import GpuArch, KEPLER_K20XM
+from ..gpu.arch import ARCHES, GpuArch, KEPLER_K20XM
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,8 +56,17 @@ class CompilerConfig:
     #: Relative quality of the backend's scalar code (PGI's mature backend
     #: emits slightly tighter address code than the research compiler).
     issue_efficiency: float = 1.0
-    arch: GpuArch = KEPLER_K20XM
+    #: Target architecture: a :class:`GpuArch` profile, or the registry
+    #: name of one (``"cdna2-mi250"``); names are resolved through
+    #: :data:`repro.gpu.arch.ARCHES` in ``__post_init__``, so every
+    #: construction path (``derive``, ``replace``, direct init) validates
+    #: them and unknown names raise :class:`~repro.errors.ConfigError`.
+    arch: GpuArch | str = KEPLER_K20XM
     latency: LatencyModel | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.arch, GpuArch):
+            object.__setattr__(self, "arch", ARCHES.get(self.arch))
 
     def codegen_options(self) -> CodegenOptions:
         return CodegenOptions(
@@ -88,7 +97,7 @@ class CompilerConfig:
                 )
         return replace(self, **overrides)
 
-    def with_arch(self, arch: GpuArch) -> "CompilerConfig":
+    def with_arch(self, arch: "GpuArch | str") -> "CompilerConfig":
         return self.derive(arch=arch)
 
 

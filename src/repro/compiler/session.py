@@ -369,7 +369,7 @@ class CompilerSession:
         symtab,
         *,
         options: CodegenOptions | None = None,
-        arch: GpuArch = KEPLER_K20XM,
+        arch: "GpuArch | str" = KEPLER_K20XM,
         name: str = "guarded",
     ) -> GuardedKernel:
         """Two-version compilation of one region (paper Section IV)."""

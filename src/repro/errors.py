@@ -83,6 +83,17 @@ class UnknownConfigError(ProtocolError):
     code = "unknown_config"
 
 
+class UnknownArchError(ProtocolError):
+    """The named GPU architecture profile is not registered (neither in
+    the server's :data:`repro.gpu.arch.ARCHES` registry nor its fleet).
+
+    Not retryable: resubmitting the identical request cannot succeed —
+    the client must pick a profile from the server's advertised list.
+    """
+
+    code = "unknown_arch"
+
+
 class QueueFullError(ProtocolError):
     """The admission queue is full — the 429 of the protocol."""
 
@@ -139,6 +150,7 @@ __all__ = [
     "TuneError",
     "ProtocolError",
     "BadRequestError",
+    "UnknownArchError",
     "UnknownConfigError",
     "QueueFullError",
     "CompileFailedError",
@@ -175,6 +187,7 @@ def _code_map() -> dict[str, type]:
         "bad_json": BadRequestError,
         "bad_request": BadRequestError,
         "unknown_config": UnknownConfigError,
+        "unknown_arch": UnknownArchError,
         "parse_error": lang.MiniAccError,
         "queue_full": QueueFullError,
         "deadline_exceeded": feedback.FeedbackTimeout,

@@ -2,7 +2,18 @@
 register allocator, occupancy/memory/timing models, latency microbenchmarks
 and the functional interpreter."""
 
-from .arch import FERMI_LIKE, KEPLER_K20XM, GpuArch
+from .arch import (
+    ARCHES,
+    CDNA2_MI250,
+    FERMI_LIKE,
+    KEPLER_K20XM,
+    ArchRegistry,
+    GpuArch,
+    arch_key,
+    get_arch,
+    list_archs,
+    register_arch,
+)
 from .device import (
     LaunchRecord,
     SimulatedDevice,
@@ -37,11 +48,18 @@ from .registers import (
 from .timing import KernelTiming, ThreadProfile, estimate_time, profile_thread
 
 __all__ = [
+    "ARCHES",
     "AllocationResult",
+    "ArchRegistry",
+    "CDNA2_MI250",
     "ExecutionInfo",
     "ExecutionStats",
     "FERMI_LIKE",
     "GpuArch",
+    "arch_key",
+    "get_arch",
+    "list_archs",
+    "register_arch",
     "Interpreter",
     "InterpreterError",
     "KEPLER_K20XM",

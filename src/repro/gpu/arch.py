@@ -1,10 +1,35 @@
-"""GPU architecture descriptions.
+"""GPU architecture descriptions and the pluggable profile registry.
+
+``GpuArch`` is the single source of every hardware quantity the models
+consume: the register allocator (:mod:`repro.gpu.registers`), occupancy
+(:mod:`repro.gpu.occupancy`), the transaction model
+(:mod:`repro.gpu.memory`) and the timing model (:mod:`repro.gpu.timing`)
+read *only* these fields — no Kepler constant is hard-wired downstream,
+so registering a new profile retargets the whole toolchain.
+
+Two register/occupancy models are expressible:
+
+* **per-SM warp-granule** (NVIDIA Kepler/Fermi): registers are drawn from
+  one per-SM file, allocated per warp in ``register_warp_granule``-sized
+  granules (256 on Kepler);
+* **per-SIMD wavefront** (AMD CDNA2): each SM (Compute Unit) has
+  ``simds_per_sm`` SIMDs, each with its own ``registers_per_simd``-entry
+  per-lane VGPR file and ``wavefront_slots_per_simd`` wavefront slots.
+  Selected by setting ``registers_per_simd``; occupancy is then
+  ``min(slots, vgpr_file // rounded_vgprs)`` wavefronts per SIMD — the
+  CDNA2 rule of 4 slot sets × 8 wavefronts = 32 wavefronts per CU.
 
 ``KEPLER_K20XM`` models the paper's evaluation device (Tesla K20Xm,
-Section V-A): SMX counts, register files, occupancy limits and the memory
-latencies/bandwidths the timing model and the SAFARA cost model consume.
-Latency figures follow the Wong et al. microbenchmarking methodology the
-paper cites ([19]) applied to Kepler-class parts.
+Section V-A); ``CDNA2_MI250`` models one GCD of an AMD Instinct MI250
+with the MI200-series occupancy/VGPR rules (64-wide wavefronts, 512
+per-lane VGPRs per SIMD with the architected/AGPR split capping a kernel
+at 256 architected VGPRs).  Latency figures follow the Wong et al.
+microbenchmarking methodology the paper cites ([19]).
+
+Profiles are published through :data:`ARCHES`, an :class:`ArchRegistry`
+mapping kebab-case names (``kepler-k20xm``, ``fermi-like``,
+``cdna2-mi250``) and their aliases to profiles; ``CompilerConfig`` and
+the serve/tune layers resolve arch *names* through it.
 """
 
 from __future__ import annotations
@@ -12,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.cost_model import LatencyModel
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True, slots=True)
@@ -20,38 +46,77 @@ class GpuArch:
 
     name: str
     num_sms: int
-    #: 32-bit registers per SM.
+    #: 32-bit registers per SM (per Compute Unit on AMD: the sum over its
+    #: SIMDs' per-lane files × lanes).
     registers_per_sm: int
-    #: Hard per-thread register limit (255 on Kepler — Section II-B).
+    #: Hard per-thread register limit (255 on Kepler — Section II-B; 256
+    #: architected VGPRs on CDNA2, the rest of the file being AGPRs).
     max_registers_per_thread: int
-    #: Register allocation granularity (regs rounded up per thread).
+    #: Register allocation granularity (regs rounded up per thread/lane).
     register_granularity: int
     max_threads_per_sm: int
     max_threads_per_block: int
     max_blocks_per_sm: int
+    #: SIMT execution width: CUDA warp (32) or AMD wavefront (64).
     warp_size: int
     shared_mem_per_sm: int
     #: Clock in MHz (for converting cycles to seconds).
     clock_mhz: float
     #: Global memory bandwidth in GB/s.
     mem_bandwidth_gbs: float
-    #: Single-precision CUDA cores per SM (f64 throughput is a fraction).
+    #: Single-precision cores per SM (f64 throughput is a fraction).
     cores_per_sm: int
     f64_throughput_ratio: float
     has_readonly_cache: bool
-    #: Memory transaction size in bytes (L2 segment).
+    #: Memory transaction size in bytes (L2 segment / cache line).
     transaction_bytes: int
+    #: Sector size for scattered (uncoalesced) accesses.
+    sector_bytes: int = 32
+    #: Warp-instruction schedulers per SM (Kepler SMX: 4; CDNA2: one per
+    #: SIMD).  The compute bound divides issue cycles by this.
+    schedulers_per_sm: int = 4
+    #: Wavefront-slot structure: SIMDs per SM/CU.  1 models a unified
+    #: per-SM warp pool (NVIDIA); CDNA2 CUs have 4 SIMDs.
+    simds_per_sm: int = 1
+    #: Wavefront slots per SIMD (8 on CDNA2 → 32 wavefronts/CU).  ``None``
+    #: derives the slot count from ``max_threads_per_sm``.
+    wavefront_slots_per_simd: int | None = None
+    #: Per-lane VGPR file size per SIMD, shared by its resident
+    #: wavefronts (512 on CDNA2).  Setting this selects the per-SIMD
+    #: register-occupancy model; ``None`` selects the per-SM model.
+    registers_per_simd: int | None = None
+    #: Per-warp register allocation granule of the per-SM model (Kepler
+    #: allocates registers per warp in 256-register granules).
+    register_warp_granule: int = 256
     latency: LatencyModel = field(default_factory=LatencyModel)
 
     @property
     def max_warps_per_sm(self) -> int:
-        return self.max_threads_per_sm // self.warp_size
+        by_threads = self.max_threads_per_sm // self.warp_size
+        if self.wavefront_slots_per_simd is not None:
+            return min(by_threads, self.simds_per_sm * self.wavefront_slots_per_simd)
+        return by_threads
 
     def round_registers(self, regs: int) -> int:
-        """ptxas rounds per-thread register counts to the allocation
-        granularity."""
+        """The assembler rounds per-thread register counts to the
+        allocation granularity."""
         g = self.register_granularity
         return ((max(regs, 1) + g - 1) // g) * g
+
+    def waves_per_simd(self, registers_per_thread: int) -> int:
+        """Wavefronts resident per SIMD at a per-lane register count
+        (per-SIMD model only): ``min(slots, file // rounded_regs)`` —
+        the CDNA2 occupancy rule."""
+        if self.registers_per_simd is None:
+            raise ValueError(
+                f"{self.name}: waves_per_simd() needs the per-SIMD register "
+                "model (registers_per_simd is not set)"
+            )
+        slots = self.wavefront_slots_per_simd or (
+            self.max_warps_per_sm // max(self.simds_per_sm, 1)
+        )
+        regs = self.round_registers(registers_per_thread)
+        return max(0, min(slots, self.registers_per_simd // regs))
 
 
 #: The paper's evaluation GPU (Tesla K20Xm, GK110).
@@ -72,6 +137,7 @@ KEPLER_K20XM = GpuArch(
     f64_throughput_ratio=1.0 / 3.0,
     has_readonly_cache=True,
     transaction_bytes=128,
+    schedulers_per_sm=4,
     latency=LatencyModel(
         global_mem=440.0,
         readonly_cache=160.0,
@@ -99,9 +165,10 @@ FERMI_LIKE = GpuArch(
     clock_mhz=1150.0,
     mem_bandwidth_gbs=144.0,
     cores_per_sm=32,
-    f64_throughput_ratio=0.5,
+    f64_throughput_ratio=1.0 / 3.0,
     has_readonly_cache=False,
     transaction_bytes=128,
+    schedulers_per_sm=2,
     latency=LatencyModel(
         global_mem=550.0,
         readonly_cache=550.0,
@@ -111,3 +178,144 @@ FERMI_LIKE = GpuArch(
         uncoalesced_factor=8.0,
     ),
 )
+
+#: One GCD of an AMD Instinct MI250 (CDNA2, gfx90a) under the MI200
+#: occupancy/register rules: 64-wide wavefronts, 4 SIMDs per CU with 8
+#: wavefront slots each (32 wavefronts/CU), a 512-entry per-lane VGPR
+#: file per SIMD shared by its resident wavefronts, and the
+#: architected/AGPR split capping a kernel at 256 architected VGPRs.
+#: The allocation granularity of 2 reproduces the published occupancy
+#: tiers exactly: 64→8, 72→7, 84→6, 102→5, 128→4, 170→3, 256→2
+#: wavefronts per SIMD (asserted in tests/gpu/test_arch_registry.py and
+#: gated by the ``fleet`` row of benchmarks/regress.py).
+CDNA2_MI250 = GpuArch(
+    name="AMD Instinct MI250 (CDNA2 GCD)",
+    num_sms=104,
+    registers_per_sm=4 * 512 * 64,  # 4 SIMDs x 512 per-lane VGPRs x 64 lanes
+    max_registers_per_thread=256,
+    register_granularity=2,
+    max_threads_per_sm=2048,  # 32 wavefronts x 64 lanes
+    max_threads_per_block=1024,
+    max_blocks_per_sm=16,
+    warp_size=64,
+    shared_mem_per_sm=64 * 1024,  # LDS
+    clock_mhz=1700.0,
+    mem_bandwidth_gbs=1638.0,  # HBM2e, per GCD
+    cores_per_sm=64,
+    f64_throughput_ratio=1.0,  # CDNA2 runs FP64 at full vector rate
+    has_readonly_cache=False,
+    transaction_bytes=64,  # gfx90a cache line
+    sector_bytes=32,
+    schedulers_per_sm=4,  # one scheduler per SIMD
+    simds_per_sm=4,
+    wavefront_slots_per_simd=8,
+    registers_per_simd=512,
+    latency=LatencyModel(
+        global_mem=570.0,
+        readonly_cache=570.0,
+        constant_cache=40.0,
+        shared_mem=64.0,
+        local_mem=570.0,
+        uncoalesced_factor=8.0,
+    ),
+)
+
+
+class ArchRegistry:
+    """Named, pluggable architecture profiles.
+
+    Canonical keys are kebab-case (``cdna2-mi250``); lookups normalize
+    case, spaces and underscores, and aliases (including each profile's
+    display ``name``) resolve to the same object.  Unknown names raise
+    :class:`~repro.errors.ConfigError` listing every registered profile,
+    so a typo fails loudly at configuration time rather than silently
+    compiling for the wrong device.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, GpuArch] = {}
+        self._aliases: dict[str, str] = {}
+
+    @staticmethod
+    def normalize(name: str) -> str:
+        return "-".join(str(name).strip().lower().replace("_", " ").replace("-", " ").split())
+
+    def register(
+        self, key: str, arch: GpuArch, *, aliases: tuple[str, ...] = ()
+    ) -> GpuArch:
+        """Register ``arch`` under a canonical ``key`` (plus aliases and
+        its display name); returns the profile for chaining."""
+        canon = self.normalize(key)
+        self._profiles[canon] = arch
+        for alias in (arch.name, *aliases):
+            self._aliases[self.normalize(alias)] = canon
+        return arch
+
+    def key_of(self, arch: GpuArch) -> str | None:
+        """The canonical key a profile is registered under (by value
+        equality), or ``None`` for an unregistered ad-hoc profile."""
+        for key, registered in self._profiles.items():
+            if registered == arch:
+                return key
+        return None
+
+    def get(self, name: "str | GpuArch") -> GpuArch:
+        """Resolve a profile name (or pass a :class:`GpuArch` through)."""
+        if isinstance(name, GpuArch):
+            return name
+        norm = self.normalize(name)
+        key = self._aliases.get(norm, norm)
+        arch = self._profiles.get(key)
+        if arch is None:
+            raise ConfigError(
+                f"unknown GPU arch {name!r} "
+                f"(registered profiles: {', '.join(self.names())})"
+            )
+        return arch
+
+    def names(self) -> list[str]:
+        """Canonical profile names, sorted."""
+        return sorted(self._profiles)
+
+    def __contains__(self, name: str) -> bool:
+        norm = self.normalize(name)
+        return norm in self._profiles or norm in self._aliases
+
+    def items(self) -> list[tuple[str, GpuArch]]:
+        return sorted(self._profiles.items())
+
+
+#: The process-wide registry the configuration layer resolves names in.
+ARCHES = ArchRegistry()
+ARCHES.register("kepler-k20xm", KEPLER_K20XM, aliases=("kepler", "k20xm"))
+ARCHES.register("fermi-like", FERMI_LIKE, aliases=("fermi",))
+ARCHES.register(
+    "cdna2-mi250", CDNA2_MI250, aliases=("cdna2", "mi250", "gfx90a")
+)
+
+
+def register_arch(
+    key: str, arch: GpuArch, *, aliases: tuple[str, ...] = ()
+) -> GpuArch:
+    """Register a custom profile in the process-wide registry (see
+    ``docs/device_model.md`` for the field checklist)."""
+    return ARCHES.register(key, arch, aliases=aliases)
+
+
+def get_arch(name: "str | GpuArch") -> GpuArch:
+    """Look up a registered architecture profile by name."""
+    return ARCHES.get(name)
+
+
+def list_archs() -> list[str]:
+    """Canonical names of every registered architecture profile."""
+    return ARCHES.names()
+
+
+def arch_key(arch: "str | GpuArch") -> str:
+    """The canonical registry key for a profile (or name); falls back to
+    the normalized display name for unregistered ad-hoc profiles."""
+    if isinstance(arch, str):
+        resolved = ARCHES.get(arch)
+        return ARCHES.key_of(resolved) or ArchRegistry.normalize(arch)
+    return ARCHES.key_of(arch) or ArchRegistry.normalize(arch.name)

@@ -17,7 +17,9 @@ from ..analysis.coalescing import AccessInfo, AccessPattern
 from ..analysis.memspace import MemSpace
 from .arch import GpuArch, KEPLER_K20XM
 
-#: Sector size used for scattered (uncoalesced) accesses.
+#: Default sector size for scattered (uncoalesced) accesses; the per-arch
+#: value is ``arch.sector_bytes`` (kept as a module constant for
+#: backward-compatible imports).
 SECTOR_BYTES = 32
 
 
@@ -32,8 +34,9 @@ def warp_transaction_bytes(
     if access.pattern is AccessPattern.COALESCED:
         span = warp * width
         return math.ceil(span / arch.transaction_bytes) * arch.transaction_bytes
+    sector = arch.sector_bytes
     if access.pattern is AccessPattern.UNIFORM:
-        return SECTOR_BYTES  # one sector broadcast to the warp
+        return sector  # one sector broadcast to the warp
     # Uncoalesced: each thread lands in its own region once the stride
     # exceeds a sector; cap at one sector per lane.
     stride = access.stride_elems
@@ -41,9 +44,9 @@ def warp_transaction_bytes(
         sectors = warp
     else:
         span = warp * max(stride, 1) * width
-        sectors = min(warp, math.ceil(span / SECTOR_BYTES))
-        sectors = max(sectors, math.ceil(warp * width / SECTOR_BYTES))
-    return sectors * SECTOR_BYTES
+        sectors = min(warp, math.ceil(span / sector))
+        sectors = max(sectors, math.ceil(warp * width / sector))
+    return sectors * sector
 
 
 def warp_transactions(
@@ -55,7 +58,7 @@ def warp_transactions(
     if access.pattern is AccessPattern.COALESCED:
         span = arch.warp_size * max(width_bits // 8, 1)
         return math.ceil(span / arch.transaction_bytes)
-    return warp_transaction_bytes(access, width_bits, arch) // SECTOR_BYTES
+    return warp_transaction_bytes(access, width_bits, arch) // arch.sector_bytes
 
 
 def access_latency(

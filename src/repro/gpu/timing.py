@@ -38,18 +38,21 @@ from .occupancy import Occupancy, compute_occupancy
 from .registers import PtxasInfo
 
 #: Warp-instruction issue cost by class (cycles per warp instruction,
-#: normalised to one of the SM's four schedulers).
+#: normalised to one scheduler).  The f64 cost is derived per-arch from
+#: ``arch.f64_throughput_ratio`` (3.0 on the K20X's 1/3-rate DP units,
+#: 1.0 on CDNA2's full-rate FP64 pipes).
 _ISSUE_COST = {
     "alu32": 1.0,
     "alu64": 2.0,
     "f32": 1.0,
-    "f64": 3.0,  # K20X: 1/3 DP ratio
     "math": 8.0,  # sqrt/div/transcendental via SFU
     "mov": 0.5,
     "mem": 1.0,
 }
 
-_SCHEDULERS_PER_SM = 4
+
+def _f64_cost(arch: GpuArch) -> float:
+    return 1.0 / max(arch.f64_throughput_ratio, 1e-9)
 
 
 @dataclass(slots=True)
@@ -153,7 +156,7 @@ def profile_thread(
             dst_bits = ins.dst.bits if ins.dst is not None else 32
             if ins.is_float:
                 prof.issue_cycles += m * (
-                    _ISSUE_COST["f64"] if dst_bits == 64 else _ISSUE_COST["f32"]
+                    _f64_cost(arch) if dst_bits == 64 else _ISSUE_COST["f32"]
                 )
             else:
                 prof.issue_cycles += m * (
@@ -200,7 +203,7 @@ def estimate_time(
     # bad transformation sequentialised) cannot be spread below one warp.
     warps_per_sm = max(total_warps / arch.num_sms, 1.0) if total_warps else 0.0
 
-    compute_cycles = warps_per_sm * prof.issue_cycles / _SCHEDULERS_PER_SM
+    compute_cycles = warps_per_sm * prof.issue_cycles / arch.schedulers_per_sm
 
     bytes_per_sm = warps_per_sm * prof.mem_bytes_warp
     bytes_per_cycle_sm = (

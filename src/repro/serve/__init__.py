@@ -8,6 +8,9 @@ sessions.
   sharing one metrics registry and one persistent disk cache, per-request
   deadlines, retry-with-backoff on transient backend failures, and
   graceful degradation to the scalar executor;
+* :mod:`repro.serve.placement` — the fleet placement policy: route each
+  request to the modeled-best (arch, config) pair across the broker's
+  configured device fleet;
 * :mod:`repro.serve.daemon` — the stdin/stdout loop behind
   ``repro serve`` (and the in-process path behind ``repro submit``).
 
@@ -17,12 +20,16 @@ layout, and ``docs/architecture.md`` for where this layer sits.
 
 from .broker import Broker, BrokerConfig
 from .daemon import run_daemon, serve_loop
+from .placement import PlacementCandidate, PlacementDecision, choose_placement
 from .protocol import ServeError, error_response, ok_response, validate_request
 
 __all__ = [
     "Broker",
     "BrokerConfig",
+    "PlacementCandidate",
+    "PlacementDecision",
     "ServeError",
+    "choose_placement",
     "error_response",
     "ok_response",
     "run_daemon",

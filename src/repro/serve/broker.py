@@ -45,17 +45,20 @@ from random import Random
 
 from ..compiler.options import ALL_CONFIGS, SMALL_DIM_SAFARA
 from ..compiler.session import CompileJob, CompilerSession
+from ..errors import ConfigError
 from ..feedback.driver import (
     FeedbackTimeout,
     classify_failure,
     deadline_scope,
 )
+from ..gpu.arch import arch_key, list_archs
 from ..gpu.vector_exec import VectorUnsupported, fallback_listener
 from ..lang.errors import MiniAccError
 from ..obs.metrics import MS_BUCKETS, MetricsRegistry
 from ..obs.tracer import span
 from ..pipeline.diskcache import DiskCache
 from . import protocol
+from .placement import PlacementDecision, choose_placement
 from .protocol import ServeError
 
 
@@ -89,6 +92,13 @@ class BrokerConfig:
     cache_size: int = 512
     #: Configuration used when a request names none.
     default_config: str = SMALL_DIM_SAFARA.name
+    #: The device fleet: arch-registry profile names, in preference
+    #: order (ties in modeled time go to the earlier entry).  ``None``
+    #: or empty → single-arch service (each config's own arch).  With a
+    #: fleet, ``run``/``compile`` requests that do not pin an ``arch``
+    #: are routed to the modeled-best profile, and ``tune`` requests
+    #: search the fleet as an axis (see docs/serving.md).
+    fleet: tuple[str, ...] | None = None
     #: Resumable tuning-ledger path for ``tune`` requests.  ``None``
     #: defaults to ``<cache_dir>/tune_ledger.json`` when a cache
     #: directory is configured (warm re-tunes then survive restarts,
@@ -125,6 +135,10 @@ class Broker:
         self._stopping = False
         self._rng = Random(self.config.seed)
         self._sleep = time.sleep  # overridable for tests
+        # A misconfigured fleet fails at construction, not per-request.
+        self._fleet: tuple[str, ...] = tuple(
+            arch_key(name) for name in (self.config.fleet or ())
+        )
 
         m = self.metrics
         self._queue_depth = m.gauge(
@@ -147,6 +161,16 @@ class Broker:
         )
         self._handle_ms = m.histogram(
             "serve.handle_ms", MS_BUCKETS, help="worker pickup → response"
+        )
+        self._placements = m.counter(
+            "serve.placement.decisions", "fleet placement decisions made"
+        )
+        self._placement_pinned = m.counter(
+            "serve.placement.pinned", "requests that pinned an arch explicitly"
+        )
+        self._placement_ms = m.histogram(
+            "serve.placement.model_ms",
+            help="modeled time of the chosen placement",
         )
 
     # -- sessions ----------------------------------------------------------
@@ -272,12 +296,80 @@ class Broker:
         env = request.get("env")
         return {k: int(v) for k, v in env.items()} if env else None
 
+    def _arch_for(self, request: dict) -> str | None:
+        """The canonical key of the request's pinned arch, or ``None``.
+
+        An unregistered name is a permanent ``unknown_arch`` failure —
+        the client must pick from the advertised registry (any
+        registered profile may be pinned, fleet member or not)."""
+        name = request.get("arch")
+        if name is None:
+            return None
+        try:
+            return arch_key(name)
+        except ConfigError:
+            known = ", ".join(list_archs())
+            raise ServeError(
+                protocol.UNKNOWN_ARCH,
+                f"unknown arch {name!r}; registered profiles: {known}"
+                + (
+                    f"; fleet: {', '.join(self._fleet)}"
+                    if self._fleet
+                    else ""
+                ),
+            ) from None
+
+    def _place(
+        self,
+        session: CompilerSession,
+        request: dict,
+        config,
+        env: dict[str, int],
+    ) -> "PlacementDecision":
+        """Run the fleet placement policy under a ``placement`` span,
+        exporting ``serve.placement.*`` metrics."""
+        with span("placement", fleet=",".join(self._fleet)) as sp:
+            decision = choose_placement(
+                session,
+                request["source"],
+                config,
+                self._fleet,
+                env,
+                kernel_name=request.get("kernel"),
+            )
+            sp.set(arch=decision.arch, model_ms=decision.model_ms)
+        self._placements.inc()
+        self._placement_ms.observe(decision.model_ms)
+        self.metrics.counter(
+            f"serve.placement.chosen.{decision.arch}",
+            "placements routed to this arch",
+        ).inc()
+        return decision
+
     def _handle_compile(self, request: dict, deadline: float) -> dict:
         """Compile with retry-on-transient inside the request deadline."""
         request_id = request.get("id")
         session = self._session()
         config = self._config_for(request)
         env = self._int_env(request)
+        pinned = self._arch_for(request)
+        placement = None
+        if pinned is not None:
+            config = config.derive(arch=pinned)
+            self._placement_pinned.inc()
+        elif self._fleet and env:
+            # Placement compiles every fleet variant through the shared
+            # cache; if it fails, fall through to the single-arch path,
+            # which owns the retry/error taxonomy and will surface the
+            # same failure with the right code.
+            try:
+                placement = self._place(session, request, config, env)
+                config = config.derive(arch=placement.arch)
+            except Exception:
+                self.metrics.counter(
+                    "serve.placement.errors",
+                    "placement attempts that failed and fell through",
+                ).inc()
         job = CompileJob(
             source=request["source"],
             config=config,
@@ -342,6 +434,7 @@ class Broker:
 
         result: dict = {
             "config": config.name,
+            "arch": arch_key(config.arch),
             "cache_key": key,
             "cached": tier,
             "attempts": attempt + 1,
@@ -368,6 +461,8 @@ class Broker:
                     for kt in timing.kernels
                 ],
             }
+        if placement is not None:
+            result["placement"] = placement.as_dict()
         return protocol.ok_response(request_id, result)
 
     def _backoff(self, attempt: int, deadline: float) -> None:
@@ -394,12 +489,30 @@ class Broker:
             raise ServeError(
                 protocol.BAD_REQUEST, f"unknown executor {requested!r}"
             )
+        pinned = self._arch_for(request)
         try:
             fn = build_module(parse_program(request["source"])).functions[0]
         except MiniAccError as exc:
             return protocol.error_response(
                 request_id, protocol.PARSE_ERROR, str(exc)
             )
+        # Fleet routing: model every fleet variant's time at the run's
+        # problem size and record the verdict (a pinned arch skips the
+        # policy; placement failures fall through to an unrouted run).
+        placement = None
+        env_int = self._int_env(request) or {}
+        if pinned is not None:
+            self._placement_pinned.inc()
+        elif self._fleet and env_int:
+            try:
+                placement = self._place(
+                    session, request, self._config_for(request), env_int
+                )
+            except Exception:
+                self.metrics.counter(
+                    "serve.placement.errors",
+                    "placement attempts that failed and fell through",
+                ).inc()
         try:
             run_args = build_run_args(fn, request.get("env") or {})
         except ValueError as exc:
@@ -445,6 +558,13 @@ class Broker:
             )
         result = {
             "kernel": fn.name,
+            "arch": (
+                placement.arch
+                if placement is not None
+                else pinned
+                if pinned is not None
+                else arch_key(self._config_for(request).arch)
+            ),
             "executor": {
                 "requested": requested,
                 "used": info.used,
@@ -459,6 +579,8 @@ class Broker:
             },
             "elements": info.elements,
         }
+        if placement is not None:
+            result["placement"] = placement.as_dict()
         return protocol.ok_response(request_id, result)
 
     def _tune_ledger_path(self) -> str | None:
@@ -481,6 +603,13 @@ class Broker:
         session = self._session()
         base = self._config_for(request)
         env = self._int_env(request) or {}
+        pinned = self._arch_for(request)
+        archs = None
+        if pinned is not None:
+            base = base.derive(arch=pinned)
+            self._placement_pinned.inc()
+        elif self._fleet:
+            archs = list(self._fleet)
         try:
             with deadline_scope(deadline):
                 result = tune(
@@ -493,6 +622,7 @@ class Broker:
                     session=session,
                     ledger=self._tune_ledger_path(),
                     kernel_name=request.get("kernel"),
+                    archs=archs,
                 )
         except MiniAccError as exc:
             return protocol.error_response(
@@ -526,6 +656,7 @@ class Broker:
                 "pending": self.pending,
                 "stopping": self._stopping,
                 "sessions": len(self._all_sessions),
+                "fleet": list(self._fleet),
             },
             "metrics": self.metrics.as_dict(),
         }

@@ -42,6 +42,9 @@ BAD_JSON = "bad_json"
 BAD_REQUEST = "bad_request"
 #: The named compiler configuration does not exist.
 UNKNOWN_CONFIG = "unknown_config"
+#: The named GPU architecture profile is not registered (permanent: the
+#: client must pick a profile from the server's registry/fleet).
+UNKNOWN_ARCH = "unknown_arch"
 #: The MiniACC source failed to parse or lower (permanent).
 PARSE_ERROR = "parse_error"
 #: The admission queue is full — the 429 of this protocol (retry later).
@@ -97,6 +100,11 @@ def validate_request(obj: Any) -> dict:
         source = obj.get("source")
         if not isinstance(source, str) or not source.strip():
             raise ServeError(BAD_REQUEST, f"op {op!r} needs a 'source' string")
+        arch = obj.get("arch")
+        if arch is not None and not isinstance(arch, str):
+            raise ServeError(
+                BAD_REQUEST, "'arch' must be a profile-name string"
+            )
     if op == "tune":
         env = obj.get("env")
         if not isinstance(env, dict) or not env:

@@ -56,24 +56,33 @@ class TrialPoint:
     honor_small: bool = True
     honor_dim: bool = True
     unroll_factor: int = 1
+    #: Target architecture: the canonical registry key of a profile, or
+    #: ``None`` for the base config's arch.  A first-class axis, so one
+    #: ``repro tune --fleet`` run searches configs *across* devices.
+    arch: str | None = None
 
     def key(self) -> str:
-        """Stable content key for the ledger and within-run dedup."""
+        """Stable content key for the ledger and within-run dedup (the
+        arch suffix appears only off the base arch, so single-arch
+        ledgers written before the fleet axis stay replayable)."""
         rl = "none" if self.register_limit is None else self.register_limit
         cand = (
             "none"
             if self.safara_max_candidates is None
             else self.safara_max_candidates
         )
-        return (
+        key = (
             f"rl={rl};safara={int(self.safara)};cand={cand};"
             f"small={int(self.honor_small)};dim={int(self.honor_dim)};"
             f"unroll={self.unroll_factor}"
         )
+        if self.arch is not None:
+            key += f";arch={self.arch}"
+        return key
 
     def apply(self, base) -> "object":
         """The :class:`CompilerConfig` this point denotes over ``base``."""
-        return base.derive(
+        overrides = dict(
             name=f"tune({self.key()})",
             register_limit=self.register_limit,
             safara=self.safara,
@@ -82,6 +91,9 @@ class TrialPoint:
             honor_dim=self.honor_dim,
             unroll_factor=self.unroll_factor,
         )
+        if self.arch is not None:
+            overrides["arch"] = self.arch
+        return base.derive(**overrides)
 
     def as_dict(self) -> dict:
         return {
@@ -91,12 +103,15 @@ class TrialPoint:
             "honor_small": self.honor_small,
             "honor_dim": self.honor_dim,
             "unroll_factor": self.unroll_factor,
+            "arch": self.arch,
         }
 
 
 #: Knob-axis names in the order coordinate-descent visits them (most
-#: impactful first, per the paper: clauses, then SAFARA, then caps).
+#: impactful first: the device itself, then per the paper clauses, then
+#: SAFARA, then caps).
 AXES = (
+    "arch",
     "honor_small",
     "honor_dim",
     "safara",
@@ -116,6 +131,9 @@ class KnobSpace:
     honor_small: tuple = (True, False)
     honor_dim: tuple = (True, False)
     unroll_factors: tuple = DEFAULT_UNROLL_FACTORS
+    #: Arch axis values (canonical registry keys; ``None`` = base arch).
+    #: Single-valued by default — fleet tuning widens it.
+    archs: tuple = (None,)
 
     def axis_values(self, axis: str) -> tuple:
         return {
@@ -125,6 +143,7 @@ class KnobSpace:
             "honor_small": self.honor_small,
             "honor_dim": self.honor_dim,
             "unroll_factor": self.unroll_factors,
+            "arch": self.archs,
         }[axis]
 
     @property
@@ -137,7 +156,8 @@ class KnobSpace:
     def points(self) -> list[TrialPoint]:
         """Every point, in a deterministic order."""
         out = []
-        for rl, sa, cand, small, dim, unroll in itertools.product(
+        for arch, rl, sa, cand, small, dim, unroll in itertools.product(
+            self.archs,
             self.register_limits,
             self.safara,
             self.candidate_budgets,
@@ -153,6 +173,7 @@ class KnobSpace:
                     honor_small=small,
                     honor_dim=dim,
                     unroll_factor=unroll,
+                    arch=arch,
                 )
             )
         return out
@@ -233,10 +254,27 @@ def canonicalize(
     uses_dim: bool,
     max_register_limit: int | None = None,
     candidate_ceiling: int | None = None,
+    base_arch: str | None = None,
+    max_register_limits: "dict | None" = None,
+    candidate_ceilings: "dict | None" = None,
 ) -> TrialPoint:
     """The representative of ``point``'s equivalence class (see module
-    docstring for the soundness argument of each collapse)."""
+    docstring for the soundness argument of each collapse).
+
+    With the arch axis in play the register-cap and candidate-budget
+    collapses are arch-dependent (a 256-cap is dead on Kepler's 255-max
+    but live on CDNA2); callers pass ``max_register_limits`` /
+    ``candidate_ceilings`` keyed by arch axis value (``None`` = base),
+    and ``base_arch`` (the base config's canonical key) so a point that
+    names the base arch explicitly merges with the ``None`` spelling.
+    """
     p = point
+    if p.arch is not None and base_arch is not None and p.arch == base_arch:
+        p = replace(p, arch=None)
+    if max_register_limits is not None:
+        max_register_limit = max_register_limits.get(p.arch, max_register_limit)
+    if candidate_ceilings is not None:
+        candidate_ceiling = candidate_ceilings.get(p.arch, candidate_ceiling)
     if not uses_small and p.honor_small:
         p = replace(p, honor_small=False)
     if not uses_dim and p.honor_dim:
@@ -267,6 +305,9 @@ def prune_points(
     uses_dim: bool,
     max_register_limit: int | None = None,
     candidate_ceiling: int | None = None,
+    base_arch: str | None = None,
+    max_register_limits: "dict | None" = None,
+    candidate_ceilings: "dict | None" = None,
 ) -> tuple[list[TrialPoint], dict[str, TrialPoint], int]:
     """Collapse ``points`` to canonical representatives.
 
@@ -284,6 +325,9 @@ def prune_points(
             uses_dim=uses_dim,
             max_register_limit=max_register_limit,
             candidate_ceiling=candidate_ceiling,
+            base_arch=base_arch,
+            max_register_limits=max_register_limits,
+            candidate_ceilings=candidate_ceilings,
         )
         mapping[point.key()] = canon
         ck = canon.key()

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from .. import BASE, CompileJob, CompilerSession, default_session
 from ..errors import TuneError
+from ..gpu.arch import arch_key, get_arch
 from ..gpu.occupancy import compute_occupancy
 from ..obs.tracer import span
 from .ledger import TuneLedger, task_key
@@ -44,7 +45,9 @@ from .space import (
 from .strategies import SearchContext, Strategy, make_strategy
 
 #: Golden result-schema version (``repro tune --json`` consumers pin it).
-RESULT_VERSION = 1
+#: v2: trial points carry an ``arch`` knob and the top level gains
+#: ``per_arch_best`` (the fleet axis).
+RESULT_VERSION = 2
 
 
 @dataclass(slots=True)
@@ -89,6 +92,9 @@ class TuneResult:
     ledger_path: str | None = None
     ledger_hits: int = 0
     ledger_misses: int = 0
+    #: Best trial per arch axis value, keyed by canonical registry key
+    #: (the base config's arch included) — the ``--fleet`` result table.
+    per_arch_best: dict[str, TrialResult] = field(default_factory=dict)
 
     @property
     def evaluated(self) -> int:
@@ -118,6 +124,9 @@ class TuneResult:
             "reference": self.reference.as_dict(),
             "best": self.best.as_dict(),
             "speedup_over_reference": round(self.speedup_over_reference, 6),
+            "per_arch_best": {
+                key: t.as_dict() for key, t in sorted(self.per_arch_best.items())
+            },
             "trials": [t.as_dict() for t in self.trials],
         }
 
@@ -175,9 +184,20 @@ class Tuner:
     def _build_space(self, space: KnobSpace | None):
         self.space = space if space is not None else default_space(self.source)
         self.uses_small, self.uses_dim = source_uses_clauses(self.source)
-        self.ceiling = safara_candidate_ceiling(
-            self.source, self.base, filename=self.filename
-        )
+        self.base_arch = arch_key(self.base.arch)
+        # The register-cap and candidate-budget collapses are
+        # arch-dependent: compute them per arch axis value (None = base).
+        self.max_register_limits: dict = {}
+        self.candidate_ceilings: dict = {}
+        for key in self.space.archs:
+            arch_base = self.base if key is None else self.base.derive(arch=key)
+            self.max_register_limits[key] = (
+                arch_base.arch.max_registers_per_thread
+            )
+            self.candidate_ceilings[key] = safara_candidate_ceiling(
+                self.source, arch_base, filename=self.filename
+            )
+        self.ceiling = self.candidate_ceilings.get(None)
         points = self.space.points()
         self.points, self.mapping, self.pruned = prune_points(
             points,
@@ -185,6 +205,9 @@ class Tuner:
             uses_dim=self.uses_dim,
             max_register_limit=self.base.arch.max_registers_per_thread,
             candidate_ceiling=self.ceiling,
+            base_arch=self.base_arch,
+            max_register_limits=self.max_register_limits,
+            candidate_ceilings=self.candidate_ceilings,
         )
         self._pruned.inc(self.pruned)
         self.reference = self.canonical(self.space.reference_point())
@@ -196,7 +219,14 @@ class Tuner:
             uses_dim=self.uses_dim,
             max_register_limit=self.base.arch.max_registers_per_thread,
             candidate_ceiling=self.ceiling,
+            base_arch=self.base_arch,
+            max_register_limits=self.max_register_limits,
+            candidate_ceilings=self.candidate_ceilings,
         )
+
+    def arch_of(self, point: TrialPoint) -> str:
+        """The canonical arch key a point compiles for."""
+        return point.arch if point.arch is not None else self.base_arch
 
     def prior(self, point: TrialPoint) -> float:
         """Analytic promise score (lower = try earlier) — ordering only,
@@ -207,7 +237,9 @@ class Tuner:
         risks spills below ~40 registers; SAFARA, the clauses, and an
         uncapped candidate budget save loads.
         """
-        arch = self.base.arch
+        arch = (
+            self.base.arch if point.arch is None else get_arch(point.arch)
+        )
         cap = point.register_limit or arch.max_registers_per_thread
         occ = compute_occupancy(cap, 256, arch).occupancy
         score = -occ
@@ -380,6 +412,14 @@ class Tuner:
             )
             best = self.best()
             sp.set(trials=len(self.trials), best_ms=best.model_ms)
+            per_arch_best: dict[str, TrialResult] = {}
+            for t in self.trials:
+                key = self.arch_of(t.point)
+                cur = per_arch_best.get(key)
+                if cur is None or (t.model_ms, t.point.key()) < (
+                    cur.model_ms, cur.point.key()
+                ):
+                    per_arch_best[key] = t
         return TuneResult(
             strategy=strat.name,
             budget=self.budget,
@@ -394,6 +434,7 @@ class Tuner:
             ledger_path=str(self.ledger.path) if self.ledger else None,
             ledger_hits=self.ledger_hits,
             ledger_misses=self.ledger_misses,
+            per_arch_best=per_arch_best,
         )
 
 
@@ -410,6 +451,7 @@ def tune(
     ledger: "TuneLedger | str | os.PathLike | None" = None,
     kernel_name: str | None = None,
     filename: str = "<string>",
+    archs: "list | tuple | None" = None,
 ) -> TuneResult:
     """Autotune one kernel source: search the optimization-config space
     for the point with the best modeled runtime at ``env``.
@@ -419,7 +461,24 @@ def tune(
     the reference score it beat, and every trial; pass ``ledger=`` a path
     to make re-tunes resumable (a warm re-tune replays every score and
     performs zero backend compiles).
+
+    ``archs`` widens the search to a fleet: each name is resolved in the
+    arch registry (unknown names raise
+    :class:`~repro.errors.ConfigError`) and becomes a value of the
+    ``arch`` knob axis; ``TuneResult.per_arch_best`` then reports the
+    winner per device.  Mutually exclusive with an explicit ``space``
+    that already sets its own ``archs``.
     """
+    if archs:
+        from dataclasses import replace as _replace
+
+        base_key = arch_key(base.arch)
+        keys = []
+        for name in archs:
+            key = arch_key(name)
+            keys.append(None if key == base_key else key)
+        axis = tuple(dict.fromkeys(keys))
+        space = _replace(space or default_space(source), archs=axis)
     tuner = Tuner(
         source,
         env=env,

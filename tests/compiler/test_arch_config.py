@@ -1,0 +1,110 @@
+"""Arch-by-name in the configuration layer.
+
+``CompilerConfig.arch`` accepts a registry profile name anywhere a
+:class:`GpuArch` was accepted — the constructor, ``derive()`` and
+``with_arch()`` all normalize through :data:`repro.gpu.arch.ARCHES` —
+and an unknown name fails loudly with the registered profiles listed.
+"""
+
+import pytest
+
+from repro.compiler.options import BASE, SMALL_DIM_SAFARA, CompilerConfig
+from repro.compiler.session import CompilerSession
+from repro.errors import ConfigError
+from repro.gpu.arch import CDNA2_MI250, FERMI_LIKE, KEPLER_K20XM
+from repro.ir import build_module
+from repro.lang import parse_program
+
+SRC = """
+kernel axpy(const double x[1:n], double y[1:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 1; i < n; i++) {
+    y[i] = x[i] + y[i];
+  }
+}
+"""
+
+
+def region_of(src=SRC):
+    fn = build_module(parse_program(src)).functions[0]
+    return fn.regions()[0], fn.symtab
+
+
+class TestArchByName:
+    def test_constructor_resolves_profile_names(self):
+        config = CompilerConfig(name="t", arch="cdna2-mi250")
+        assert config.arch is CDNA2_MI250
+
+    def test_constructor_resolves_aliases(self):
+        assert CompilerConfig(name="t", arch="mi250").arch is CDNA2_MI250
+        assert CompilerConfig(name="t", arch="kepler").arch is KEPLER_K20XM
+
+    def test_derive_accepts_names(self):
+        derived = BASE.derive(arch="fermi-like")
+        assert derived.arch is FERMI_LIKE
+        assert BASE.arch is KEPLER_K20XM  # base untouched
+
+    def test_with_arch_accepts_names(self):
+        assert BASE.with_arch("gfx90a").arch is CDNA2_MI250
+
+    def test_gpu_arch_instances_keep_identity(self):
+        assert BASE.derive(arch=FERMI_LIKE).arch is FERMI_LIKE
+
+    def test_default_arch_is_the_papers_kepler(self):
+        assert CompilerConfig(name="t").arch is KEPLER_K20XM
+
+    def test_unknown_name_raises_listing_profiles(self):
+        with pytest.raises(ConfigError, match="unknown GPU arch 'h100'") as exc:
+            BASE.derive(arch="h100")
+        assert "cdna2-mi250" in str(exc.value)
+        assert "kepler-k20xm" in str(exc.value)
+
+    def test_unknown_name_rejected_at_construction(self):
+        with pytest.raises(ConfigError, match="unknown GPU arch"):
+            CompilerConfig(name="t", arch="h100")
+
+    def test_compile_under_named_arch(self):
+        session = CompilerSession()
+        program = session.compile_source(SRC, BASE.derive(arch="cdna2-mi250"))
+        assert program.config.arch is CDNA2_MI250
+        assert program.max_registers > 0
+
+
+class TestGuardedCompileArchValidation:
+    """Regression: ``compile_guarded``'s ``arch`` kwarg used to bypass
+    ``CompilerConfig.derive`` — an arbitrary (even bogus) value flowed
+    straight into the register allocator.  It now routes through the same
+    validation as every other configuration field."""
+
+    def test_arch_name_resolves(self):
+        region, symtab = region_of()
+        guarded = CompilerSession().compile_guarded(
+            region, symtab, arch="cdna2-mi250"
+        )
+        assert guarded.optimized_info.registers > 0
+
+    def test_unknown_arch_name_raises_config_error(self):
+        region, symtab = region_of()
+        with pytest.raises(ConfigError, match="unknown GPU arch 'h100'"):
+            CompilerSession().compile_guarded(region, symtab, arch="h100")
+
+    def test_arch_instances_still_accepted(self):
+        region, symtab = region_of()
+        guarded = CompilerSession().compile_guarded(
+            region, symtab, arch=FERMI_LIKE
+        )
+        # Fermi's 63-register ceiling binds both versions.
+        assert guarded.fallback_info.registers <= 63
+
+
+class TestNamedArchEquivalence:
+    def test_name_and_instance_derive_equal_configs(self):
+        by_name = SMALL_DIM_SAFARA.derive(arch="cdna2-mi250")
+        by_instance = SMALL_DIM_SAFARA.derive(arch=CDNA2_MI250)
+        assert by_name == by_instance
+
+    def test_compiled_programs_agree(self):
+        session = CompilerSession()
+        a = session.compile_source(SRC, BASE.derive(arch="mi250"))
+        b = session.compile_source(SRC, BASE.derive(arch=CDNA2_MI250))
+        assert a.max_registers == b.max_registers

@@ -22,10 +22,18 @@ kernel axpy(const double x[1:n], double y[1:n], int n) {
 class TestFacadeSurface:
     def test_all_is_the_stable_api(self):
         assert repro.__all__ == [
-            "CompilerConfig", "CompilerSession", "compile", "run", "tune",
+            "CompilerConfig", "CompilerSession", "compile",
+            "get_arch", "list_archs", "run", "tune",
         ]
         for name in repro.__all__:
             assert getattr(repro, name) is not None
+
+    def test_arch_facade_resolves_registered_profiles(self):
+        from repro.gpu import KEPLER_K20XM
+
+        assert "kepler-k20xm" in repro.list_archs()
+        assert repro.get_arch("kepler-k20xm") is KEPLER_K20XM
+        assert repro.get_arch("cdna2-mi250").warp_size == 64
 
     def test_compile_compiles(self):
         program = repro.compile(SRC)

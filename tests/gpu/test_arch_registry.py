@@ -1,0 +1,193 @@
+"""The pluggable arch registry and the per-SIMD (CDNA2) occupancy model.
+
+The CDNA2 wavefront-per-SIMD table below is the published MI200-series
+occupancy ladder; the same limits are gated end-to-end by the ``fleet``
+row of ``benchmarks/regress.py``.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.arch import (
+    ARCHES,
+    CDNA2_MI250,
+    FERMI_LIKE,
+    KEPLER_K20XM,
+    ArchRegistry,
+    GpuArch,
+    arch_key,
+    get_arch,
+    list_archs,
+)
+from repro.gpu.occupancy import compute_occupancy
+
+#: Published MI200 occupancy ladder: architected VGPRs -> waves/SIMD.
+CDNA2_TIERS = [
+    (64, 8),
+    (72, 7),
+    (84, 6),
+    (102, 5),
+    (128, 4),
+    (170, 3),
+    (256, 2),
+]
+
+#: One register past each tier boundary drops exactly one wavefront.
+CDNA2_BOUNDARIES = [
+    (65, 7),
+    (73, 6),
+    (85, 5),
+    (103, 4),
+    (129, 3),
+    (171, 2),
+]
+
+
+class TestRegistryLookup:
+    def test_canonical_names_resolve(self):
+        assert get_arch("kepler-k20xm") is KEPLER_K20XM
+        assert get_arch("fermi-like") is FERMI_LIKE
+        assert get_arch("cdna2-mi250") is CDNA2_MI250
+
+    def test_aliases_and_display_names_resolve(self):
+        assert get_arch("kepler") is KEPLER_K20XM
+        assert get_arch("k20xm") is KEPLER_K20XM
+        assert get_arch("Tesla K20Xm") is KEPLER_K20XM
+        assert get_arch("mi250") is CDNA2_MI250
+        assert get_arch("gfx90a") is CDNA2_MI250
+
+    def test_lookup_normalizes_case_spaces_and_underscores(self):
+        assert get_arch("CDNA2_MI250") is CDNA2_MI250
+        assert get_arch("  cdna2 mi250  ") is CDNA2_MI250
+        assert get_arch("Kepler-K20XM") is KEPLER_K20XM
+
+    def test_gpu_arch_instances_pass_through_identically(self):
+        custom = GpuArch(
+            name="ad-hoc",
+            num_sms=1,
+            registers_per_sm=1024,
+            max_registers_per_thread=63,
+            register_granularity=4,
+            max_threads_per_sm=512,
+            max_threads_per_block=512,
+            max_blocks_per_sm=4,
+            warp_size=32,
+            shared_mem_per_sm=1024,
+            clock_mhz=100.0,
+            mem_bandwidth_gbs=10.0,
+            cores_per_sm=8,
+            f64_throughput_ratio=0.5,
+            has_readonly_cache=False,
+            transaction_bytes=128,
+        )
+        assert get_arch(custom) is custom
+
+    def test_unknown_name_lists_registered_profiles(self):
+        with pytest.raises(ConfigError, match="unknown GPU arch 'tpu'") as exc:
+            get_arch("tpu")
+        for name in list_archs():
+            assert name in str(exc.value)
+
+    def test_list_archs_is_sorted_and_contains_the_fleet(self):
+        names = list_archs()
+        assert names == sorted(names)
+        assert {"kepler-k20xm", "fermi-like", "cdna2-mi250"} <= set(names)
+
+    def test_contains_accepts_aliases(self):
+        assert "mi250" in ARCHES
+        assert "cdna2-mi250" in ARCHES
+        assert "tpu" not in ARCHES
+
+    def test_arch_key_round_trips(self):
+        assert arch_key("kepler") == "kepler-k20xm"
+        assert arch_key(CDNA2_MI250) == "cdna2-mi250"
+        assert arch_key(KEPLER_K20XM) == "kepler-k20xm"
+
+    def test_arch_key_falls_back_to_display_name_when_unregistered(self):
+        from dataclasses import replace
+
+        adhoc = replace(KEPLER_K20XM, name="My Custom SM", num_sms=1)
+        assert arch_key(adhoc) == "my-custom-sm"
+
+
+class TestCustomRegistration:
+    def test_register_and_resolve_with_aliases(self):
+        from dataclasses import replace
+
+        registry = ArchRegistry()
+        profile = replace(KEPLER_K20XM, name="Tesla K40")
+        registry.register("kepler-k40", profile, aliases=("k40",))
+        assert registry.get("k40") is profile
+        assert registry.get("Tesla K40") is profile
+        assert registry.key_of(profile) == "kepler-k40"
+        assert registry.names() == ["kepler-k40"]
+
+    def test_fresh_registry_rejects_everything(self):
+        with pytest.raises(ConfigError, match="registered profiles"):
+            ArchRegistry().get("kepler")
+
+
+class TestCdna2OccupancyModel:
+    @pytest.mark.parametrize("vgprs,waves", CDNA2_TIERS)
+    def test_published_tier_table(self, vgprs, waves):
+        assert CDNA2_MI250.waves_per_simd(vgprs) == waves
+
+    @pytest.mark.parametrize("vgprs,waves", CDNA2_BOUNDARIES)
+    def test_one_register_past_a_boundary_drops_a_wave(self, vgprs, waves):
+        assert CDNA2_MI250.waves_per_simd(vgprs) == waves
+
+    def test_slot_count_caps_low_register_kernels(self):
+        # 512 // 16 = 32, but a SIMD only has 8 wavefront slots.
+        assert CDNA2_MI250.waves_per_simd(16) == 8
+
+    def test_granularity_is_two(self):
+        assert CDNA2_MI250.round_registers(65) == 66
+        assert CDNA2_MI250.round_registers(64) == 64
+
+    def test_max_warps_per_cu_is_thirty_two(self):
+        # 4 SIMDs x 8 wavefront slots; the thread bound agrees (2048/64).
+        assert CDNA2_MI250.max_warps_per_sm == 32
+
+    def test_per_sm_profiles_reject_waves_per_simd(self):
+        with pytest.raises(ValueError, match="per-SIMD"):
+            KEPLER_K20XM.waves_per_simd(32)
+
+    def test_compute_occupancy_full_at_64_vgprs(self):
+        occ = compute_occupancy(64, 256, CDNA2_MI250)
+        assert occ.warp_size == 64
+        assert occ.warps_per_block == 4  # 256 threads / 64-wide wavefronts
+        assert occ.active_warps == 32
+        assert occ.occupancy == 1.0
+        assert occ.active_threads == 2048
+
+    def test_compute_occupancy_register_limited_at_128_vgprs(self):
+        occ = compute_occupancy(128, 256, CDNA2_MI250)
+        # 4 waves/SIMD x 4 SIMDs = 16 wavefronts -> 4 blocks of 4.
+        assert occ.blocks_per_sm == 4
+        assert occ.active_warps == 16
+        assert occ.occupancy == 0.5
+        assert occ.limited_by == "registers"
+
+
+class TestKeplerModelUnchanged:
+    """The registry refactor must not move the paper's Kepler numbers."""
+
+    def test_full_occupancy_at_32_registers(self):
+        occ = compute_occupancy(32, 256, KEPLER_K20XM)
+        assert occ.active_warps == 64
+        assert occ.occupancy == 1.0
+        assert occ.warp_size == 32
+
+    def test_half_occupancy_at_64_registers(self):
+        occ = compute_occupancy(64, 256, KEPLER_K20XM)
+        assert occ.active_warps == 32
+        assert occ.occupancy == 0.5
+        assert occ.limited_by == "registers"
+
+    def test_warp_granule_rounding_applies(self):
+        # 33 regs round to 36; 36*32 threads -> 1152 -> 1280-granule…
+        # the granule path is per-warp: ceil(36*32 / 256) * 256 = 1280;
+        # 65536 // (1280 * 8 warps) = 6 blocks.
+        occ = compute_occupancy(33, 256, KEPLER_K20XM)
+        assert occ.blocks_per_sm == 6
+        assert occ.active_warps == 48

@@ -1,0 +1,91 @@
+"""Cross-arch cache isolation: per-arch compile variants share the
+two-tier store without collisions.
+
+The content-addressed key hashes the config repr, which embeds the full
+:class:`~repro.gpu.arch.GpuArch` — so the same source compiled for two
+fleet members occupies two distinct entries in both the in-memory and
+persistent tiers, and a warm restart replays *both* variants with zero
+backend compilations.
+"""
+
+from repro.compiler import CompilerSession
+from repro.compiler.options import BASE, SMALL_DIM_SAFARA
+from repro.pipeline import cache_key
+
+SRC = """
+kernel axpy(const double x[1:n], double y[1:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 1; i < n; i++) {
+    y[i] = x[i] + y[i];
+  }
+}
+"""
+
+KEPLER_CFG = SMALL_DIM_SAFARA
+CDNA2_CFG = SMALL_DIM_SAFARA.derive(arch="cdna2-mi250")
+
+BACKEND_METRIC = "pipeline.pass.safara.backend_compilations"
+
+
+def backend_compilations(session) -> int:
+    metric = session.metrics.get(BACKEND_METRIC)
+    return int(metric.value) if metric else 0
+
+
+class TestKeyIsolation:
+    def test_arch_changes_the_cache_key(self):
+        assert cache_key(SRC, KEPLER_CFG) != cache_key(SRC, CDNA2_CFG)
+
+    def test_name_and_instance_spellings_share_a_key(self):
+        from repro.gpu.arch import CDNA2_MI250
+
+        assert cache_key(SRC, CDNA2_CFG) == cache_key(
+            SRC, SMALL_DIM_SAFARA.derive(arch=CDNA2_MI250)
+        )
+
+    def test_all_fleet_profiles_have_distinct_keys(self):
+        from repro.gpu.arch import list_archs
+
+        keys = {cache_key(SRC, BASE.derive(arch=name)) for name in list_archs()}
+        assert len(keys) == len(list_archs())
+
+
+class TestMemoryTier:
+    def test_no_cross_arch_hits(self):
+        session = CompilerSession()
+        session.compile_source(SRC, KEPLER_CFG)
+        session.compile_source(SRC, CDNA2_CFG)
+        assert session.cache.hits == 0
+        assert session.cache.misses == 2
+
+    def test_each_variant_replays_from_its_own_entry(self):
+        session = CompilerSession()
+        kepler = session.compile_source(SRC, KEPLER_CFG)
+        cdna2 = session.compile_source(SRC, CDNA2_CFG)
+        assert session.compile_source(SRC, KEPLER_CFG) is kepler
+        assert session.compile_source(SRC, CDNA2_CFG) is cdna2
+        assert session.cache.hits == 2
+
+
+class TestDiskTierWarmRestart:
+    def test_warm_restart_replays_both_variants_with_zero_backend(
+        self, tmp_path
+    ):
+        cold = CompilerSession(cache_dir=tmp_path)
+        cold.compile_source(SRC, KEPLER_CFG)
+        cold.compile_source(SRC, CDNA2_CFG)
+        assert backend_compilations(cold) > 0  # SAFARA feedback ran
+
+        # A fresh session over the same directory models a daemon restart.
+        warm = CompilerSession(cache_dir=tmp_path)
+        a = warm.compile_source(SRC, KEPLER_CFG)
+        b = warm.compile_source(SRC, CDNA2_CFG)
+        assert backend_compilations(warm) == 0
+        assert warm.disk_cache.hits == 2
+        assert a.config.arch.name != b.config.arch.name
+
+    def test_disk_entries_do_not_collide(self, tmp_path):
+        cold = CompilerSession(cache_dir=tmp_path)
+        cold.compile_source(SRC, KEPLER_CFG)
+        cold.compile_source(SRC, CDNA2_CFG)
+        assert len(cold.disk_cache) == 2

@@ -61,7 +61,7 @@ class TestCodeMapping:
     def test_every_protocol_code_maps_to_exactly_one_type(self):
         codes = [
             protocol.BAD_JSON, protocol.BAD_REQUEST, protocol.UNKNOWN_CONFIG,
-            protocol.PARSE_ERROR, protocol.QUEUE_FULL,
+            protocol.UNKNOWN_ARCH, protocol.PARSE_ERROR, protocol.QUEUE_FULL,
             protocol.DEADLINE_EXCEEDED, protocol.TRANSIENT_FAILURE,
             protocol.COMPILE_ERROR, protocol.EXECUTION_ERROR,
             protocol.TUNE_ERROR, protocol.SHUTTING_DOWN, protocol.INTERNAL,

@@ -29,7 +29,8 @@ ENV_ARGS = ["--env", "nx=32", "--env", "ny=16", "--env", "nz=8"]
 #: The golden schema of ``repro tune --json``: exact key sets, per level.
 GOLDEN_TOP = {
     "version", "strategy", "budget", "task_key", "space", "evaluated",
-    "ledger", "reference", "best", "speedup_over_reference", "trials",
+    "ledger", "reference", "best", "speedup_over_reference",
+    "per_arch_best", "trials",
 }
 GOLDEN_SPACE = {"size", "unique", "pruned"}
 GOLDEN_LEDGER = {"path", "hits", "misses"}
@@ -38,7 +39,7 @@ GOLDEN_TRIAL = {
 }
 GOLDEN_POINT = {
     "register_limit", "safara", "safara_max_candidates",
-    "honor_small", "honor_dim", "unroll_factor",
+    "honor_small", "honor_dim", "unroll_factor", "arch",
 }
 
 
