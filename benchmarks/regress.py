@@ -31,6 +31,14 @@ worse than the ``OpenUH(SAFARA+small+dim)`` default, and a warm re-tune
 through the shared tuning ledger must replay every score with zero
 backend compilations.
 
+A ``hotpath`` row gates the generated-code serving hot path
+(``docs/execution.md``, ``docs/serving.md``): warm in-process compiles
+through the two-tier cache must answer in under a millisecond at p50,
+the generated-NumPy executor must be at least break-even (geomean) with
+the interpreting vector engine across every benchmark it covers, and
+``compile_many`` must overlap injected backend latency by more than
+1.5x at 4 workers.
+
 A ``fleet`` row gates the multi-arch serving layer
 (``docs/serving.md``): the CDNA2 profile's waves-per-SIMD table must
 match the published MI200 occupancy limits at every tier, and fleet
@@ -229,6 +237,128 @@ def collect_tune() -> dict:
             "cold_tune_ms": round(cold_ms, 3),
             "warm_tune_ms": round(warm_ms, 3),
         }
+
+
+def collect_hotpath() -> dict:
+    """The generated-code hot-path row (``docs/execution.md``).
+
+    Three measurements, three gates:
+
+    * **warm compile p50** — repeat ``compile_source`` of an
+      already-compiled benchmark through a disk-backed session; the
+      memory tier must answer in under a millisecond at the median;
+    * **codegen speedup** — min-of-5 warm launches of every benchmark
+      the generated-NumPy tier covers, against the interpreting vector
+      engine; the geomean must be at least break-even;
+    * **compile_many scaling** — 8 distinct jobs under 20 ms of
+      injected backend latency (``latency_scope``): 4 workers must beat
+      the serial wall-clock by more than 1.5x.
+    """
+    import math
+    import statistics
+    import tempfile
+
+    from repro.bench.args import build_test_args, copy_args
+    from repro.compiler import CompileJob
+    from repro.feedback import latency_scope
+    from repro.gpu.vector_exec import execute_kernel
+
+    load_all()
+    specs = list(SPEC.all()) + list(NAS.all())
+
+    # Warm-compile latency through the two-tier cache.
+    with tempfile.TemporaryDirectory(prefix="repro-hotpath-") as tmp:
+        spec = SPEC.get("303.ostencil")
+        session = CompilerSession(cache_dir=tmp)
+        session.compile_source(spec.source, SMALL_DIM_SAFARA)  # cold
+        samples = []
+        for _ in range(21):
+            t0 = time.perf_counter()
+            session.compile_source(spec.source, SMALL_DIM_SAFARA)
+            samples.append((time.perf_counter() - t0) * 1000.0)
+        warm_p50 = statistics.median(samples)
+
+    # Generated code vs the interpreting vector engine, warm launches.
+    speedups: dict[str, float] = {}
+    for spec in specs:
+        fn, args = build_test_args(spec)
+        key = f"hotpath:{spec.name}"
+        _, _, info = execute_kernel(fn, copy_args(args), content_key=key)
+        if info.used != "codegen":
+            continue  # EP-family kernels fall back by design
+
+        def best(executor: str, **kw) -> float:
+            times = []
+            for _ in range(5):
+                run_args = copy_args(args)
+                t0 = time.perf_counter()
+                execute_kernel(fn, run_args, executor=executor, **kw)
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        c = best("codegen", content_key=key)
+        v = best("vector")
+        speedups[spec.name] = round(v / c, 4)
+    geomean = math.exp(
+        sum(math.log(s) for s in speedups.values()) / len(speedups)
+    )
+
+    # Batch-compile scaling under injected backend latency.
+    template = """
+    kernel k{i}(const double x[1:n], double y[1:n], int n) {{
+      #pragma acc kernels loop gang vector(64)
+      for (i = 1; i < n; i++) {{ y[i] = x[i] * {i}.0 + y[i]; }}
+    }}
+    """
+    jobs = [
+        CompileJob(source=template.format(i=i), config=BASE) for i in range(8)
+    ]
+    with latency_scope(0.02):
+        t0 = time.perf_counter()
+        CompilerSession().compile_many(jobs, max_workers=1)
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        CompilerSession().compile_many(jobs, max_workers=4)
+        parallel_s = time.perf_counter() - t0
+
+    return {
+        "benchmarks": sorted(speedups),
+        # gated:
+        "warm_compile_p50_ms": round(warm_p50, 4),
+        "codegen_speedup_x": round(geomean, 4),
+        "compile_many_scaling_x": round(serial_s / parallel_s, 4),
+        # informational (wall clock):
+        "per_benchmark_speedup": speedups,
+        "scaling_serial_ms": round(serial_s * 1000.0, 3),
+        "scaling_parallel_ms": round(parallel_s * 1000.0, 3),
+    }
+
+
+def check_hotpath(row: dict) -> list[str]:
+    """Absolute gates on the generated-code hot-path row."""
+    problems: list[str] = []
+    if row["warm_compile_p50_ms"] >= 1.0:
+        problems.append(
+            f"hotpath: warm compile p50 is {row['warm_compile_p50_ms']} ms "
+            f"(gate: < 1 ms) — the memory tier is not answering"
+        )
+    if row["codegen_speedup_x"] < 1.0:
+        problems.append(
+            f"hotpath: generated code is {row['codegen_speedup_x']}x the "
+            f"interpreting engine (gate: >= 1.0x geomean)"
+        )
+    if row["compile_many_scaling_x"] <= 1.5:
+        problems.append(
+            f"hotpath: compile_many scaled {row['compile_many_scaling_x']}x "
+            f"at 4 workers (gate: > 1.5x) — backend latency is not "
+            f"overlapping"
+        )
+    if len(row["benchmarks"]) < 14:
+        problems.append(
+            f"hotpath: only {len(row['benchmarks'])} benchmarks ran on "
+            f"generated code (expected >= 14)"
+        )
+    return problems
 
 
 #: Published MI200-series occupancy ladder: architected VGPRs per lane
@@ -451,6 +581,22 @@ def main(argv: list[str] | None = None) -> int:
         f"({doc['tune']['speedup_over_default']:.3f}x, "
         f"{doc['tune']['trials']} trials; warm re-tune replayed all, "
         f"0 backend compilations)"
+    )
+
+    doc["hotpath"] = collect_hotpath()
+    hotpath_problems = check_hotpath(doc["hotpath"])
+    if hotpath_problems:
+        print(f"\nFAIL: hotpath gate:", file=sys.stderr)
+        for p in hotpath_problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        f"hotpath: warm compile p50 "
+        f"{doc['hotpath']['warm_compile_p50_ms']:.3f} ms, codegen "
+        f"{doc['hotpath']['codegen_speedup_x']:.3f}x over the interpreting "
+        f"engine ({len(doc['hotpath']['benchmarks'])} benchmarks), "
+        f"compile_many {doc['hotpath']['compile_many_scaling_x']:.2f}x "
+        f"at 4 workers"
     )
 
     doc["fleet"] = collect_fleet()

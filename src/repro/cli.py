@@ -61,6 +61,7 @@ from .bench.experiments import ALL_EXPERIMENTS
 from .bench.suites.registry import load_all
 from .compiler.options import ALL_CONFIGS, BASE, SMALL_DIM_SAFARA
 from .compiler.session import CompilerSession, default_session
+from .executors import EXECUTOR_NAMES
 
 
 def _parse_env(pairs: list[str]) -> dict[str, int | float]:
@@ -459,10 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--executor",
-        choices=("auto", "vector", "scalar"),
+        choices=EXECUTOR_NAMES,
         default="auto",
-        help="execution engine for --run (default: vectorized with "
-        "automatic scalar fallback)",
+        help="execution engine for --run (default: generated NumPy code "
+        "with automatic vector/scalar fallback)",
     )
     p.add_argument(
         "--stats",
@@ -641,7 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--executor",
-        choices=("auto", "vector", "scalar"),
+        choices=EXECUTOR_NAMES,
         default=None,
         help="execution engine for --run",
     )

@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..codegen.kernelgen import CodegenOptions, generate_kernel
+from ..executors import parse_executor
 from ..gpu.arch import GpuArch, KEPLER_K20XM
 from ..gpu.registers import ptxas_info
 from ..gpu.timing import estimate_time
@@ -46,7 +47,12 @@ from ..pipeline.passes import Pass, PassContext, PassManager, run_safara
 from ..pipeline.trace import CompileTrace, SessionStats
 from ..analysis.cost_model import LatencyModel
 from ..transforms.safara import SafaraReport
-from ..feedback.driver import FeedbackCompiler, current_deadline, deadline_scope
+from ..feedback.driver import (
+    FeedbackCompiler,
+    backend_latency,
+    current_deadline,
+    deadline_scope,
+)
 from .driver import CompiledKernel, CompiledProgram, ProgramTiming
 from .guards import GuardedKernel, _compile_guarded
 from .options import BASE, CompilerConfig
@@ -111,10 +117,11 @@ class CompilerSession:
         self.pipeline = PassManager(passes)
         self.stats = SessionStats(self.metrics)
         self.max_workers = max_workers
-        #: Default functional-execution engine for :meth:`execute`:
-        #: ``"auto"`` (vectorized with automatic scalar fallback),
-        #: ``"vector"`` (raise on unsupported kernels), or ``"scalar"``.
-        self.executor = executor
+        #: Default functional-execution engine for :meth:`execute` — one
+        #: of :data:`repro.executors.EXECUTOR_NAMES` (``"auto"`` walks the
+        #: ladder codegen → vector → scalar).  Validated here so a typo
+        #: fails at construction, not on the first execute.
+        self.executor = parse_executor(executor).value
         self._lock = threading.Lock()
 
     # -- core compilation --------------------------------------------------
@@ -153,6 +160,7 @@ class CompilerSession:
                     kernel_name=name,
                 )
                 region_trace = self.pipeline.run(ctx)
+                backend_latency()
                 with span("codegen", kernel=name) as cg_span:
                     vir = generate_kernel(
                         region, fn.symtab, codegen_opts, name=name
@@ -203,43 +211,85 @@ class CompilerSession:
         )
         key = job.key()
         with span("compile", config=config.name, cache_key=key) as sp:
-            cached = self._cache_lookup(key)
+            cached = self._cache_lookup(key, job)
             if cached is not None:
                 sp.set(cache_hit=True)
                 return cached
             sp.set(cache_hit=False)
             program = self._compile_job(job, key)
-            self._cache_store(key, program)
+            self._cache_store(key, program, codegen=self._codegen_for_job(job))
         return program
 
-    def _cache_lookup(self, key: str) -> CompiledProgram | None:
+    def _cache_lookup(
+        self, key: str, job: CompileJob | None = None
+    ) -> CompiledProgram | None:
         """Two-tier lookup: memory first, then the persistent tier (a disk
-        hit is promoted into the in-memory cache)."""
+        hit is promoted into the in-memory cache).  A disk envelope that
+        carries generated NumPy source is rebound into the process-wide
+        function cache, so a warm restart executes hot without re-running
+        the planner or the generator."""
         cached = self.cache.get(key)
         if cached is not None:
             return cached
         if self.disk_cache is not None:
-            program = self.disk_cache.get(key)
+            program, codegen = self.disk_cache.get_entry(key)
             if program is not None:
                 self.cache.put(key, program)
+                if codegen is not None and job is not None:
+                    self._rebind_codegen(job, key, codegen)
                 return program
         return None
 
-    def _cache_store(self, key: str, program: CompiledProgram) -> None:
+    def _cache_store(
+        self, key: str, program: CompiledProgram, *, codegen: str | None = None
+    ) -> None:
         self.cache.put(key, program)
         if self.disk_cache is not None:
-            self.disk_cache.put(key, program)
+            self.disk_cache.put(key, program, codegen=codegen)
 
-    def _compile_job(
-        self, job: CompileJob, key: str | None = None
-    ) -> CompiledProgram:
+    def _parse_job(self, job: CompileJob) -> KernelFunction:
         module = build_module(parse_program(job.source, job.filename))
-        fn = (
+        return (
             module.functions[0]
             if job.kernel_name is None
             else module.function(job.kernel_name)
         )
-        return self.compile_function(fn, job.config, cache_key=key)
+
+    def _codegen_for_job(self, job: CompileJob) -> str | None:
+        """Generated NumPy source for the job's kernel, or ``None`` when
+        the codegen tier cannot express it.  Always generated from a
+        pristine parse — the passes mutate the compiled program's IR."""
+        from ..codegen import numpy_source
+
+        t0 = time.perf_counter()
+        try:
+            source = numpy_source.generate_source(self._parse_job(job))
+        except Exception:  # noqa: BLE001 — codegen is best-effort
+            return None
+        self.metrics.histogram("codegen.generate_ms").observe(
+            (time.perf_counter() - t0) * 1000.0
+        )
+        return source
+
+    def _rebind_codegen(self, job: CompileJob, key: str, source: str) -> None:
+        """Bind persisted generated source into the function cache (warm
+        restart path: no planning, no generation — just ``exec``)."""
+        from ..codegen import numpy_source
+
+        try:
+            numpy_source.get_or_compile(
+                self._parse_job(job),
+                content_key=key,
+                source=source,
+                metrics=self.metrics,
+            )
+        except Exception:  # noqa: BLE001 — stale source: executors re-plan
+            pass
+
+    def _compile_job(
+        self, job: CompileJob, key: str | None = None
+    ) -> CompiledProgram:
+        return self.compile_function(self._parse_job(job), job.config, cache_key=key)
 
     # -- batch compilation -------------------------------------------------
 
@@ -248,14 +298,29 @@ class CompilerSession:
         jobs: "list[CompileJob | tuple]",
         *,
         max_workers: int | None = None,
+        parallel: str = "thread",
     ) -> list[CompiledProgram]:
-        """Compile a batch of jobs, fanned out over a thread pool.
+        """Compile a batch of jobs, fanned out over a worker pool.
 
         Results come back aligned with ``jobs``.  Duplicate jobs (same
         cache key) compile once; cache hits never reach the pool.  The
         compile core is deterministic, so a parallel batch is bit-identical
         to a serial loop over the same jobs.
+
+        ``parallel`` selects the pool: ``"thread"`` (default) overlaps
+        backend stalls and releases the GIL in NumPy; ``"process"`` forks
+        workers for CPU-bound scaling on multicore machines (results and
+        traces are pickled back; thread-local backend *deadlines* do not
+        cross the fork — wrap the whole batch in ``deadline_scope`` in the
+        parent instead of relying on per-worker propagation).
         """
+        if parallel not in ("thread", "process"):
+            from ..errors import ConfigError
+
+            raise ConfigError(
+                f"unknown parallel mode {parallel!r}: "
+                "valid modes are thread, process"
+            )
         jobs = [j if isinstance(j, CompileJob) else CompileJob(*j) for j in jobs]
         results: list[CompiledProgram | None] = [None] * len(jobs)
         indices_for: dict[str, list[int]] = {}
@@ -267,7 +332,7 @@ class CompilerSession:
 
         to_compile: list[str] = []
         for key in indices_for:
-            cached = self._cache_lookup(key)
+            cached = self._cache_lookup(key, job_for[key])
             if cached is not None:
                 for i in indices_for[key]:
                     results[i] = cached
@@ -279,7 +344,11 @@ class CompilerSession:
                 32, (os.cpu_count() or 1) + 4
             )
             workers = max(1, min(workers, len(to_compile)))
-            if workers == 1:
+            if parallel == "process" and workers > 1:
+                compiled = self._compile_in_processes(
+                    [job_for[k] for k in to_compile], workers
+                )
+            elif workers == 1:
                 compiled = [self._compile_job(job_for[k], k) for k in to_compile]
             else:
                 # Backend deadlines are thread-local; re-install the
@@ -296,10 +365,36 @@ class CompilerSession:
                 with ThreadPoolExecutor(max_workers=workers) as pool:
                     compiled = list(pool.map(compile_one, to_compile))
             for key, program in zip(to_compile, compiled):
-                self._cache_store(key, program)
+                self._cache_store(
+                    key, program, codegen=self._codegen_for_job(job_for[key])
+                )
                 for i in indices_for[key]:
                     results[i] = program
         return results  # type: ignore[return-value]
+
+    def _compile_in_processes(
+        self, jobs: list[CompileJob], workers: int
+    ) -> list[CompiledProgram]:
+        """Fan a batch out over forked worker processes.
+
+        Each worker compiles in a throwaway session and pickles back
+        ``(program, trace)``; the parent records the traces so statistics
+        match the threaded path.
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        ctx = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            outs = list(pool.map(_compile_job_in_worker, jobs))
+        compiled = []
+        for program, trace in outs:
+            with self._lock:
+                self.stats.record(trace)
+            compiled.append(program)
+        return compiled
 
     # -- downstream services ----------------------------------------------
 
@@ -344,20 +439,30 @@ class CompilerSession:
         args: dict[str, object],
         *,
         executor: str | None = None,
+        content_key: str | None = None,
+        codegen_source: str | None = None,
     ):
         """Run a kernel function functionally through the vectorized
         execution engine (:func:`~repro.gpu.vector_exec.execute_kernel`).
 
-        ``executor`` overrides the session default for one call.  Returns
-        ``(arrays, stats, info)``; the
-        :class:`~repro.gpu.vector_exec.ExecutionInfo` is also recorded in
-        the session statistics (the ``execution`` section of
+        ``executor`` overrides the session default for one call.
+        ``content_key`` (a stable content hash for ``fn``'s source) keys
+        the process-wide generated-function cache, so repeat executions
+        skip planning and codegen; ``codegen_source`` seeds that cache
+        from a persisted disk envelope.  Returns ``(arrays, stats,
+        info)``; the :class:`~repro.gpu.vector_exec.ExecutionInfo` is also
+        recorded in the session statistics (the ``execution`` section of
         :meth:`stats_dict`).
         """
         from ..gpu.vector_exec import execute_kernel
 
         arrays, stats, info = execute_kernel(
-            fn, args, executor=executor or self.executor
+            fn,
+            args,
+            executor=executor or self.executor,
+            content_key=content_key,
+            codegen_source=codegen_source,
+            metrics=self.metrics,
         )
         with self._lock:
             self.stats.record_execution(fn.name, info.as_dict())
@@ -423,6 +528,15 @@ class CompilerSession:
         self.cache.reset()
         with self._lock:
             self.stats.reset()
+
+
+def _compile_job_in_worker(job: CompileJob):
+    """Module-level worker for ``parallel="process"`` batches: compile in
+    a fresh, cache-less session and return ``(program, trace)``."""
+    session = CompilerSession(cache_size=1)
+    program = session._compile_job(job, job.key())
+    trace = session.stats.traces[-1]
+    return program, trace
 
 
 _default_session: CompilerSession | None = None

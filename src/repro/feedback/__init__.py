@@ -8,9 +8,11 @@ from .driver import (
     FeedbackTimeout,
     PermanentFeedbackError,
     TransientFeedbackError,
+    backend_latency,
     classify_failure,
     deadline_scope,
     fault_scope,
+    latency_scope,
     optimize_region,
 )
 
@@ -20,8 +22,10 @@ __all__ = [
     "FeedbackTimeout",
     "PermanentFeedbackError",
     "TransientFeedbackError",
+    "backend_latency",
     "classify_failure",
     "deadline_scope",
     "fault_scope",
+    "latency_scope",
     "optimize_region",
 ]

@@ -35,12 +35,14 @@ from __future__ import annotations
 import logging
 import math
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..codegen.vector_lower import AXIS, KernelPlan, plan_kernel
+from ..executors import Executor, parse_executor
 from ..ir.expr import (
     ArrayRef,
     BinOp,
@@ -135,6 +137,16 @@ _INT_GUARD = 2**31
 _CAST_GUARD = 2**62
 
 
+_CMP_UFUNC = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
 def _promote(lk: str, rk: str) -> str:
     if lk == rk:
         return lk
@@ -170,13 +182,16 @@ class ExecutionInfo:
     """What :func:`execute_kernel` actually did, for stats/observability."""
 
     requested: str
-    used: str  # "vector" | "scalar"
+    used: str  # "codegen" | "vector" | "scalar"
     fallback_reason: str | None = None
     #: Lane-iterations executed through batched axis loops.
     elements: int = 0
     region_elements: dict[str, int] = field(default_factory=dict)
     #: Planner demotion reasons (parallel loops executed sequentially).
     demoted: list[str] = field(default_factory=list)
+    #: Wall time spent obtaining the generated program (None when the
+    #: codegen tier was never consulted; ~0 on a function-cache hit).
+    codegen_ms: float | None = None
 
     def as_dict(self) -> dict:
         out: dict = {"requested": self.requested, "used": self.used}
@@ -187,6 +202,8 @@ class ExecutionInfo:
             out["region_elements"] = dict(self.region_elements)
         if self.demoted:
             out["demoted"] = list(self.demoted)
+        if self.codegen_ms is not None:
+            out["codegen_ms"] = round(self.codegen_ms, 6)
         return out
 
 
@@ -334,34 +351,42 @@ class VectorInterpreter:
         if isinstance(stmt, Assign):
             value = self._eval(stmt.value)
             if isinstance(stmt.target, VarRef):
-                self._env_set(
-                    stmt.target.sym.name,
-                    self._coerce_scalar(stmt.target.sym, value),
-                )
+                self._assign_scalar(stmt.target.sym, value)
             else:
-                self._store(stmt.target, value)
+                self._store_idx(
+                    stmt.target, self._eval_indices(stmt.target), value
+                )
         elif isinstance(stmt, LocalDecl):
             if stmt.init is not None:
-                self._env_set(
-                    stmt.sym.name,
-                    self._coerce_scalar(stmt.sym, self._eval(stmt.init)),
-                )
+                self._assign_scalar(stmt.sym, self._eval(stmt.init))
             else:
                 self._decl_default(stmt.sym.name)
         elif isinstance(stmt, If):
-            self._exec_if(stmt)
-        elif isinstance(stmt, Loop):
-            self._exec_loop(stmt)
-        elif isinstance(stmt, Region):
-            before = self.elements
-            self._exec_stmts(stmt.body)
-            self.region_elements[stmt.name_hint] = (
-                self.region_elements.get(stmt.name_hint, 0)
-                + self.elements
-                - before
+            self._apply_if(
+                self._eval(stmt.cond),
+                lambda: self._exec_stmts(stmt.then_body),
+                lambda: self._exec_stmts(stmt.else_body),
             )
+        elif isinstance(stmt, Loop):
+            self._run_loop(
+                stmt,
+                lambda: self._exec_stmts(stmt.body),
+                self._plan.mode_of(stmt) == AXIS,
+            )
+        elif isinstance(stmt, Region):
+            self._run_region(stmt.name_hint, lambda: self._exec_stmts(stmt.body))
         else:
             raise VectorUnsupported(f"unknown statement {type(stmt).__name__}")
+
+    def _assign_scalar(self, sym, va: VArray) -> None:
+        self._env_set(sym.name, self._coerce_scalar(sym, va))
+
+    def _run_region(self, name_hint: str, body) -> None:
+        before = self.elements
+        body()
+        self.region_elements[name_hint] = (
+            self.region_elements.get(name_hint, 0) + self.elements - before
+        )
 
     def _coerce_scalar(self, sym, va: VArray) -> VArray:
         """The interpreter's ``_coerce_scalar``: assignments to a scalar
@@ -393,13 +418,14 @@ class VectorInterpreter:
         defined = np.broadcast_to(od | need, data.shape).copy()
         self._env[name] = VArray(data, PYINT, True if defined.all() else defined)
 
-    def _exec_if(self, stmt: If) -> None:
-        cond = self._eval(stmt.cond)
+    def _apply_if(self, cond: VArray, then_body, else_body) -> None:
+        """``If`` with a pre-evaluated condition and body thunks (shared
+        with the generated-code tier, which passes nested functions)."""
         if not self._axes:
             if bool(cond.data):
-                self._exec_stmts(stmt.then_body)
+                then_body()
             else:
-                self._exec_stmts(stmt.else_body)
+                else_body()
             return
         truth = self._lift(cond.data) != 0
         base = self._mask
@@ -407,17 +433,22 @@ class VectorInterpreter:
         m_else = ~truth if base is None else (base & ~truth)
         if self._masked_count(m_then):
             self._set_mask(m_then)
-            self._exec_stmts(stmt.then_body)
+            then_body()
         if self._masked_count(m_else):
             self._set_mask(m_else)
-            self._exec_stmts(stmt.else_body)
+            else_body()
         self._set_mask(base)
 
     def _masked_count(self, mask: np.ndarray) -> int:
         return int(np.count_nonzero(np.broadcast_to(mask, self._shape)))
 
     # -- loops --------------------------------------------------------------
-    def _exec_loop(self, loop: Loop) -> None:
+    def _run_loop(self, loop: Loop, body, axis: bool) -> None:
+        """Dispatch one loop with its *planned* mode baked in (``axis``) and
+        its body as a thunk.  The interpreter passes a recursive statement
+        walk; the generated-code tier passes a nested function.  Axis-mode
+        loops still demote dynamically to the ordinal walk when their
+        concrete bounds turn out lane-varying."""
         lo_va = self._eval_loop_bound(loop.init)
         hi_va = self._eval_loop_bound(loop.bound)
         lo = self._uniform_int(lo_va)
@@ -426,12 +457,12 @@ class VectorInterpreter:
             vals = _range_of(loop, lo, hi)
             if len(vals) == 0:
                 return
-            if self._plan.mode_of(loop) == AXIS:
-                self._exec_axis_loop(loop, vals)
+            if axis:
+                self._exec_axis_loop(loop, vals, body)
             else:
-                self._exec_seq_uniform(loop, vals)
+                self._exec_seq_uniform(loop, vals, body)
             return
-        self._exec_seq_varying(loop, lo_va, hi_va)
+        self._exec_seq_varying(loop, lo_va, hi_va, body)
 
     def _eval_loop_bound(self, e: Expr) -> VArray:
         """Loop bounds mirror ``Loop.iter_values``'s restricted evaluator
@@ -488,7 +519,7 @@ class VectorInterpreter:
         first = vals[0]
         return int(first) if bool((vals == first).all()) else None
 
-    def _exec_axis_loop(self, loop: Loop, vals: range) -> None:
+    def _exec_axis_loop(self, loop: Loop, vals: range, body) -> None:
         var = loop.var.name
         saved = self._env.get(var)
         saved_mask = self._mask
@@ -501,7 +532,7 @@ class VectorInterpreter:
         active = self._active()
         self.stats.iterations += active
         self.elements += active
-        self._exec_stmts(loop.body)
+        body()
         # Pop the axis: anything written per-lane keeps its final-iteration
         # slice (the scalar interpreter leaks the last iteration's value;
         # the planner demoted the loop if a lane-varying final is *read*).
@@ -523,17 +554,19 @@ class VectorInterpreter:
             self._env.pop(var, None)
             self._env_set(var, _const_int(vals[-1]))
 
-    def _exec_seq_uniform(self, loop: Loop, vals: range) -> None:
+    def _exec_seq_uniform(self, loop: Loop, vals: range, body) -> None:
         var = loop.var.name
         saved = self._env.get(var)
         for v in vals:
             self._env_set(var, _const_int(v))
             self.stats.iterations += self._active()
-            self._exec_stmts(loop.body)
+            body()
         if saved is not None:
             self._env[var] = saved
 
-    def _exec_seq_varying(self, loop: Loop, lo_va: VArray, hi_va: VArray) -> None:
+    def _exec_seq_varying(
+        self, loop: Loop, lo_va: VArray, hi_va: VArray, body
+    ) -> None:
         """Sequential loop whose bounds differ per lane (e.g. a CSR row
         walk): advance every lane through its *own* range in lockstep —
         at ordinal step ``k`` each active lane executes its ``k``-th
@@ -573,7 +606,7 @@ class VectorInterpreter:
             values = start + k if loop.step == 1 else start - k
             self._env_set(var, VArray(values.astype(np.int64), PYINT))
             self.stats.iterations += count
-            self._exec_stmts(loop.body)
+            body()
         self._set_mask(base)
         if saved is not None:
             self._env[var] = saved
@@ -589,13 +622,17 @@ class VectorInterpreter:
                 self._env.pop(var, None)
 
     # -- memory -------------------------------------------------------------
-    def _index_arrays(self, ref: ArrayRef) -> tuple[np.ndarray, list[np.ndarray]]:
+    def _eval_indices(self, ref: ArrayRef) -> list[VArray]:
+        return [self._eval(sub) for sub in ref.indices]
+
+    def _index_from(
+        self, ref: ArrayRef, vas: list[VArray]
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
         name = ref.sym.name
         arr = self._arrays[name]
         lowers = self._lowers.get(name)
         idx: list[np.ndarray] = []
-        for axis, sub in enumerate(ref.indices):
-            va = self._eval(sub)
+        for axis, va in enumerate(vas):
             if va.kind in _INT_KINDS:
                 data = self._lift(va.data.astype(np.int64))
             else:
@@ -619,8 +656,8 @@ class VectorInterpreter:
             clipped.append(np.clip(data, 0, max(extent - 1, 0)))
         return arr, clipped
 
-    def _load(self, ref: ArrayRef) -> VArray:
-        arr, idx = self._index_arrays(ref)
+    def _load_idx(self, ref: ArrayRef, vas: list[VArray]) -> VArray:
+        arr, idx = self._index_from(ref, vas)
         self.stats.loads += self._active()
         if ref.sym.array is not None and ref.sym.array.is_pointer:
             data = arr.reshape(-1)[idx[0]]
@@ -628,8 +665,8 @@ class VectorInterpreter:
             data = arr[tuple(idx)]
         return VArray(data, _DTYPE_KIND[arr.dtype])
 
-    def _store(self, ref: ArrayRef, value: VArray) -> None:
-        arr, idx = self._index_arrays(ref)
+    def _store_idx(self, ref: ArrayRef, vas: list[VArray], value: VArray) -> None:
+        arr, idx = self._index_from(ref, vas)
         if arr.dtype.kind in "iu":
             # Scalar element assignment raises on NaN/inf and on values
             # outside the target's range; array assignment wraps silently.
@@ -674,28 +711,40 @@ class VectorInterpreter:
         if isinstance(e, VarRef):
             return self._env_get(e.sym.name)
         if isinstance(e, ArrayRef):
-            return self._load(e)
+            return self._load_idx(e, self._eval_indices(e))
         if isinstance(e, UnOp):
-            va = self._eval(e.operand)
-            if e.op == "-":
-                return VArray(-va.data, va.kind)
-            if e.op == "!":
-                return VArray((va.data == 0).astype(np.int64), PYINT)
-            raise VectorUnsupported(f"unknown unary {e.op!r}")
+            return self._apply_unop(e.op, self._eval(e.operand))
         if isinstance(e, BinOp):
-            return self._eval_binop(e)
+            if e.op in ("&&", "||"):
+                return self._apply_logic(
+                    e.op, self._eval(e.left), lambda: self._eval(e.right)
+                )
+            return self._apply_binop(e.op, self._eval(e.left), self._eval(e.right))
         if isinstance(e, Select):
-            return self._eval_select(e)
+            return self._apply_select(
+                self._eval(e.cond),
+                lambda: self._eval(e.then),
+                lambda: self._eval(e.otherwise),
+            )
         if isinstance(e, Cast):
-            return self._eval_cast(e)
+            return self._apply_cast(e.to_type, self._eval(e.operand))
         if isinstance(e, Call):
-            return self._eval_call(e)
+            return self._apply_call(e.func, [self._eval(a) for a in e.args])
         raise VectorUnsupported(f"unknown expression {type(e).__name__}")
 
-    def _eval_select(self, e: Select) -> VArray:
-        cond = self._eval(e.cond)
+    def _apply_unop(self, op: str, va: VArray) -> VArray:
+        if op == "-":
+            return VArray(-va.data, va.kind)
+        if op == "!":
+            return VArray((va.data == 0).astype(np.int64), PYINT)
+        raise VectorUnsupported(f"unknown unary {op!r}")
+
+    def _apply_select(self, cond: VArray, then_thunk, else_thunk) -> VArray:
+        """Ternary with a pre-evaluated condition and arm thunks; each arm
+        is evaluated only under the lanes that take it (shared with the
+        generated-code tier)."""
         if not self._axes:
-            return self._eval(e.then if bool(cond.data) else e.otherwise)
+            return then_thunk() if bool(cond.data) else else_thunk()
         truth = self._lift(cond.data) != 0
         base = self._mask
         m_then = truth if base is None else (base & truth)
@@ -703,10 +752,10 @@ class VectorInterpreter:
         then_va = else_va = None
         if self._masked_count(m_then):
             self._set_mask(m_then)
-            then_va = self._eval(e.then)
+            then_va = then_thunk()
         if self._masked_count(m_else):
             self._set_mask(m_else)
-            else_va = self._eval(e.otherwise)
+            else_va = else_thunk()
         self._set_mask(base)
         if then_va is None:
             return else_va  # type: ignore[return-value]
@@ -719,10 +768,9 @@ class VectorInterpreter:
         data = np.where(truth, self._lift(then_va.data), self._lift(else_va.data))
         return VArray(data, then_va.kind)
 
-    def _eval_cast(self, e: Cast) -> VArray:
-        va = self._eval(e.operand)
-        if e.to_type.is_float:
-            if e.to_type.bits == 32:
+    def _apply_cast(self, to_type, va: VArray) -> VArray:
+        if to_type.is_float:
+            if to_type.bits == 32:
                 # float(np.float32(v)): round to f32, widen back to Python float
                 data = va.data.astype(np.float32).astype(np.float64)
             else:
@@ -737,12 +785,7 @@ class VectorInterpreter:
     def _truthy(self, va: VArray) -> np.ndarray:
         return self._lift(va.data) != 0
 
-    def _eval_binop(self, e: BinOp) -> VArray:
-        op = e.op
-        if op in ("&&", "||"):
-            return self._eval_logic(e)
-        lhs = self._eval(e.left)
-        rhs = self._eval(e.right)
+    def _apply_binop(self, op: str, lhs: VArray, rhs: VArray) -> VArray:
         kind = _promote(lhs.kind, rhs.kind)
         dtype = _KIND_DTYPE[kind]
         la = self._lift(lhs.data).astype(dtype, copy=False)
@@ -752,16 +795,8 @@ class VectorInterpreter:
             # 2**53.  The weak-int guard keeps us far inside the exact range.
             self._guard_weak_int(lhs, f"operator {op!r}")
             self._guard_weak_int(rhs, f"operator {op!r}")
-        if op in ("<", "<=", ">", ">=", "==", "!="):
-            func = {
-                "<": np.less,
-                "<=": np.less_equal,
-                ">": np.greater,
-                ">=": np.greater_equal,
-                "==": np.equal,
-                "!=": np.not_equal,
-            }[op]
-            return VArray(func(la, rb).astype(np.int64), PYINT)
+        if op in _CMP_UFUNC:
+            return VArray(_CMP_UFUNC[op](la, rb).astype(np.int64), PYINT)
         self._guard_weak_int(lhs, f"operator {op!r}")
         self._guard_weak_int(rhs, f"operator {op!r}")
         both_int = lhs.kind in _INT_KINDS and rhs.kind in _INT_KINDS
@@ -816,34 +851,33 @@ class VectorInterpreter:
         q = np.where((la >= 0) == (rb >= 0), q, -q).astype(la.dtype, copy=False)
         return q, (la - rb * q).astype(la.dtype, copy=False)
 
-    def _eval_logic(self, e: BinOp) -> VArray:
-        lhs = self._eval(e.left)
+    def _apply_logic(self, op: str, lhs: VArray, rhs_thunk) -> VArray:
+        """Short-circuit ``&&``/``||`` with the right operand as a thunk,
+        evaluated only under the lanes that reach it."""
         if not self._axes:
             lv = bool(lhs.data)
-            if e.op == "&&" and not lv:
+            if op == "&&" and not lv:
                 return _const_int(0)
-            if e.op == "||" and lv:
+            if op == "||" and lv:
                 return _const_int(1)
-            rv = bool(self._eval(e.right).data)
+            rv = bool(rhs_thunk().data)
             return _const_int(1 if rv else 0)
         lt = self._truthy(lhs)
         base = self._mask
-        m_right = (lt if e.op == "&&" else ~lt)
+        m_right = (lt if op == "&&" else ~lt)
         m_right = m_right if base is None else (base & m_right)
         if self._masked_count(m_right):
             self._set_mask(m_right)
-            rt = self._truthy(self._eval(e.right))
+            rt = self._truthy(rhs_thunk())
             self._set_mask(base)
         else:
             rt = np.zeros((1,) * len(self._axes), dtype=bool)
-        combined = (lt & rt) if e.op == "&&" else (lt | rt)
+        combined = (lt & rt) if op == "&&" else (lt | rt)
         return VArray(combined.astype(np.int64), PYINT)
 
     # -- intrinsics ---------------------------------------------------------
-    def _eval_call(self, e: Call) -> VArray:
-        args = [self._eval(a) for a in e.args]
+    def _apply_call(self, func: str, args: list[VArray]) -> VArray:
         self.stats.flops += self._active()
-        func = e.func
         if func == "sqrt":
             data = args[0].data.astype(np.float64)
             if self._masked_any(data < 0):
@@ -898,23 +932,37 @@ def execute_kernel(
     fn: KernelFunction,
     args: dict[str, object],
     *,
-    executor: str = "auto",
+    executor: "str | Executor" = "auto",
     plan: KernelPlan | None = None,
+    content_key: str | None = None,
+    codegen_source: str | None = None,
+    metrics=None,
 ) -> tuple[dict[str, np.ndarray], ExecutionStats, ExecutionInfo]:
     """Execute ``fn`` with ``args`` (arrays are mutated in place).
 
-    ``executor`` selects the engine: ``"scalar"`` always interprets,
-    ``"vector"`` requires vectorized execution (raising
-    :class:`VectorUnsupported` if impossible), and ``"auto"`` — the default
-    — tries the vector engine and transparently falls back to the scalar
-    interpreter, logging the reason.  The vector attempt runs on array
-    copies and commits only on success, so a fallback re-runs the scalar
-    path on pristine inputs and reproduces its behaviour exactly, including
+    ``executor`` selects the engine (see :mod:`repro.executors`):
+    ``"scalar"`` always interprets, ``"vector"`` requires the interpreting
+    vectorized engine, ``"codegen"`` requires the generated-NumPy tier
+    (both raising :class:`VectorUnsupported` if impossible), and ``"auto"``
+    — the default — walks the ladder codegen → vector → scalar, logging
+    each fallback reason.  Vector/codegen attempts run on array copies and
+    commit only on success, so a fallback re-runs the scalar path on
+    pristine inputs and reproduces its behaviour exactly, including
     exceptions and the partial mutation preceding them.
+
+    ``content_key`` (optional) keys the in-memory generated-function cache
+    — callers that know a stable content hash for ``fn``'s source pass it
+    so repeat launches skip planning and code generation entirely.
+    ``codegen_source`` (optional) is persisted generated source from a
+    warm disk-cache envelope; it is rebound instead of re-generated, and
+    silently re-planned if stale.  ``metrics`` (optional,
+    :class:`~repro.obs.metrics.MetricsRegistry`) receives the codegen
+    tier's cache and generation counters.
     """
-    with span("execute", kernel=fn.name, requested=executor) as sp:
+    with span("execute", kernel=fn.name, requested=str(executor)) as sp:
         arrays, stats, info = _execute_kernel(
-            fn, args, executor=executor, plan=plan
+            fn, args, executor=executor, plan=plan, content_key=content_key,
+            codegen_source=codegen_source, metrics=metrics,
         )
         sp.set(used=info.used, elements=info.elements)
         if info.fallback_reason is not None:
@@ -922,18 +970,67 @@ def execute_kernel(
     return arrays, stats, info
 
 
+def _scalar_fallback(fn, args, requested, reason, demoted):
+    logger.info("vector executor: %s falls back to scalar: %s", fn.name, reason)
+    _notify_fallback(fn.name, reason)
+    arrays, stats = run_kernel(fn, args)
+    return arrays, stats, ExecutionInfo(
+        requested=requested, used="scalar", fallback_reason=reason,
+        demoted=demoted,
+    )
+
+
 def _execute_kernel(
     fn: KernelFunction,
     args: dict[str, object],
     *,
-    executor: str,
+    executor: "str | Executor",
     plan: KernelPlan | None,
+    content_key: str | None = None,
+    codegen_source: str | None = None,
+    metrics=None,
 ) -> tuple[dict[str, np.ndarray], ExecutionStats, ExecutionInfo]:
-    if executor not in ("auto", "vector", "scalar"):
-        raise ValueError(f"unknown executor {executor!r}")
-    if executor == "scalar":
+    ex = parse_executor(executor)
+    requested = ex.value
+    if ex is Executor.SCALAR:
         arrays, stats = run_kernel(fn, args)
         return arrays, stats, ExecutionInfo(requested="scalar", used="scalar")
+
+    # Warm fast path: a cached generated function already bakes the axis
+    # decisions, so repeat launches with a content_key skip the planner
+    # entirely.  The generated program never consults the plan at runtime.
+    if plan is None and content_key is not None and ex is not Executor.VECTOR:
+        from ..codegen import numpy_source  # deferred: avoids import cycle
+
+        cached = numpy_source.function_cache().get(
+            content_key, metrics, record_miss=False
+        )
+        if cached is not None:
+            codegen_t0 = time.perf_counter()
+            scalars, arrays, lowers = bind_arguments(fn, args)
+            copies = {name: arr.copy() for name, arr in arrays.items()}
+            demoted = list(cached.demoted)
+            try:
+                interp = VectorInterpreter(fn, None, scalars, copies, lowers)
+                cached.run(interp)
+            except Exception as exc:  # noqa: BLE001 — runtime unsupported
+                if ex is Executor.CODEGEN:
+                    raise
+                reason = (
+                    f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+                )
+                return _scalar_fallback(fn, args, requested, reason, demoted)
+            for name, arr in arrays.items():
+                arr[...] = copies[name]
+            return arrays, interp.stats, ExecutionInfo(
+                requested=requested,
+                used="codegen",
+                elements=interp.elements,
+                region_elements=interp.region_elements,
+                demoted=demoted,
+                codegen_ms=(time.perf_counter() - codegen_t0) * 1000.0,
+            )
+
     if plan is None:
         plan = plan_kernel(fn)
     demoted = plan.demotion_reasons
@@ -941,37 +1038,71 @@ def _execute_kernel(
         reason = "no vectorizable parallel loops"
         if demoted:
             reason += f" ({demoted[0]})"
-        if executor == "vector":
+        if ex is not Executor.AUTO:
             raise VectorUnsupported(reason)
-        logger.info("vector executor: %s falls back to scalar: %s", fn.name, reason)
-        _notify_fallback(fn.name, reason)
-        arrays, stats = run_kernel(fn, args)
-        return arrays, stats, ExecutionInfo(
-            requested=executor, used="scalar", fallback_reason=reason,
-            demoted=demoted,
-        )
+        return _scalar_fallback(fn, args, requested, reason, demoted)
     scalars, arrays, lowers = bind_arguments(fn, args)
     copies = {name: arr.copy() for name, arr in arrays.items()}
+
+    # Codegen tier: generate (or fetch) the straight-line program, run it
+    # through the same runtime primitives the interpreting engine uses.
+    if ex in (Executor.AUTO, Executor.CODEGEN):
+        from ..codegen import numpy_source  # deferred: avoids import cycle
+
+        compiled = None
+        codegen_t0 = time.perf_counter()
+        try:
+            compiled = numpy_source.get_or_compile(
+                fn, plan, content_key=content_key,
+                source=codegen_source, metrics=metrics,
+            )
+        except Exception as exc:  # noqa: BLE001 — generation failed
+            if ex is Executor.CODEGEN:
+                raise
+            reason = f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+            logger.info(
+                "codegen executor: %s falls back to vector: %s", fn.name, reason
+            )
+        if compiled is not None:
+            try:
+                interp = VectorInterpreter(fn, plan, scalars, copies, lowers)
+                compiled.run(interp)
+            except Exception as exc:  # noqa: BLE001 — runtime unsupported
+                if ex is Executor.CODEGEN:
+                    raise
+                # The generated program executes the exact primitive
+                # sequence the interpreting engine would — a runtime
+                # failure here would recur there, so skip straight to the
+                # scalar oracle on the pristine inputs.
+                reason = (
+                    f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+                )
+                return _scalar_fallback(fn, args, requested, reason, demoted)
+            for name, arr in arrays.items():
+                arr[...] = copies[name]
+            return arrays, interp.stats, ExecutionInfo(
+                requested=requested,
+                used="codegen",
+                elements=interp.elements,
+                region_elements=interp.region_elements,
+                demoted=demoted,
+                codegen_ms=(time.perf_counter() - codegen_t0) * 1000.0,
+            )
+
+    # Interpreting vectorized engine ("vector", or "auto" when generation
+    # itself failed).
     try:
         interp = VectorInterpreter(fn, plan, scalars, copies, lowers)
         interp.run()
     except Exception as exc:  # noqa: BLE001 — any failure means "fall back"
-        if executor == "vector":
+        if ex is Executor.VECTOR:
             raise
         reason = f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
-        logger.info(
-            "vector executor: %s falls back to scalar: %s", fn.name, reason
-        )
-        _notify_fallback(fn.name, reason)
-        arrays, stats = run_kernel(fn, args)
-        return arrays, stats, ExecutionInfo(
-            requested=executor, used="scalar", fallback_reason=reason,
-            demoted=demoted,
-        )
+        return _scalar_fallback(fn, args, requested, reason, demoted)
     for name, arr in arrays.items():
         arr[...] = copies[name]
     return arrays, interp.stats, ExecutionInfo(
-        requested=executor,
+        requested=requested,
         used="vector",
         elements=interp.elements,
         region_elements=interp.region_elements,

@@ -21,6 +21,8 @@ from .expr import (
     array_refs,
     expr_type,
     fold_constants,
+    intern_expr,
+    intern_table_size,
     rewrite,
     scalar_reads,
     substitute,
@@ -77,6 +79,8 @@ __all__ = [
     "build_module",
     "expr_type",
     "fold_constants",
+    "intern_expr",
+    "intern_table_size",
     "format_expr",
     "format_function",
     "format_stmts",

@@ -31,6 +31,7 @@ from .expr import (
     UnOp,
     VarRef,
     expr_type,
+    intern_expr,
 )
 from .module import KernelFunction, Module
 from .stmt import Assign, If, LocalDecl, Loop, Region, Stmt
@@ -153,7 +154,7 @@ class _FunctionBuilder:
         if isinstance(s, ast.AssignStmt):
             return self._build_assign(s)
         if isinstance(s, ast.IfStmt):
-            cond = self._build_expr(s.cond)
+            cond = intern_expr(self._build_expr(s.cond))
             self._push_scope()
             then_body = self._build_stmts(s.then_body)
             self._pop_scope()
@@ -174,7 +175,7 @@ class _FunctionBuilder:
         sym = Symbol(
             name=s.name, stype=stype, kind=SymbolKind.LOCAL, is_const=s.is_const
         )
-        init = self._build_expr(s.init) if s.init is not None else None
+        init = intern_expr(self._build_expr(s.init)) if s.init is not None else None
         self._declare_scoped(sym, s.loc)
         return LocalDecl(sym=sym, init=init)
 
@@ -195,7 +196,7 @@ class _FunctionBuilder:
         value = self._build_expr(s.value)
         if s.op is not None:
             value = BinOp(s.op, target, value)
-        return Assign(target=target, value=value)
+        return Assign(target=intern_expr(target), value=intern_expr(value))
 
     def _build_loop(self, s: ast.ForStmt) -> Loop:
         existing = self._lookup(s.var)
@@ -209,8 +210,8 @@ class _FunctionBuilder:
             var = existing
         if s.var in self._loop_vars:
             raise SemanticError(f"loop variable {s.var!r} reused in enclosing loop", s.loc)
-        init = self._build_expr(s.init)
-        bound = self._build_expr(s.bound)
+        init = intern_expr(self._build_expr(s.init))
+        bound = intern_expr(self._build_expr(s.bound))
         step = self._const_int(s.step)
         if step is None or step == 0:
             raise SemanticError("loop step must be a non-zero integer constant", s.loc)

@@ -3,6 +3,13 @@
 Expressions are immutable, structurally hashable dataclasses — the scalar
 replacement machinery relies on structural equality of array subscripts
 ("same reference") and on pure-functional rewriting (``map_children``).
+
+Nodes are **hash-consed**: every node lazily caches its structural hash
+(recomputed after unpickling, where symbol identities change), equality
+starts with an identity/hash fast path, and :func:`intern_expr` deduplicates
+structurally equal trees through a global intern table so that equality
+checks in the pass pipeline and cache keying degrade to pointer compares
+for IR built by the front end.
 """
 
 from __future__ import annotations
@@ -19,9 +26,47 @@ REL_OPS = frozenset({"<", "<=", ">", ">=", "==", "!="})
 LOGIC_OPS = frozenset({"&&", "||"})
 
 
-@dataclass(frozen=True, slots=True)
 class Expr:
-    """Base class of all IR expressions."""
+    """Base class of all IR expressions.
+
+    Subclasses are frozen slots dataclasses with ``eq=False``: equality and
+    hashing are implemented here once, with an identity fast path (interned
+    nodes compare by pointer) and a lazily cached structural hash.  The
+    cache slot ``_hash`` is deliberately *not* a dataclass field, so it is
+    excluded from ``__init__``/``repr`` and from pickled state — unpickled
+    nodes recompute their hash on first use (``Symbol`` hashes by identity
+    and is not stable across processes).
+    """
+
+    __slots__ = ("_hash",)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", -1)
+
+    def _key(self) -> tuple:
+        """Field tuple used for structural equality and hashing."""
+        return ()
+
+    def __eq__(self, other: object):
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        try:
+            h = self._hash
+        except AttributeError:  # unpickled or bare Expr(): slot never set
+            h = -1
+        if h == -1:
+            h = hash((self.__class__.__name__, self._key()))
+            if h == -1:
+                h = -2
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def children(self) -> tuple["Expr", ...]:
         return ()
@@ -37,26 +82,35 @@ class Expr:
             yield from child.walk()
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class IntConst(Expr):
     value: int
     stype: ScalarType = I32
 
+    def _key(self) -> tuple:
+        return (self.value, self.stype)
 
-@dataclass(frozen=True, slots=True)
+
+@dataclass(frozen=True, slots=True, eq=False)
 class FloatConst(Expr):
     value: float
     stype: ScalarType = F64
 
+    def _key(self) -> tuple:
+        return (self.value, self.stype)
 
-@dataclass(frozen=True, slots=True)
+
+@dataclass(frozen=True, slots=True, eq=False)
 class VarRef(Expr):
     """A read of a scalar variable."""
 
     sym: Symbol
 
+    def _key(self) -> tuple:
+        return (self.sym,)
 
-@dataclass(frozen=True, slots=True)
+
+@dataclass(frozen=True, slots=True, eq=False)
 class ArrayRef(Expr):
     """An array element access ``sym[indices...]``.
 
@@ -67,6 +121,9 @@ class ArrayRef(Expr):
     sym: Symbol
     indices: tuple[Expr, ...]
 
+    def _key(self) -> tuple:
+        return (self.sym, self.indices)
+
     def children(self) -> tuple[Expr, ...]:
         return self.indices
 
@@ -74,11 +131,14 @@ class ArrayRef(Expr):
         return replace(self, indices=tuple(fn(i) for i in self.indices))
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class BinOp(Expr):
     op: str
     left: Expr
     right: Expr
+
+    def _key(self) -> tuple:
+        return (self.op, self.left, self.right)
 
     def children(self) -> tuple[Expr, ...]:
         return (self.left, self.right)
@@ -87,10 +147,13 @@ class BinOp(Expr):
         return replace(self, left=fn(self.left), right=fn(self.right))
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class UnOp(Expr):
     op: str  # '-' | '!'
     operand: Expr
+
+    def _key(self) -> tuple:
+        return (self.op, self.operand)
 
     def children(self) -> tuple[Expr, ...]:
         return (self.operand,)
@@ -99,12 +162,15 @@ class UnOp(Expr):
         return replace(self, operand=fn(self.operand))
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Call(Expr):
     """Math intrinsic call (sqrt, exp, pow, min, max, ...)."""
 
     func: str
     args: tuple[Expr, ...]
+
+    def _key(self) -> tuple:
+        return (self.func, self.args)
 
     def children(self) -> tuple[Expr, ...]:
         return self.args
@@ -113,10 +179,13 @@ class Call(Expr):
         return replace(self, args=tuple(fn(a) for a in self.args))
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Cast(Expr):
     to_type: ScalarType
     operand: Expr
+
+    def _key(self) -> tuple:
+        return (self.to_type, self.operand)
 
     def children(self) -> tuple[Expr, ...]:
         return (self.operand,)
@@ -125,13 +194,16 @@ class Cast(Expr):
         return replace(self, operand=fn(self.operand))
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class Select(Expr):
     """Ternary ``cond ? a : b`` (both arms evaluated type-wise)."""
 
     cond: Expr
     then: Expr
     otherwise: Expr
+
+    def _key(self) -> tuple:
+        return (self.cond, self.then, self.otherwise)
 
     def children(self) -> tuple[Expr, ...]:
         return (self.cond, self.then, self.otherwise)
@@ -140,6 +212,40 @@ class Select(Expr):
         return replace(
             self, cond=fn(self.cond), then=fn(self.then), otherwise=fn(self.otherwise)
         )
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing (structural interning)
+# ---------------------------------------------------------------------------
+
+#: Structural intern table.  Bounded: cleared wholesale when full — already
+#: interned nodes stay valid (they just stop being canonical for new trees).
+_INTERN: dict[Expr, Expr] = {}
+_INTERN_MAX = 1 << 16
+
+
+def intern_expr(e: Expr) -> Expr:
+    """Return the canonical instance of ``e`` (deduplicated bottom-up).
+
+    After interning, structurally equal trees built through the front end
+    are the *same object*, so ``==`` hits the identity fast path and dict
+    lookups hit the cached hash.  Safe for any Expr: nodes are immutable
+    and Symbols compare by identity, so two trees only unify when they
+    reference the very same symbols.
+    """
+    e = e.map_children(intern_expr)
+    cached = _INTERN.get(e)
+    if cached is not None:
+        return cached
+    if len(_INTERN) >= _INTERN_MAX:
+        _INTERN.clear()
+    _INTERN[e] = e
+    return e
+
+
+def intern_table_size() -> int:
+    """Current number of canonical nodes (observability / tests)."""
+    return len(_INTERN)
 
 
 # ---------------------------------------------------------------------------

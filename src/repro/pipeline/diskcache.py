@@ -50,9 +50,13 @@ from ..errors import CacheError
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import span
 
-#: Bump whenever the pickled payload layout changes; older entries are
-#: then treated as misses and rewritten.
-FORMAT_VERSION = 1
+#: Current envelope version.  v2 added the optional ``codegen`` field (the
+#: generated NumPy source text persisted next to the compiled program).
+#: v1 entries still load — they simply carry no codegen source and are
+#: upgraded in place on their next write.  Anything newer than
+#: ``FORMAT_VERSION`` (or older than ``MIN_FORMAT_VERSION``) is a miss.
+FORMAT_VERSION = 2
+MIN_FORMAT_VERSION = 1
 
 #: Default size bound: generous for compiled-program pickles (a few KB
 #: each) while keeping a shared cache directory from growing unbounded.
@@ -124,6 +128,16 @@ class DiskCache:
         format-version or key mismatch) are deleted, counted as
         ``corrupt``, and reported as a miss.
         """
+        return self.get_entry(key)[0]
+
+    def get_entry(self, key: str) -> tuple[Any | None, str | None]:
+        """Load ``(value, codegen_source)`` stored under ``key``.
+
+        ``(None, None)`` on miss.  v1 envelopes load fine and report no
+        codegen source; a v2 envelope whose ``codegen`` field is not text
+        keeps its value but drops the source (counted under
+        ``cache.disk.codegen_corrupt`` — the caller re-plans).
+        """
         path = self._path(key)
         with span("cache.disk.lookup", cache_key=key) as sp:
             try:
@@ -131,15 +145,20 @@ class DiskCache:
                 envelope = pickle.loads(blob)
                 if (
                     not isinstance(envelope, dict)
-                    or envelope.get("format") != FORMAT_VERSION
+                    or not (
+                        MIN_FORMAT_VERSION
+                        <= envelope.get("format", 0)
+                        <= FORMAT_VERSION
+                    )
                     or envelope.get("key") != key
                 ):
                     raise ValueError("stale or mismatched cache envelope")
                 value = envelope["value"]
+                codegen = envelope.get("codegen")
             except FileNotFoundError:
                 self._misses.inc()
                 sp.set(hit=False)
-                return None
+                return None, None
             except Exception as exc:
                 # Corrupt entry: discard it so the next write is clean.
                 self._corrupt.inc()
@@ -149,25 +168,41 @@ class DiskCache:
                     path.unlink(missing_ok=True)
                 except OSError:
                     pass
-                return None
+                return None, None
+            if codegen is not None and not isinstance(codegen, str):
+                self.metrics.counter(
+                    "cache.disk.codegen_corrupt",
+                    "persisted codegen sources unusable at load time",
+                ).inc()
+                codegen = None
             # Refresh recency so size-based eviction spares hot entries.
             try:
                 os.utime(path)
             except OSError:
                 pass
             self._hits.inc()
-            sp.set(hit=True)
-            return value
+            sp.set(hit=True, codegen=codegen is not None)
+            return value, codegen
 
     def peek(self, key: str) -> bool:
         """Membership test without touching counters or entry recency."""
         return self._path(key).exists()
 
-    def put(self, key: str, value: Any) -> None:
+    def put(self, key: str, value: Any, *, codegen: str | None = None) -> None:
         """Persist ``value`` under ``key`` atomically, then evict LRU
-        entries until the cache fits ``max_bytes``."""
+        entries until the cache fits ``max_bytes``.
+
+        ``codegen`` (optional) is the generated NumPy source text stored
+        next to the program — re-writing a key without it drops any
+        previously stored source (deterministic compiles rewrite identical
+        programs, so the next codegen-aware write repopulates it).
+        """
         path = self._path(key)
-        envelope = {"format": FORMAT_VERSION, "key": key, "value": value}
+        envelope: dict[str, Any] = {
+            "format": FORMAT_VERSION, "key": key, "value": value,
+        }
+        if codegen is not None:
+            envelope["codegen"] = codegen
         blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
         with span("cache.disk.store", cache_key=key, bytes=len(blob)):
             path.parent.mkdir(parents=True, exist_ok=True)

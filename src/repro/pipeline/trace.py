@@ -143,6 +143,10 @@ class SessionStats:
         self._executions = m.counter(
             "session.executions", "functional kernel executions"
         )
+        self._codegen_executions = m.counter(
+            "session.executions.codegen",
+            "executions through generated NumPy code",
+        )
         self._vector_executions = m.counter(
             "session.executions.vector", "executions through the vector engine"
         )
@@ -201,6 +205,10 @@ class SessionStats:
         return int(self._executions.value)
 
     @property
+    def codegen_executions(self) -> int:
+        return int(self._codegen_executions.value)
+
+    @property
     def vector_executions(self) -> int:
         return int(self._vector_executions.value)
 
@@ -243,18 +251,21 @@ class SessionStats:
     def record_execution(self, function: str, info: dict) -> None:
         """Record one functional execution.
 
-        A *fallback* is counted only when the caller asked for the vector
-        engine (``requested`` of ``vector`` or ``auto``) and the scalar
-        interpreter ran anyway; an explicitly requested scalar run counts
-        under ``scalar_requested`` instead.
+        A *fallback* is counted only when the caller asked for a batched
+        engine (``requested`` of ``codegen``, ``vector`` or ``auto``) and
+        the scalar interpreter ran anyway; an explicitly requested scalar
+        run counts under ``scalar_requested`` instead.
         """
         self._executions.inc()
         requested = info.get("requested")
         used = info.get("used")
-        if used == "vector":
+        if used == "codegen":
+            self._codegen_executions.inc()
+            self._execution_elements.observe(info.get("elements", 0))
+        elif used == "vector":
             self._vector_executions.inc()
             self._execution_elements.observe(info.get("elements", 0))
-        elif requested in ("vector", "auto"):
+        elif requested in ("codegen", "vector", "auto"):
             self._scalar_fallbacks.inc()
         else:
             self._scalar_requested.inc()
@@ -294,6 +305,7 @@ class SessionStats:
             "traces": [t.as_dict() for t in self.traces],
             "execution": {
                 "executions": self.executions,
+                "codegen": self.codegen_executions,
                 "vector": self.vector_executions,
                 "scalar_fallbacks": self.scalar_fallbacks,
                 "scalar_requested": self.scalar_requested,

@@ -30,13 +30,16 @@ and the compiler (:class:`~repro.compiler.session.CompilerSession`):
 
 Everything is exported through the shared registry: ``serve.requests.*``,
 ``serve.rejected``, ``serve.retries``, ``serve.degradations.*``,
-``serve.wait_ms`` / ``serve.handle_ms`` histograms, and the
-``serve.queue_depth`` gauge, next to the sessions' ``cache.*`` /
-``cache.disk.*`` / ``session.*`` metrics.
+``serve.codegen.tier.*`` (execution tier answering each ``run``) and the
+``serve.codegen.codegen_ms`` histogram, ``serve.wait_ms`` /
+``serve.handle_ms`` histograms, and the ``serve.queue_depth`` gauge, next
+to the sessions' ``cache.*`` / ``cache.disk.*`` / ``cache.fnobj.*`` /
+``session.*`` metrics.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -46,6 +49,7 @@ from random import Random
 from ..compiler.options import ALL_CONFIGS, SMALL_DIM_SAFARA
 from ..compiler.session import CompileJob, CompilerSession
 from ..errors import ConfigError
+from ..executors import parse_executor
 from ..feedback.driver import (
     FeedbackTimeout,
     classify_failure,
@@ -484,11 +488,10 @@ class Broker:
 
         request_id = request.get("id")
         session = self._session()
-        requested = request.get("executor", "auto")
-        if requested not in ("auto", "vector", "scalar"):
-            raise ServeError(
-                protocol.BAD_REQUEST, f"unknown executor {requested!r}"
-            )
+        try:
+            requested = parse_executor(request.get("executor", "auto")).value
+        except ConfigError as exc:
+            raise ServeError(protocol.BAD_REQUEST, str(exc)) from None
         pinned = self._arch_for(request)
         try:
             fn = build_module(parse_program(request["source"])).functions[0]
@@ -539,10 +542,25 @@ class Broker:
                 "vector executions that fell back to the scalar engine",
             ).inc()
 
+        # Warm hot path: the generated-function cache is keyed by the
+        # request source's content hash, and the generated source text is
+        # persisted in its own disk envelope — a restarted daemon rebinds
+        # text instead of re-planning.
+        content_key = hashlib.sha256(
+            ("run:" + request["source"]).encode()
+        ).hexdigest()
+        codegen_src = None
+        if self.disk_cache is not None:
+            _, codegen_src = self.disk_cache.get_entry(content_key)
+
         try:
             with fallback_listener(on_fallback):
                 _arrays, stats, info = session.execute(
-                    fn, run_args, executor=executor
+                    fn,
+                    run_args,
+                    executor=executor,
+                    content_key=content_key,
+                    codegen_source=codegen_src,
                 )
         except VectorUnsupported as exc:
             return protocol.error_response(
@@ -556,6 +574,25 @@ class Broker:
                 protocol.EXECUTION_ERROR,
                 f"{type(exc).__name__}: {exc}",
             )
+        self.metrics.counter(
+            f"serve.codegen.tier.{info.used}",
+            "run requests answered by this execution tier",
+        ).inc()
+        if info.codegen_ms is not None:
+            self.metrics.histogram(
+                "serve.codegen.codegen_ms",
+                help="time obtaining the generated program per run request",
+            ).observe(info.codegen_ms)
+        if (
+            info.used == "codegen"
+            and codegen_src is None
+            and self.disk_cache is not None
+        ):
+            from ..codegen import numpy_source
+
+            src = numpy_source.function_cache().source_for(content_key)
+            if src is not None:
+                self.disk_cache.put(content_key, None, codegen=src)
         result = {
             "kernel": fn.name,
             "arch": (

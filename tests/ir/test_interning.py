@@ -1,0 +1,70 @@
+"""Hash-consed expression IR: `intern_expr` canonicalises structurally
+equal trees to one instance, so equality hits the identity fast path and
+repeated hashing reuses the cached digest."""
+
+from repro.ir import build_module, intern_expr, intern_table_size
+from repro.ir.expr import _INTERN, BinOp, FloatConst, IntConst, VarRef
+from repro.ir.symbols import Symbol
+from repro.ir.types import F64
+from repro.lang import parse_program
+
+SRC = """
+kernel k(double a[n], const double b[n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 0; i < n; i++) { a[i] = b[i] * 2.0 + b[i] * 2.0; }
+}
+"""
+
+
+def _tree(sym):
+    return BinOp("+", BinOp("*", VarRef(sym), FloatConst(2.0)), IntConst(1))
+
+
+class TestInterning:
+    def test_equal_trees_become_one_object(self):
+        sym = Symbol("x", F64)
+        assert intern_expr(_tree(sym)) is intern_expr(_tree(sym))
+
+    def test_distinct_symbols_do_not_unify(self):
+        """Symbols compare by identity: same-named symbols from different
+        scopes must stay distinct through interning."""
+        a = intern_expr(_tree(Symbol("x", F64)))
+        b = intern_expr(_tree(Symbol("x", F64)))
+        assert a is not b
+
+    def test_interning_is_bottom_up(self):
+        sym = Symbol("x", F64)
+        a = intern_expr(BinOp("+", VarRef(sym), IntConst(1)))
+        b = intern_expr(BinOp("-", VarRef(sym), IntConst(1)))
+        assert a.left is b.left
+        assert a.right is b.right
+
+    def test_hash_is_cached_after_first_use(self):
+        e = _tree(Symbol("x", F64))
+        assert e._hash == -1
+        h = hash(e)
+        assert e._hash == h
+        assert hash(e) == h
+
+    def test_table_is_bounded(self):
+        import repro.ir.expr as expr_mod
+
+        old_max = expr_mod._INTERN_MAX
+        expr_mod._INTERN_MAX = 8
+        try:
+            _INTERN.clear()
+            survivors = [intern_expr(IntConst(i)) for i in range(20)]
+            assert intern_table_size() <= 8
+            # previously interned nodes stay valid objects after the wipe
+            assert all(s.value == i for i, s in enumerate(survivors))
+        finally:
+            expr_mod._INTERN_MAX = old_max
+            _INTERN.clear()
+
+    def test_builder_interns_duplicate_subtrees(self):
+        """The front end interns statement-level expressions: the two
+        `b[i] * 2.0` reads in SRC share one node."""
+        fn = build_module(parse_program(SRC)).functions[0]
+        loop = fn.body[0].body[0]
+        rhs = loop.body[0].value
+        assert rhs.left is rhs.right

@@ -123,5 +123,5 @@ class TestProfileProgram:
             "iterations": stats.iterations,
         }
         text = profile.render()
-        assert "execution: executor=vector" in text
+        assert "execution: executor=codegen" in text
         assert json.dumps(profile.as_dict())

@@ -36,7 +36,8 @@ STATS_KEYS = {
     "pass_totals", "traces", "execution", "cache",
 }
 EXECUTION_KEYS = {
-    "executions", "vector", "scalar_fallbacks", "scalar_requested", "kernels",
+    "executions", "codegen", "vector", "scalar_fallbacks",
+    "scalar_requested", "kernels",
 }
 CACHE_KEYS = {"entries", "maxsize", "hits", "misses", "evictions", "hit_rate"}
 TRACE_KEYS = {"function", "config", "cache_key", "wall_ms", "regions"}

@@ -212,3 +212,77 @@ class TestSessionWiring:
 
     def test_no_disk_cache_by_default(self):
         assert CompilerSession().disk_cache is None
+
+
+class TestEnvelopeV2:
+    """Format-v2 envelopes: codegen source rides along; v1 still loads."""
+
+    def _entry_path(self, tmp_path):
+        return tmp_path / "shards" / KEY[:2] / f"{KEY}.pkl"
+
+    def test_put_and_get_entry_roundtrip_codegen(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, {"v": 1}, codegen="# generated")
+        value, codegen = cache.get_entry(KEY)
+        assert value == {"v": 1}
+        assert codegen == "# generated"
+
+    def test_get_ignores_codegen(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, "payload", codegen="# generated")
+        assert cache.get(KEY) == "payload"
+
+    def test_v1_envelope_loads_without_codegen(self, tmp_path):
+        """Backward compatibility: entries written before the version bump
+        read fine — they just carry no generated source."""
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps({"format": 1, "key": KEY, "value": "old payload"})
+        )
+        value, codegen = cache.get_entry(KEY)
+        assert value == "old payload"
+        assert codegen is None
+        assert cache.corrupt == 0 and cache.hits == 1
+
+    def test_v1_entry_upgrades_on_next_write(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"format": 1, "key": KEY, "value": 1}))
+        cache.put(KEY, 1, codegen="# src")
+        envelope = pickle.loads(path.read_bytes())
+        assert envelope["format"] == FORMAT_VERSION
+        assert envelope["codegen"] == "# src"
+
+    def test_codegen_only_entry_is_not_a_program_hit(self, tmp_path):
+        """Run-path envelopes store source with no program; ``get`` callers
+        must not mistake them for compiled programs."""
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, None, codegen="# src only")
+        assert cache.get(KEY) is None
+        assert cache.get_entry(KEY) == (None, "# src only")
+
+    def test_non_text_codegen_field_drops_source_keeps_value(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = self._entry_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps(
+                {"format": FORMAT_VERSION, "key": KEY, "value": 7,
+                 "codegen": [b"not", "text"]}
+            )
+        )
+        value, codegen = cache.get_entry(KEY)
+        assert value == 7 and codegen is None
+        counter = cache.metrics.get("cache.disk.codegen_corrupt")
+        assert counter is not None and counter.value == 1
+
+    def test_session_envelope_carries_codegen_source(self, tmp_path):
+        session = CompilerSession(cache_dir=tmp_path)
+        session.compile_source(SRC, BASE)
+        key = cache_key(SRC, BASE)
+        _, codegen = session.disk_cache.get_entry(key)
+        assert codegen is not None
+        assert codegen.startswith("# repro:numpy_source v1")

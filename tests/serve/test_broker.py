@@ -276,7 +276,7 @@ class TestRun:
             response = broker.handle(self.run_request())
         assert response["ok"]
         result = response["result"]
-        assert result["executor"]["used"] == "vector"
+        assert result["executor"]["used"] == "codegen"
         assert result["stats"]["iterations"] == 255
 
     def test_missing_env_is_bad_request(self):
@@ -303,6 +303,70 @@ class TestRun:
         assert response["ok"]
         assert response["result"]["executor"]["used"] == "scalar"
         assert broker.metrics.get("serve.degradations").value == 0
+
+
+class TestCodegenServing:
+    """The generated-NumPy tier as seen from the serving surface: per-tier
+    metrics, executor validation, and warm-restart rebinding of persisted
+    generated source."""
+
+    def run_request(self, request_id=1, **fields):
+        return {
+            "id": request_id,
+            "op": "run",
+            "source": SRC,
+            "env": {"n": 256},
+            **fields,
+        }
+
+    @pytest.fixture(autouse=True)
+    def fresh_function_cache(self, monkeypatch):
+        from repro.codegen import numpy_source
+
+        monkeypatch.setattr(numpy_source, "_CACHE", numpy_source.FunctionCache())
+
+    def test_tier_counters_and_codegen_latency(self):
+        with make_broker() as broker:
+            assert broker.handle(self.run_request(1))["ok"]
+            assert broker.handle(self.run_request(2))["ok"]
+        assert broker.metrics.get("serve.codegen.tier.codegen").value == 2
+        assert broker.metrics.get("serve.codegen.codegen_ms").count == 2
+        # The second request reuses the first one's bound function object.
+        assert broker.metrics.get("cache.fnobj.hits").value == 1
+
+    def test_scalar_requests_count_under_their_tier(self):
+        with make_broker() as broker:
+            broker.handle(self.run_request(executor="scalar"))
+        assert broker.metrics.get("serve.codegen.tier.scalar").value == 1
+
+    def test_unknown_executor_is_bad_request(self):
+        with make_broker() as broker:
+            response = broker.handle(self.run_request(executor="warp"))
+        assert not response["ok"]
+        assert response["error"]["code"] == "bad_request"
+        assert "valid executors" in response["error"]["message"]
+
+    def test_warm_restart_rebinds_persisted_source(self, tmp_path, monkeypatch):
+        from repro.codegen import numpy_source
+
+        with make_broker(cache_dir=str(tmp_path)) as cold:
+            assert cold.handle(self.run_request())["result"]["executor"][
+                "used"
+            ] == "codegen"
+
+        # "Restart": empty function cache, and generation must not re-run —
+        # the persisted source from the disk envelope is rebound instead.
+        monkeypatch.setattr(numpy_source, "_CACHE", numpy_source.FunctionCache())
+
+        def no_generate(*a, **k):
+            raise AssertionError("warm restart must bind, not regenerate")
+
+        monkeypatch.setattr(numpy_source, "compile_kernel", no_generate)
+        with make_broker(cache_dir=str(tmp_path)) as warm:
+            response = warm.handle(self.run_request())
+        assert response["ok"]
+        assert response["result"]["executor"]["used"] == "codegen"
+        assert warm.metrics.get("serve.codegen.tier.codegen").value == 1
 
 
 class TestStats:

@@ -410,7 +410,7 @@ def fallback_programs(draw):
 
 
 class TestVectorExecutionProperty:
-    def _run_both(self, src, n, seed):
+    def _run_both(self, src, n, seed, executor="auto"):
         from repro.gpu.vector_exec import execute_kernel
 
         rng = np.random.default_rng(seed)
@@ -433,7 +433,9 @@ class TestVectorExecutionProperty:
         )
         fn2 = build_module(parse_program(src)).functions[0]
         v_arrays, v_stats, info = execute_kernel(
-            fn2, {k: v for k, v in args().items() if k in wanted}
+            fn2,
+            {k: v for k, v in args().items() if k in wanted},
+            executor=executor,
         )
         return s_arrays, s_stats, v_arrays, v_stats, info
 
@@ -441,10 +443,63 @@ class TestVectorExecutionProperty:
     @settings(max_examples=30, deadline=None)
     def test_vector_path_is_bit_identical(self, src, n, seed):
         s_arrays, s_stats, v_arrays, v_stats, info = self._run_both(src, n, seed)
-        assert info.used == "vector"
+        assert info.used == "codegen"
         for name in s_arrays:
             np.testing.assert_array_equal(s_arrays[name], v_arrays[name])
         assert s_stats == v_stats
+
+    @given(vectorizable_programs(), st.integers(8, 24), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_codegen_and_vector_engines_agree(self, src, n, seed):
+        """Pinned ``codegen`` and pinned ``vector`` are the same machine:
+        the generated program calls the interpreter's primitives in the
+        interpreter's order, so arrays and stats match bit for bit."""
+        _, _, c_arrays, c_stats, c_info = self._run_both(
+            src, n, seed, executor="codegen"
+        )
+        _, _, v_arrays, v_stats, v_info = self._run_both(
+            src, n, seed, executor="vector"
+        )
+        assert c_info.used == "codegen" and v_info.used == "vector"
+        for name in v_arrays:
+            np.testing.assert_array_equal(c_arrays[name], v_arrays[name])
+        assert c_stats == v_stats
+
+    @given(vectorizable_programs(), st.integers(8, 24), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_source_round_trips_through_text(self, src, n, seed):
+        """generate → bind on a fresh parse → run matches the scalar
+        oracle: the persisted-source warm path for arbitrary safe kernels."""
+        from repro.codegen.numpy_source import bind_source, generate_source
+        from repro.codegen.vector_lower import plan_kernel
+        from repro.gpu.interpreter import bind_arguments
+        from repro.gpu.vector_exec import VectorInterpreter
+
+        rng = np.random.default_rng(seed)
+        fn = build_module(parse_program(src)).functions[0]
+        wanted = {prm.name for prm in fn.params}
+        base = {
+            "a": np.zeros(n),
+            "b": rng.uniform(0.5, 2.0, size=n),
+            "q": np.zeros(n, dtype=np.int32),
+            "p": rng.integers(-3, 4, size=n).astype(np.int32),
+            "n": n,
+        }
+        s_arrays, s_stats = run_kernel(
+            fn, {k: (v.copy() if hasattr(v, "copy") else v)
+                 for k, v in base.items() if k in wanted}
+        )
+        source = generate_source(build_module(parse_program(src)).functions[0])
+        fn2 = build_module(parse_program(src)).functions[0]
+        gk = bind_source(fn2, source)
+        scalars, arrays, lowers = bind_arguments(
+            fn2, {k: v for k, v in base.items() if k in wanted}
+        )
+        interp = VectorInterpreter(fn2, plan_kernel(fn2), scalars, arrays, lowers)
+        gk.run(interp)
+        for name in s_arrays:
+            np.testing.assert_array_equal(s_arrays[name], arrays[name])
+        assert interp.stats == s_stats
 
     @given(fallback_programs(), st.integers(8, 24), st.integers(0, 1000))
     @settings(max_examples=30, deadline=None)
