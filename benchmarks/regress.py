@@ -39,6 +39,14 @@ the interpreting vector engine across every benchmark it covers, and
 ``compile_many`` must overlap injected backend latency by more than
 1.5x at 4 workers.
 
+An ``slo`` row gates the serving tier under open-loop load
+(``docs/observability.md``): the quick loadgen profile (fixed-rate
+arrivals, compile/run mix, prewarmed shared disk cache) must finish with
+zero errors, a >= 0.9 warm compile hit rate and a warm p99 under a
+generous absolute bound — latencies are measured from each request's
+*scheduled* arrival, so a backlog cannot hide behind coordinated
+omission.
+
 A ``fleet`` row gates the multi-arch serving layer
 (``docs/serving.md``): the CDNA2 profile's waves-per-SIMD table must
 match the published MI200 occupancy limits at every tier, and fleet
@@ -361,6 +369,108 @@ def check_hotpath(row: dict) -> list[str]:
     return problems
 
 
+#: Generous absolute bound on warm-path p99 under the quick open-loop
+#: profile.  The point is catching a serving collapse (a stalled queue,
+#: a lost worker pool), not micro-benchmarking the scheduler: a warm
+#: seismic ``run`` costs ~80 ms of service time by itself, so typical
+#: p99 lands around 150-200 ms and a real backlog blows far past this.
+#: Cache regressions are gated separately by ``warm_hit_rate``.
+SLO_P99_MS = 500.0
+
+
+def collect_slo(attempts: int = 2) -> dict:
+    """The open-loop serving SLO row (``docs/observability.md``).
+
+    Runs the CI quick profile (fixed-rate arrivals over the two small
+    runnable benchmarks, compile/run mix) against an in-process broker
+    backed by a shared disk cache, prewarming every distinct source so
+    the measured window is the warm path.  Latency is charged from each
+    request's scheduled arrival (coordinated-omission safe); the report's
+    quantiles come from log-spaced HDR histograms.
+
+    The row measures wall clock, so a transient machine-load spike can
+    push the tail past the gate on a healthy build: a failing attempt is
+    re-measured (up to ``attempts`` total) and the first passing row —
+    or the last failing one — is returned.  A genuine serving collapse
+    fails every attempt.
+    """
+    row: dict = {}
+    for _ in range(max(1, attempts)):
+        row = _measure_slo()
+        if not check_slo(row):
+            return row
+    return row
+
+
+def _measure_slo() -> dict:
+    import tempfile
+
+    from repro.loadgen import quick_profile, run_load
+    from repro.serve.broker import Broker, BrokerConfig
+
+    profile = quick_profile(rate_rps=25.0, duration_s=1.2)
+    with tempfile.TemporaryDirectory(prefix="repro-slo-bench-") as tmp:
+        with Broker(BrokerConfig(workers=4, cache_dir=tmp)) as broker:
+            # Warm the *run* path too: loadgen's prewarm covers compiles,
+            # but the first run on each worker still pays the one-time
+            # executor build.  The SLO is a steady-state property.
+            run_load(
+                quick_profile(rate_rps=20.0, duration_s=0.5), broker=broker
+            )
+            report = run_load(profile, broker=broker)
+    overall = report["latency_ms"]["overall"]
+    return {
+        "profile": report["profile"],
+        # gated:
+        "error_rate": report["error_rate"],
+        "warm_hit_rate": report["warm_hit_rate"],
+        "p99_ms": overall["p99"],
+        "coordinated_omission_safe": report["arrival"][
+            "coordinated_omission_safe"
+        ],
+        "latency_basis": report["arrival"]["latency_basis"],
+        # informational (wall clock):
+        "scheduled": report["requests"]["scheduled"],
+        "completed": report["requests"]["completed"],
+        "offered_rps": report["offered_rps"],
+        "throughput_rps": report["throughput_rps"],
+        "p50_ms": overall["p50"],
+        "p999_ms": overall["p999"],
+        "degradation_rate": report["degradation_rate"],
+    }
+
+
+def check_slo(row: dict) -> list[str]:
+    """Absolute gates on the open-loop serving row."""
+    problems: list[str] = []
+    if row["completed"] != row["scheduled"]:
+        problems.append(
+            f"slo: only {row['completed']} of {row['scheduled']} scheduled "
+            f"requests completed"
+        )
+    if row["error_rate"] != 0.0:
+        problems.append(
+            f"slo: error rate {row['error_rate']} under the quick profile "
+            f"(gate: 0) — the warm serving path is failing requests"
+        )
+    if row["warm_hit_rate"] is None or row["warm_hit_rate"] < 0.9:
+        problems.append(
+            f"slo: warm compile hit rate {row['warm_hit_rate']} "
+            f"(gate: >= 0.9) — prewarmed sources are missing the cache"
+        )
+    if row["p99_ms"] >= SLO_P99_MS:
+        problems.append(
+            f"slo: warm p99 is {row['p99_ms']} ms (gate: < {SLO_P99_MS} ms) "
+            f"— the serving hot path collapsed under open-loop load"
+        )
+    if row["latency_basis"] != "scheduled_arrival":
+        problems.append(
+            "slo: latency is not charged from scheduled arrivals — the "
+            "row is vulnerable to coordinated omission and gates nothing"
+        )
+    return problems
+
+
 #: Published MI200-series occupancy ladder: architected VGPRs per lane
 #: -> resident wavefronts per SIMD (the CDNA2 rule the `fleet` row
 #: gates; the same table is unit-tested in tests/gpu/test_arch_registry.py).
@@ -597,6 +707,20 @@ def main(argv: list[str] | None = None) -> int:
         f"engine ({len(doc['hotpath']['benchmarks'])} benchmarks), "
         f"compile_many {doc['hotpath']['compile_many_scaling_x']:.2f}x "
         f"at 4 workers"
+    )
+
+    doc["slo"] = collect_slo()
+    slo_problems = check_slo(doc["slo"])
+    if slo_problems:
+        print(f"\nFAIL: slo gate:", file=sys.stderr)
+        for p in slo_problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        f"slo: {doc['slo']['completed']} requests at "
+        f"{doc['slo']['offered_rps']:.0f} rps open-loop, 0 errors, warm hit "
+        f"rate {doc['slo']['warm_hit_rate']:.2f}, p99 "
+        f"{doc['slo']['p99_ms']:.1f} ms (gate < {SLO_P99_MS:.0f} ms)"
     )
 
     doc["fleet"] = collect_fleet()

@@ -355,7 +355,264 @@ def _broker_config(args: argparse.Namespace) -> "BrokerConfig":
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serve.daemon import run_daemon
 
-    return run_daemon(_broker_config(args))
+    return run_daemon(_broker_config(args), socket_path=args.socket)
+
+
+def _render_span_tree(nodes: list, indent: int = 0) -> list[str]:
+    lines = []
+    for node in nodes:
+        args_bits = {
+            k: v
+            for k, v in node.get("args", {}).items()
+            if k not in ("trace_id",) and v is not None
+        }
+        suffix = (
+            "  " + " ".join(f"{k}={v}" for k, v in sorted(args_bits.items()))
+            if args_bits
+            else ""
+        )
+        lines.append(
+            f"{'  ' * indent}{node['name']:<{max(28 - 2 * indent, 8)}} "
+            f"{node['dur_us'] / 1000.0:9.3f} ms{suffix}"
+        )
+        lines.extend(_render_span_tree(node.get("children", []), indent + 1))
+    return lines
+
+
+def _render_record(record: dict) -> str:
+    status = "ok" if record["ok"] else f"ERROR ({record['error_code']})"
+    lines = [
+        f"trace {record['trace_id']}  op={record['op']}  {status}  "
+        f"{record['duration_ms']:.3f} ms"
+    ]
+    if record.get("degradations"):
+        for event in record["degradations"]:
+            detail = {k: v for k, v in event.items() if k != "trace_id"}
+            lines.append(f"  degradation: {detail}")
+    if record.get("dropped_spans"):
+        lines.append(f"  (collector dropped {record['dropped_spans']} spans)")
+    lines.extend(_render_span_tree(record.get("span_tree", []), indent=1))
+    return "\n".join(lines)
+
+
+def cmd_serve_trace(args: argparse.Namespace) -> int:
+    """Inspect the daemon's flight recorder: the retained slowest /
+    errored request traces, one trace's span tree, or a Perfetto-loadable
+    export of it."""
+    import json
+
+    from .serve.client import SocketClient
+
+    with SocketClient(args.socket) as client:
+        response = client.trace(args.trace_id, perfetto=bool(args.perfetto))
+    if not response.get("ok"):
+        print(json.dumps(response, indent=2, sort_keys=True), file=sys.stderr)
+        return 1
+    result = response["result"]
+    if args.perfetto:
+        chrome = result.get("chrome")
+        if chrome is None:
+            print("no retained trace to export", file=sys.stderr)
+            return 1
+        doc = json.dumps(chrome, indent=2, sort_keys=True)
+        if args.perfetto == "-":
+            print(doc)
+        else:
+            with open(args.perfetto, "w", encoding="utf-8") as fh:
+                fh.write(doc + "\n")
+            print(
+                f"wrote Perfetto trace {chrome['otherData']['trace_id']} "
+                f"to {args.perfetto}",
+                file=sys.stderr,
+            )
+        return 0
+    if args.trace_id:
+        if not result.get("found"):
+            print(
+                f"trace {args.trace_id!r} not retained (recorder keeps the "
+                "slowest and errored requests only)",
+                file=sys.stderr,
+            )
+            return 1
+        print(_render_record(result["record"]))
+        return 0
+    print(
+        f"flight recorder: {result['recorded']} requests seen, retaining "
+        f"{len(result['slowest'])} slowest "
+        f"(bound {result['retention']['max_slow']}) and "
+        f"{len(result['errors'])} errored "
+        f"(bound {result['retention']['max_errors']})"
+    )
+    for title, records in (
+        ("slowest", result["slowest"]),
+        ("errors", result["errors"]),
+    ):
+        if records:
+            print(f"\n== {title} ==")
+            for record in records:
+                print(_render_record(record))
+    return 0
+
+
+def _quantile_cell(hist: dict | None) -> str:
+    if not hist:
+        return "-"
+    return (
+        f"{hist['p50']:.2f}/{hist['p99']:.2f}/{hist['p999']:.2f}"
+    )
+
+
+def _render_top_frame(frame: dict, previous: dict | None) -> str:
+    """One ``repro top`` screen from a telemetry frame (rates are diffed
+    against the previous frame when there is one)."""
+    if previous is not None and frame["ts"] > previous["ts"]:
+        dt = frame["ts"] - previous["ts"]
+        rps = (frame["requests_total"] - previous["requests_total"]) / dt
+    elif frame["uptime_s"]:
+        rps = frame["requests_total"] / frame["uptime_s"]
+    else:
+        rps = 0.0
+    lines = [
+        f"repro top — uptime {frame['uptime_s']:.1f}s   "
+        f"queue {frame['queue_depth']}/{frame['workers'] + frame['queue_limit']}"
+        f"   workers {frame['workers']}"
+        + ("   [draining]" if frame.get("stopping") else ""),
+        "",
+        f"requests   total {frame['requests_total']}  ({rps:.1f} req/s)   "
+        + "  ".join(
+            f"{op} {n}" for op, n in sorted(frame["requests"].items())
+        ),
+        f"backpressure   rejected {frame['rejected']}   retries "
+        f"{frame['retries']}   deadline_exceeded {frame['deadline_exceeded']}",
+        f"degradations   total {frame['degradations']['total']}   "
+        f"deadline {frame['degradations']['deadline']}   "
+        f"vector_fallback {frame['degradations']['vector_fallback']}",
+    ]
+    cache = frame["cache"]
+
+    def pct(rate):
+        return f"{rate * 100.0:.1f}%" if rate is not None else "-"
+
+    lines.append(
+        f"cache hit rates   memory {pct(cache['memory_hit_rate'])}   "
+        f"disk {pct(cache['disk_hit_rate'])}   "
+        f"fnobj {pct(cache['fnobj_hit_rate'])}"
+    )
+    if frame.get("placement"):
+        lines.append(
+            "placement   "
+            + "  ".join(
+                f"{arch} {n}" for arch, n in sorted(frame["placement"].items())
+            )
+        )
+    if frame.get("codegen_tiers"):
+        lines.append(
+            "run tiers   "
+            + "  ".join(
+                f"{tier} {n}"
+                for tier, n in sorted(frame["codegen_tiers"].items())
+            )
+        )
+    latency = frame.get("latency_ms") or {}
+    if latency:
+        lines.append("")
+        lines.append("latency ms (p50/p99/p999)")
+        for op in sorted(latency):
+            lines.append(f"  {op:<10} {_quantile_cell(latency[op])}")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live serve telemetry in the terminal, over the ``watch`` stream."""
+    from .serve.client import SocketClient
+
+    clear = sys.stdout.isatty() and not args.no_clear
+    previous = None
+    count = args.count if args.count and args.count > 0 else None
+    with SocketClient(args.socket, timeout=None) as client:
+        try:
+            for frame in client.watch(
+                interval_ms=args.interval_ms, count=count
+            ):
+                text = _render_top_frame(frame, previous)
+                if clear:
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(text)
+                if not clear:
+                    print()
+                sys.stdout.flush()
+                previous = frame
+        except KeyboardInterrupt:
+            pass
+        except ConnectionError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop load against a live broker; prints/writes the SLO report."""
+    import json
+
+    from .loadgen import LoadProfile, quick_profile, run_load, write_report
+
+    mix = None
+    if args.mix:
+        mix = {}
+        for part in args.mix.split(","):
+            op, _, weight = part.partition("=")
+            try:
+                mix[op.strip()] = float(weight)
+            except ValueError:
+                raise SystemExit(
+                    f"bad --mix entry {part!r}; expected op=weight"
+                ) from None
+    overrides: dict = {}
+    if args.rate is not None:
+        overrides["rate_rps"] = args.rate
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    if args.arrival is not None:
+        overrides["arrival"] = args.arrival
+    if mix is not None:
+        overrides["mix"] = mix
+    if args.benchmarks:
+        overrides["benchmarks"] = tuple(
+            b for b in args.benchmarks.split(",") if b
+        )
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.no_prewarm:
+        overrides["prewarm"] = False
+    if args.deadline_ms is not None:
+        overrides["deadline_ms"] = args.deadline_ms
+    if args.quick:
+        profile = quick_profile(**overrides)
+    else:
+        profile = LoadProfile(**overrides)
+
+    def progress(done: int, total: int) -> None:
+        if args.progress and done % max(1, total // 10) == 0:
+            print(f"loadgen: {done}/{total} answered", file=sys.stderr)
+
+    try:
+        if args.socket:
+            report = run_load(
+                profile, socket_path=args.socket, on_progress=progress
+            )
+        else:
+            from .serve.broker import Broker
+
+            with Broker(_broker_config(args)) as broker:
+                report = run_load(profile, broker=broker, on_progress=progress)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.report:
+        write_report(report, args.report)
+        print(f"wrote SLO report to {args.report}", file=sys.stderr)
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -602,10 +859,130 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve",
         help="run the JSON-lines compile daemon (requests on stdin, "
-        "responses on stdout; see docs/serving.md)",
+        "responses on stdout, or on a unix socket with --socket; see "
+        "docs/serving.md)",
     )
     add_broker_flags(p)
+    p.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="listen on a unix-domain socket instead of stdin/stdout "
+        "(repro top / serve-trace / loadgen connect here)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-trace",
+        help="inspect a live daemon's flight recorder (slowest and "
+        "errored request traces; Perfetto export with --perfetto)",
+    )
+    p.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="show one retained trace (default: list everything retained)",
+    )
+    p.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="the daemon's unix socket (repro serve --socket PATH)",
+    )
+    p.add_argument(
+        "--perfetto",
+        metavar="OUT.json",
+        default=None,
+        help="write the Chrome trace_event document of the selected "
+        "(or slowest) trace to OUT.json ('-' for stdout)",
+    )
+    p.set_defaults(func=cmd_serve_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="live serve telemetry in the terminal (requests/s, queue "
+        "depth, cache hit rates, placements, latency quantiles)",
+    )
+    p.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="the daemon's unix socket (repro serve --socket PATH)",
+    )
+    p.add_argument(
+        "--interval-ms",
+        dest="interval_ms",
+        type=float,
+        default=1000.0,
+        help="refresh interval (default: 1000)",
+    )
+    p.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="stop after N frames (default: run until interrupted)",
+    )
+    p.add_argument(
+        "--no-clear",
+        dest="no_clear",
+        action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="open-loop load generator + SLO report against a live "
+        "broker (in-process, or a daemon via --socket)",
+    )
+    p.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="target a running daemon's unix socket instead of an "
+        "in-process broker",
+    )
+    p.add_argument("--rate", type=float, help="offered load (requests/s)")
+    p.add_argument("--duration", type=float, help="experiment length (s)")
+    p.add_argument(
+        "--arrival",
+        choices=("poisson", "fixed"),
+        help="arrival process (default: poisson)",
+    )
+    p.add_argument(
+        "--mix",
+        metavar="OP=W,OP=W",
+        help="op mix weights, e.g. compile=0.5,run=0.4,tune=0.1",
+    )
+    p.add_argument(
+        "--benchmarks",
+        metavar="NAME,NAME",
+        help="restrict the workload to these suite benchmarks",
+    )
+    p.add_argument("--seed", type=int, help="schedule RNG seed (default: 0)")
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="start from the CI smoke profile instead of the defaults",
+    )
+    p.add_argument(
+        "--no-prewarm",
+        dest="no_prewarm",
+        action="store_true",
+        help="skip the synchronous compile prewarm (measure cold starts)",
+    )
+    p.add_argument(
+        "--report",
+        metavar="OUT.json",
+        help="write the SLO report here instead of stdout",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="progress lines on stderr",
+    )
+    add_broker_flags(p)
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser(
         "submit", help="one-shot client over the serve broker/protocol"

@@ -40,7 +40,7 @@ from ..ir.builder import build_module
 from ..ir.module import KernelFunction
 from ..lang.parser import parse_program
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracer import span
+from ..obs.tracer import current_trace_id, span
 from ..pipeline.cache import CompileCache, cache_key
 from ..pipeline.diskcache import DiskCache
 from ..pipeline.passes import Pass, PassContext, PassManager, run_safara
@@ -464,8 +464,14 @@ class CompilerSession:
             codegen_source=codegen_source,
             metrics=self.metrics,
         )
+        record = info.as_dict()
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            # Serving tier: the execution record joins the request's
+            # flight-recorder trace by this id.
+            record["trace_id"] = trace_id
         with self._lock:
-            self.stats.record_execution(fn.name, info.as_dict())
+            self.stats.record_execution(fn.name, record)
         return arrays, stats, info
 
     def compile_guarded(

@@ -1,13 +1,19 @@
 """``repro.obs`` — the unified observability layer.
 
-Four pieces, threaded through every layer of the toolchain:
+Six pieces, threaded through every layer of the toolchain:
 
 * :mod:`~repro.obs.tracer` — span-based tracing (lex → parse → passes →
-  feedback iterations → cache lookups → vector planning → execution);
+  feedback iterations → cache lookups → vector planning → execution),
+  plus request-scoped trace contexts (``trace_scope`` / ``trace_id``
+  propagation for the serving tier);
 * :mod:`~repro.obs.chrome` — Chrome ``trace_event`` export of those
   spans, loadable in Perfetto / ``chrome://tracing``;
 * :mod:`~repro.obs.metrics` — the counter/gauge/histogram registry
   backing ``SessionStats`` and ``CompileCache``;
+* :mod:`~repro.obs.hist` — log-spaced HDR-style histograms with exact
+  p50/p99/p999 extraction (the SLO harness's latency type);
+* :mod:`~repro.obs.flight` — the flight recorder retaining the span
+  trees of the N slowest + all errored serve requests;
 * :mod:`~repro.obs.profiler` — per-kernel execution profiles (memory
   traffic by space and coalescing class, occupancy, register pressure,
   vector-planner decisions).
@@ -16,6 +22,8 @@ See ``docs/observability.md`` for the span model and file formats.
 """
 
 from .chrome import chrome_trace, write_chrome_trace
+from .flight import FlightRecorder, RequestRecord
+from .hist import LogHistogram
 from .metrics import (
     COUNT_BUCKETS,
     MS_BUCKETS,
@@ -24,7 +32,18 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer, span, traced
+from .tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    request_collector,
+    set_tracer,
+    span,
+    trace_scope,
+    traced,
+)
 
 #: Profiler names are loaded lazily: the profiler imports the analysis and
 #: codegen layers, which themselves import ``repro.obs.tracer`` — an eager
@@ -50,22 +69,28 @@ __all__ = [
     "COUNT_BUCKETS",
     "MS_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "KernelProfile",
+    "LogHistogram",
     "LoopDecision",
     "MetricsRegistry",
     "NULL_SPAN",
     "ProgramProfile",
+    "RequestRecord",
     "Span",
     "Tracer",
     "TrafficEntry",
     "chrome_trace",
+    "current_trace_id",
     "get_tracer",
     "profile_program",
     "profile_source",
+    "request_collector",
     "set_tracer",
     "span",
+    "trace_scope",
     "traced",
     "write_chrome_trace",
 ]

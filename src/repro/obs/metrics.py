@@ -17,9 +17,11 @@ Conventions:
 * registration is get-or-create and type-checked, so two subsystems
   naming the same counter share it instead of shadowing each other.
 
-Mutation is a plain ``+=`` under the GIL (single bytecode-level races are
-tolerable for monitoring counters; the compile cache additionally
-increments under its own lock, as it always did).
+Mutation takes a small per-metric lock: ``+=`` on an attribute is
+read-modify-write across bytecodes, and the serving broker hammers the
+same counters from every worker thread — a monitoring layer that loses
+increments under exactly the load it exists to measure is worse than
+none (the loss is asserted impossible in ``tests/obs/test_concurrency``).
 """
 
 from __future__ import annotations
@@ -27,32 +29,57 @@ from __future__ import annotations
 import threading
 from bisect import bisect_left
 
+from .hist import LogHistogram
+
 #: Default wall-time boundaries (milliseconds): compile and pass times
-#: span ~0.1ms (a cache hit) to seconds (a full SAFARA sweep).
-MS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+#: span ~0.005ms (a warm memory-tier hit answers in microseconds — warm
+#: compile p50 is ~0.016 ms) to seconds (a full SAFARA sweep).  The
+#: sub-millisecond boundaries were appended below the original 0.1
+#: floor; every pre-existing bucket name (``le_0.1``…) is unchanged, so
+#: ledgers and ``repro stats`` consumers keep their keys.
+MS_BUCKETS = (0.005, 0.01, 0.025, 0.05,
+              0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
               250.0, 500.0, 1000.0, 2500.0)
 
 #: Default count boundaries (iterations, elements, backend compiles).
 COUNT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 1000, 10_000, 100_000, 1_000_000)
 
+#: The known metric families, in render order, with their ``repro
+#: stats`` section titles.  A registered name whose first dotted
+#: component is not listed here renders in the ``other`` catch-all —
+#: new families appear automatically rather than vanishing.
+METRIC_FAMILIES = (
+    ("session", "session (compiles, executions, timing)"),
+    ("cache", "cache (memory / disk / function-object tiers)"),
+    ("pipeline", "pipeline (per-pass instrumentation)"),
+    ("codegen", "codegen (generated-NumPy tier)"),
+    ("tune", "tune (autotuner)"),
+    ("serve", "serve (broker, placement, degradations, latency)"),
+    ("loadgen", "loadgen (open-loop load generator)"),
+)
+
 
 class Counter:
     """Monotonic (by convention) accumulator; float-valued so wall-time
-    totals can ride the same type."""
+    totals can ride the same type.  ``inc`` is lossless under concurrent
+    callers (per-metric lock)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
     kind = "counter"
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def zero(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def as_dict(self) -> dict:
         v = self.value
@@ -62,16 +89,23 @@ class Counter:
 class Gauge:
     """A value that goes up and down (cache entry count, queue depth)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
     kind = "gauge"
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
+
+    def add(self, amount: float = 1) -> None:
+        """Lossless relative adjustment (concurrent ``set`` races would
+        drop updates; queue-depth style gauges adjust instead)."""
+        with self._lock:
+            self.value += amount
 
     def zero(self) -> None:
         self.value = 0
@@ -88,7 +122,8 @@ class Histogram:
     ``+inf`` bucket catches the rest.  ``observe`` is O(log buckets).
     """
 
-    __slots__ = ("name", "help", "boundaries", "counts", "count", "total")
+    __slots__ = ("name", "help", "boundaries", "counts", "count", "total",
+                 "_lock")
     kind = "histogram"
 
     def __init__(self, name: str, boundaries=MS_BUCKETS, help: str = ""):
@@ -100,16 +135,20 @@ class Histogram:
         self.counts = [0] * (len(self.boundaries) + 1)
         self.count = 0
         self.total = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.boundaries, value)] += 1
-        self.count += 1
-        self.total += value
+        index = bisect_left(self.boundaries, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
 
     def zero(self) -> None:
-        self.counts = [0] * (len(self.boundaries) + 1)
-        self.count = 0
-        self.total = 0.0
+        with self._lock:
+            self.counts = [0] * (len(self.boundaries) + 1)
+            self.count = 0
+            self.total = 0.0
 
     @property
     def mean(self) -> float:
@@ -168,6 +207,12 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help, boundaries=boundaries)
 
+    def log_histogram(self, name: str, help: str = "", **kw) -> LogHistogram:
+        """A log-spaced quantile histogram (:mod:`repro.obs.hist`) —
+        use for latencies where p99/p999 matter (``serve.latency_ms.*``);
+        the fixed-bucket :meth:`histogram` stays the ledger's type."""
+        return self._get_or_create(LogHistogram, name, help, **kw)
+
     def get(self, name: str):
         return self._metrics.get(name)
 
@@ -190,21 +235,53 @@ class MetricsRegistry:
             }
 
     def render_text(self) -> str:
-        """Human-readable table (the ``repro stats`` default output)."""
+        """Human-readable table (the ``repro stats`` default output).
+
+        Metrics are grouped into sections by their first dotted component
+        — the known families first, then an ``other`` catch-all, so **a
+        dotted name registered by any subsystem is always rendered**
+        (asserted by ``tests/obs/test_stats_render.py``: registering a
+        metric can never silently hide it from ``repro stats``).
+        """
+        data = self.as_dict()
+        sections: dict[str, list[str]] = {key: [] for key, _ in METRIC_FAMILIES}
+        sections["other"] = []
+        for name in data:
+            family = name.split(".", 1)[0]
+            sections.get(family, sections["other"]).append(name)
         lines: list[str] = []
-        for name, data in self.as_dict().items():
-            if data["type"] == "histogram":
-                lines.append(
-                    f"{name:<44} histogram  count={data['count']} "
-                    f"sum={data['sum']} mean={data['mean']}"
-                )
-                # Only print buckets that add information (skip leading
-                # empties; always show the +inf total).
-                previous = 0
-                for key, cum in data["buckets"].items():
-                    if cum > previous or key == "le_inf":
-                        lines.append(f"    {key:<40} {cum}")
-                        previous = cum
-            else:
-                lines.append(f"{name:<44} {data['type']:<9} {data['value']}")
+        titles = dict(METRIC_FAMILIES)
+        for family, names in sections.items():
+            if not names:
+                continue
+            if lines:
+                lines.append("")
+            lines.append(f"# {titles.get(family, 'other (unclassified families)')}")
+            for name in names:
+                lines.extend(self._render_metric(name, data[name]))
         return "\n".join(lines)
+
+    @staticmethod
+    def _render_metric(name: str, data: dict) -> list[str]:
+        lines: list[str] = []
+        if data["type"] == "histogram":
+            lines.append(
+                f"{name:<44} histogram  count={data['count']} "
+                f"sum={data['sum']} mean={data['mean']}"
+            )
+            # Only print buckets that add information (skip leading
+            # empties; always show the +inf total).
+            previous = 0
+            for key, cum in data["buckets"].items():
+                if cum > previous or key == "le_inf":
+                    lines.append(f"    {key:<40} {cum}")
+                    previous = cum
+        elif data["type"] == "loghistogram":
+            lines.append(
+                f"{name:<44} loghist    count={data['count']} "
+                f"mean={data['mean']} p50={data['p50']} "
+                f"p99={data['p99']} p999={data['p999']}"
+            )
+        else:
+            lines.append(f"{name:<44} {data['type']:<9} {data['value']}")
+        return lines

@@ -25,6 +25,18 @@ Instrumentation sites do not pass a tracer around: there is one *active*
 tracer (:func:`get_tracer`), disabled by default, swapped in scoped
 fashion with :meth:`Tracer.activate` (the CLI's ``--trace`` flag and the
 benchmark harness use this).
+
+**Request-scoped trace context.**  The serving broker gives every
+protocol request a ``trace_id`` and needs the spans of *that request
+only* — queue wait, placement, compile, feedback iterations, execution —
+regardless of whether a process-wide tracer is active.  A worker thread
+installs :func:`trace_scope` around request processing: while active,
+every :func:`span` on that thread carries the request's ``trace_id`` as
+an attribute and is *also* recorded into the scope's collector (a
+private :class:`Tracer`), which the flight recorder
+(:mod:`repro.obs.flight`) retains for the slowest and errored requests.
+The collector shares the active tracer's epoch, so the same span object
+can be recorded into both sinks with consistent timestamps.
 """
 
 from __future__ import annotations
@@ -62,10 +74,22 @@ class Span:
     from complete (``ph: "X"``) events.
     """
 
-    __slots__ = ("name", "cat", "ts_us", "dur_us", "tid", "args", "_tracer")
+    __slots__ = ("name", "cat", "ts_us", "dur_us", "tid", "args", "_tracer",
+                 "_extra")
 
-    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        cat: str,
+        args: dict,
+        extra: "tuple[Tracer, ...]" = (),
+    ):
         self._tracer = tracer
+        #: Additional sinks recording this span on close (the request
+        #: collector of an active :func:`trace_scope` rides here when a
+        #: process-wide tracer is enabled at the same time).
+        self._extra = extra
         self.name = name
         self.cat = cat
         self.args = args
@@ -86,6 +110,10 @@ class Span:
         self.dur_us = self._tracer._now_us() - self.ts_us
         if exc_type is not None:
             self.args.setdefault("error", exc_type.__name__)
+        # Extra sinks first: the primary sink's tid assignment wins on the
+        # shared span object (the request collector is always primary).
+        for sink in self._extra:
+            sink._record(self)
         self._tracer._record(self)
         return False
 
@@ -98,11 +126,20 @@ class Tracer:
     runaway workloads (dropped spans are counted, never silently lost).
     """
 
-    def __init__(self, *, enabled: bool = False, max_spans: int = 1_000_000):
+    def __init__(
+        self,
+        *,
+        enabled: bool = False,
+        max_spans: int = 1_000_000,
+        epoch_ns: int | None = None,
+    ):
         self.enabled = enabled
         self.max_spans = max_spans
         self.dropped = 0
-        self._epoch_ns = time.perf_counter_ns()
+        #: ``epoch_ns`` aligns this tracer's clock with another's (the
+        #: per-request collectors share the active tracer's epoch so one
+        #: span can be recorded into both with consistent timestamps).
+        self._epoch_ns = epoch_ns if epoch_ns is not None else time.perf_counter_ns()
         self._spans: list[Span] = []
         self._lock = threading.Lock()
         #: thread ident → stable small tid, in first-seen order.
@@ -160,6 +197,58 @@ class Tracer:
             set_tracer(previous)
 
 
+class TraceContext:
+    """A request-scoped trace identity: the ``trace_id`` every span on
+    the thread carries, plus an optional private collector recording the
+    request's span tree for the flight recorder."""
+
+    __slots__ = ("trace_id", "collector")
+
+    def __init__(self, trace_id: str, collector: "Tracer | None" = None):
+        self.trace_id = trace_id
+        self.collector = collector
+
+
+_trace_ctx = threading.local()
+
+
+def current_trace() -> TraceContext | None:
+    """The calling thread's active trace context, or ``None``."""
+    return getattr(_trace_ctx, "current", None)
+
+
+def current_trace_id() -> str | None:
+    """The calling thread's active request ``trace_id``, or ``None`` —
+    subsystems use this to tag events (degradations, execution records)
+    with the request that caused them."""
+    ctx = getattr(_trace_ctx, "current", None)
+    return ctx.trace_id if ctx is not None else None
+
+
+@contextlib.contextmanager
+def trace_scope(trace_id: str, collector: "Tracer | None" = None):
+    """Install a request trace context on the calling thread.
+
+    While active, every :func:`span` opened on this thread carries
+    ``trace_id`` as a span attribute and — when ``collector`` is given —
+    is recorded into it *in addition to* the process-wide tracer (if that
+    one is enabled).  Scopes nest; the inner context wins while active.
+    """
+    previous = getattr(_trace_ctx, "current", None)
+    _trace_ctx.current = TraceContext(trace_id, collector)
+    try:
+        yield _trace_ctx.current
+    finally:
+        _trace_ctx.current = previous
+
+
+def request_collector(max_spans: int = 512) -> "Tracer":
+    """A per-request span collector aligned with the active tracer's
+    epoch (so its spans can also be exported alongside globally traced
+    ones without timestamp skew)."""
+    return Tracer(enabled=True, max_spans=max_spans, epoch_ns=_active._epoch_ns)
+
+
 #: The default (disabled) tracer instrumentation talks to out of the box.
 _GLOBAL = Tracer()
 _active: Tracer = _GLOBAL
@@ -187,9 +276,19 @@ def span(name: str, cat: str = "repro", **args):
             ...
             sp.set(registers=info.registers)
 
-    Costs one attribute check when tracing is disabled.
+    Costs one attribute check when tracing is disabled (plus one
+    thread-local read when no request trace context is installed).
     """
     t = _active
+    ctx = getattr(_trace_ctx, "current", None)
+    if ctx is None:
+        if not t.enabled:
+            return NULL_SPAN
+        return Span(t, name, cat, args)
+    args.setdefault("trace_id", ctx.trace_id)
+    if ctx.collector is not None:
+        extra = (t,) if t.enabled else ()
+        return Span(ctx.collector, name, cat, args, extra=extra)
     if not t.enabled:
         return NULL_SPAN
     return Span(t, name, cat, args)
@@ -204,10 +303,10 @@ def traced(name: str | None = None, cat: str = "repro"):
 
         @functools.wraps(fn)
         def wrapper(*a, **kw):
-            t = _active
-            if not t.enabled:
+            sp = span(label, cat)
+            if sp is NULL_SPAN:
                 return fn(*a, **kw)
-            with Span(t, label, cat, {}):
+            with sp:
                 return fn(*a, **kw)
 
         return wrapper

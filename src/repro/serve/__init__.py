@@ -12,14 +12,20 @@ sessions.
   request to the modeled-best (arch, config) pair across the broker's
   configured device fleet;
 * :mod:`repro.serve.daemon` — the stdin/stdout loop behind
-  ``repro serve`` (and the in-process path behind ``repro submit``).
+  ``repro serve`` (and the in-process path behind ``repro submit``),
+  plus the unix-domain-socket front end (``repro serve --socket``) and
+  the daemon-side ``watch`` telemetry streaming;
+* :mod:`repro.serve.client` — the socket client the live tools
+  (``repro top``, ``repro serve-trace``, ``repro loadgen --socket``)
+  connect with.
 
 See ``docs/serving.md`` for the protocol reference and the disk-cache
 layout, and ``docs/architecture.md`` for where this layer sits.
 """
 
 from .broker import Broker, BrokerConfig
-from .daemon import run_daemon, serve_loop
+from .client import SocketClient
+from .daemon import SocketServer, run_daemon, serve_loop, serve_socket
 from .placement import PlacementCandidate, PlacementDecision, choose_placement
 from .protocol import ServeError, error_response, ok_response, validate_request
 
@@ -29,10 +35,13 @@ __all__ = [
     "PlacementCandidate",
     "PlacementDecision",
     "ServeError",
+    "SocketClient",
+    "SocketServer",
     "choose_placement",
     "error_response",
     "ok_response",
     "run_daemon",
     "serve_loop",
+    "serve_socket",
     "validate_request",
 ]

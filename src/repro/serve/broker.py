@@ -32,9 +32,20 @@ Everything is exported through the shared registry: ``serve.requests.*``,
 ``serve.rejected``, ``serve.retries``, ``serve.degradations.*``,
 ``serve.codegen.tier.*`` (execution tier answering each ``run``) and the
 ``serve.codegen.codegen_ms`` histogram, ``serve.wait_ms`` /
-``serve.handle_ms`` histograms, and the ``serve.queue_depth`` gauge, next
-to the sessions' ``cache.*`` / ``cache.disk.*`` / ``cache.fnobj.*`` /
-``session.*`` metrics.
+``serve.handle_ms`` histograms, the ``serve.latency_ms.<op>``
+log-histograms (admission → response, quantile-exact), and the
+``serve.queue_depth`` gauge, next to the sessions' ``cache.*`` /
+``cache.disk.*`` / ``cache.fnobj.*`` / ``session.*`` metrics.
+
+**Tracing** (PR 8): every admitted request is processed under a
+:func:`~repro.obs.tracer.trace_scope` carrying its ``trace_id``
+(client-supplied or broker-generated, echoed in the response) and a
+bounded per-request span collector.  The broker synthesizes a root
+``request`` span (admission → response) and a ``queue.wait`` span, so
+the collector holds one connected tree — queue wait, placement, compile
+pipeline, execute — and feeds it to the :class:`~repro.obs.flight.
+FlightRecorder`, which retains the N slowest and all errored requests
+for the ``trace`` op / ``repro serve-trace``.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+import uuid
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from random import Random
@@ -58,8 +70,9 @@ from ..feedback.driver import (
 from ..gpu.arch import arch_key, list_archs
 from ..gpu.vector_exec import VectorUnsupported, fallback_listener
 from ..lang.errors import MiniAccError
+from ..obs.flight import FlightRecorder, RequestRecord, span_dict, to_chrome
 from ..obs.metrics import MS_BUCKETS, MetricsRegistry
-from ..obs.tracer import span
+from ..obs.tracer import Span, request_collector, span, trace_scope
 from ..pipeline.diskcache import DiskCache
 from . import protocol
 from .placement import PlacementDecision, choose_placement
@@ -108,6 +121,14 @@ class BrokerConfig:
     #: directory is configured (warm re-tunes then survive restarts,
     #: like the compile cache), else tuning runs without a ledger.
     tune_ledger: str | None = None
+    #: Flight-recorder retention: the N slowest requests…
+    flight_slow: int = 32
+    #: …and the most recent M errored requests keep their span trees.
+    flight_errors: int = 64
+    #: Span budget per request (the per-request collector's memory bound;
+    #: overflowing spans are counted in ``dropped_spans``, never lost
+    #: silently).
+    trace_max_spans: int = 512
     #: Seed for the jitter RNG (deterministic backoff schedules in tests).
     seed: int = 0
 
@@ -139,6 +160,15 @@ class Broker:
         self._stopping = False
         self._rng = Random(self.config.seed)
         self._sleep = time.sleep  # overridable for tests
+        self._started = time.monotonic()
+        self.flight = FlightRecorder(
+            max_slow=self.config.flight_slow,
+            max_errors=self.config.flight_errors,
+        )
+        #: Per-request scratch (one worker thread processes one request
+        #: at a time): degradation events attributed to the in-flight
+        #: request, harvested into its flight record.
+        self._req = threading.local()
         # A misconfigured fleet fails at construction, not per-request.
         self._fleet: tuple[str, ...] = tuple(
             arch_key(name) for name in (self.config.fleet or ())
@@ -176,6 +206,15 @@ class Broker:
             "serve.placement.model_ms",
             help="modeled time of the chosen placement",
         )
+        # Quantile-exact admission→response latency per op, registered
+        # eagerly so the telemetry surface is stable from request zero.
+        self._latency = {
+            op: m.log_histogram(
+                f"serve.latency_ms.{op}",
+                help=f"admission → response latency of {op} requests",
+            )
+            for op in ("compile", "run", "tune", "stats")
+        }
 
     # -- sessions ----------------------------------------------------------
 
@@ -200,14 +239,28 @@ class Broker:
         with self._lock:
             return self._pending
 
+    @staticmethod
+    def _trace_id_for(request) -> str:
+        """The request's correlation id: the client's ``trace_id`` when
+        present and well-formed, else a fresh broker-generated one (also
+        for rejections — every response is correlatable)."""
+        supplied = request.get("trace_id") if isinstance(request, dict) else None
+        if (
+            isinstance(supplied, str)
+            and 0 < len(supplied) <= protocol.MAX_TRACE_ID_LEN
+        ):
+            return supplied
+        return uuid.uuid4().hex[:16]
+
     def submit(self, request: dict) -> "Future[dict]":
         """Admit a request; always returns a future resolving to a
         response dict (rejections resolve immediately)."""
         request_id = request.get("id") if isinstance(request, dict) else None
+        trace_id = self._trace_id_for(request)
         try:
             protocol.validate_request(request)
         except ServeError as exc:
-            return self._rejection(request_id, exc.code, exc.message)
+            return self._rejection(request_id, exc.code, exc.message, trace_id)
         op = request["op"]
         self.metrics.counter(
             f"serve.requests.{op}", f"admitted {op} requests"
@@ -218,6 +271,7 @@ class Broker:
                     request_id,
                     protocol.SHUTTING_DOWN,
                     "daemon is draining; resubmit to the next instance",
+                    trace_id,
                 )
             capacity = self.config.workers + self.config.queue_limit
             if self._pending >= capacity:
@@ -227,6 +281,7 @@ class Broker:
                     protocol.QUEUE_FULL,
                     f"admission queue full ({self._pending} in flight, "
                     f"capacity {capacity}); retry later",
+                    trace_id,
                 )
             self._pending += 1
             self._queue_depth.set(self._pending)
@@ -234,11 +289,33 @@ class Broker:
         deadline_ms = request.get("deadline_ms") or self.config.default_deadline_ms
         enqueue_t = time.monotonic()
         deadline = enqueue_t + deadline_ms / 1000.0
-        return self._pool.submit(self._process, request, enqueue_t, deadline)
+        return self._pool.submit(
+            self._process, request, enqueue_t, deadline, trace_id
+        )
 
-    def _rejection(self, request_id, code: str, message: str) -> "Future[dict]":
+    def _rejection(
+        self, request_id, code: str, message: str, trace_id: str | None = None
+    ) -> "Future[dict]":
+        """An immediately-resolved error future.  Rejections are real
+        errors to the client, so they are flight-recorded too (spanless:
+        they never reached a worker) — the recorder can explain a
+        ``queue_full`` burst after the fact."""
         future: "Future[dict]" = Future()
-        future.set_result(protocol.error_response(request_id, code, message))
+        future.set_result(
+            protocol.error_response(
+                request_id, code, message, trace_id=trace_id
+            )
+        )
+        if trace_id is not None:
+            self.flight.record(
+                RequestRecord(
+                    trace_id=trace_id,
+                    op="(rejected)",
+                    ok=False,
+                    duration_ms=0.0,
+                    error_code=code,
+                )
+            )
         return future
 
     def handle(self, request: dict) -> dict:
@@ -247,33 +324,61 @@ class Broker:
 
     # -- processing --------------------------------------------------------
 
-    def _process(self, request: dict, enqueue_t: float, deadline: float) -> dict:
+    def _process(
+        self, request: dict, enqueue_t: float, deadline: float, trace_id: str
+    ) -> dict:
         request_id = request.get("id")
         op = request["op"]
         start = time.monotonic()
-        self._wait_ms.observe((start - enqueue_t) * 1000.0)
+        wait_ms = (start - enqueue_t) * 1000.0
+        self._wait_ms.observe(wait_ms)
+        collector = request_collector(self.config.trace_max_spans)
+        #: Worker-pickup instant on the collector clock — the anchor both
+        #: synthesized spans (queue.wait, the request root) are placed
+        #: from, so their relative order never depends on how long the
+        #: bookkeeping after the response took.
+        anchor_us = collector._now_us()
+        self._req.degradations = []
         try:
-            with span("serve.request", op=op, id=request_id) as sp:
-                if op == "compile":
-                    response = self._handle_compile(request, deadline)
-                elif op == "run":
-                    response = self._handle_run(request, deadline)
-                elif op == "tune":
-                    response = self._handle_tune(request, deadline)
-                elif op == "stats":
-                    response = protocol.ok_response(request_id, self.stats())
-                else:  # "shutdown" — answered here, drained by the daemon
-                    response = protocol.ok_response(request_id, {"stopping": True})
-                sp.set(ok=response["ok"])
-                if not response["ok"]:
-                    sp.set(error=response["error"]["code"])
-            return response
+            with trace_scope(trace_id, collector):
+                self._synth_span(
+                    collector,
+                    trace_id,
+                    "queue.wait",
+                    anchor_us - wait_ms * 1000.0,
+                    wait_ms * 1000.0,
+                    wait_ms=round(wait_ms, 4),
+                )
+                with span("serve.request", op=op, id=request_id) as sp:
+                    if op == "compile":
+                        response = self._handle_compile(request, deadline)
+                    elif op == "run":
+                        response = self._handle_run(request, deadline)
+                    elif op == "tune":
+                        response = self._handle_tune(request, deadline)
+                    elif op == "stats":
+                        response = protocol.ok_response(request_id, self.stats())
+                    elif op == "trace":
+                        response = protocol.ok_response(
+                            request_id, self._handle_trace(request)
+                        )
+                    elif op == "watch":
+                        response = protocol.ok_response(
+                            request_id, self.telemetry_snapshot()
+                        )
+                    else:  # "shutdown" — answered here, drained by the daemon
+                        response = protocol.ok_response(
+                            request_id, {"stopping": True}
+                        )
+                    sp.set(ok=response["ok"])
+                    if not response["ok"]:
+                        sp.set(error=response["error"]["code"])
         except ServeError as exc:
-            return protocol.error_response(
+            response = protocol.error_response(
                 request_id, exc.code, exc.message, retryable=exc.retryable
             )
         except Exception as exc:  # a service bug must still answer
-            return protocol.error_response(
+            response = protocol.error_response(
                 request_id, protocol.INTERNAL, f"{type(exc).__name__}: {exc}"
             )
         finally:
@@ -281,6 +386,80 @@ class Broker:
             with self._lock:
                 self._pending -= 1
                 self._queue_depth.set(self._pending)
+        response["trace_id"] = trace_id
+        total_ms = (time.monotonic() - enqueue_t) * 1000.0
+        hist = self._latency.get(op)
+        if hist is not None:
+            hist.observe(total_ms)
+        # One connected tree per request: synthesize the root span
+        # covering admission → response, then hand the collector's spans
+        # to the flight recorder.
+        # Root span from queue-wait start to now, with 100 µs of slack on
+        # both ends so it strictly contains every child under containment
+        # nesting; the honest duration rides in the args.
+        root_ts = anchor_us - wait_ms * 1000.0 - 100.0
+        self._synth_span(
+            collector,
+            trace_id,
+            "request",
+            root_ts,
+            collector._now_us() + 100.0 - root_ts,
+            op=op,
+            ok=response["ok"],
+            duration_ms=round(total_ms, 4),
+        )
+        self.flight.record(
+            RequestRecord(
+                trace_id=trace_id,
+                op=op,
+                ok=response["ok"],
+                duration_ms=total_ms,
+                error_code=(
+                    None if response["ok"] else response["error"]["code"]
+                ),
+                spans=[span_dict(s) for s in collector.spans],
+                degradations=list(
+                    getattr(self._req, "degradations", None) or ()
+                ),
+                dropped_spans=collector.dropped,
+            )
+        )
+        return response
+
+    @staticmethod
+    def _synth_span(
+        collector, trace_id: str, name: str, ts_us: float, dur_us: float, **args
+    ) -> None:
+        """Record a span with explicit placement into the per-request
+        collector — for intervals the worker thread could not bracket
+        live (the queue wait happens before any worker runs; the request
+        root is only known complete once the response exists)."""
+        sp = Span(
+            collector, name, "serve", {"trace_id": trace_id, **args}
+        )
+        sp.ts_us = ts_us
+        sp.dur_us = dur_us
+        collector._record(sp)
+
+    def _degradation(self, reason: str, **detail) -> None:
+        """Attribute one degradation event to the in-flight request (the
+        flight record's ``degradations`` list) and mark it on the trace."""
+        from ..obs.tracer import current_trace_id
+
+        event = {"reason": reason, "trace_id": current_trace_id(), **detail}
+        events = getattr(self._req, "degradations", None)
+        if events is not None:
+            events.append(event)
+        self._synth_degradation_span(event)
+
+    def _synth_degradation_span(self, event: dict) -> None:
+        from ..obs.tracer import current_trace
+
+        ctx = current_trace()
+        if ctx is not None and ctx.collector is not None:
+            sp = Span(ctx.collector, "degradation", "serve", dict(event))
+            sp.ts_us = ctx.collector._now_us()
+            ctx.collector._record(sp)
 
     def _remaining_ms(self, deadline: float) -> float:
         return (deadline - time.monotonic()) * 1000.0
@@ -399,7 +578,12 @@ class Broker:
                     f"deadline passed after {attempt} attempt(s)",
                 )
             try:
-                with deadline_scope(deadline):
+                with span(
+                    "compile",
+                    config=config.name,
+                    arch=arch_key(config.arch),
+                    attempt=attempt,
+                ), deadline_scope(deadline):
                     program = session.compile_source(
                         job.source,
                         job.config,
@@ -494,7 +678,8 @@ class Broker:
             raise ServeError(protocol.BAD_REQUEST, str(exc)) from None
         pinned = self._arch_for(request)
         try:
-            fn = build_module(parse_program(request["source"])).functions[0]
+            with span("compile", phase="frontend"):
+                fn = build_module(parse_program(request["source"])).functions[0]
         except MiniAccError as exc:
             return protocol.error_response(
                 request_id, protocol.PARSE_ERROR, str(exc)
@@ -534,6 +719,10 @@ class Broker:
                 "serve.degradations.deadline",
                 "runs demoted to scalar under deadline pressure",
             ).inc()
+            self._degradation(
+                "deadline_pressure",
+                remaining_ms=round(self._remaining_ms(deadline), 3),
+            )
 
         def on_fallback(kernel: str, reason: str) -> None:
             self._degraded_total.inc()
@@ -541,6 +730,7 @@ class Broker:
                 "serve.degradations.vector_fallback",
                 "vector executions that fell back to the scalar engine",
             ).inc()
+            self._degradation("vector_fallback", kernel=kernel, detail=reason)
 
         # Warm hot path: the generated-function cache is keyed by the
         # request source's content hash, and the generated source text is
@@ -696,10 +886,107 @@ class Broker:
                 "fleet": list(self._fleet),
             },
             "metrics": self.metrics.as_dict(),
+            "flight": {
+                "recorded": self.flight.recorded,
+                "slow_retained": len(self.flight.slowest()),
+                "errors_retained": len(self.flight.errors()),
+            },
         }
         if self.disk_cache is not None:
             out["disk_cache"] = self.disk_cache.as_dict()
         return out
+
+    def _handle_trace(self, request: dict) -> dict:
+        """The ``trace`` op: the flight recorder's retained traces.
+
+        With a ``trace_id`` field, answers for that one request (the op's
+        own correlation id doubles as the selector — ``found: false``
+        when it aged out of retention, not an error).  ``perfetto: true``
+        additionally renders the Chrome ``trace_event`` document (of the
+        selected record, or of the slowest retained one)."""
+        perfetto = bool(request.get("perfetto"))
+        wanted = request.get("trace_id")
+        if wanted:
+            rec = self.flight.get(wanted)
+            out: dict = {
+                "trace_id": wanted,
+                "found": rec is not None,
+                "record": rec.as_dict() if rec is not None else None,
+            }
+            if perfetto and rec is not None:
+                out["chrome"] = to_chrome(rec)
+            return out
+        out = self.flight.snapshot()
+        if perfetto:
+            slowest = self.flight.slowest()
+            if slowest:
+                out["chrome"] = to_chrome(slowest[0])
+        return out
+
+    def telemetry_snapshot(self) -> dict:
+        """One live-telemetry frame (the ``watch`` op; ``repro top``).
+
+        Counters are cumulative — clients diff consecutive frames
+        against ``ts`` (a monotonic-seconds stamp) for rates.  Latency
+        quantiles come from the ``serve.latency_ms.*`` log-histograms.
+        """
+        m = self.metrics
+
+        def value(name: str) -> float:
+            metric = m.get(name)
+            v = metric.value if metric is not None else 0
+            return int(v) if v == int(v) else round(v, 4)
+
+        def rate(hits: str, misses: str) -> float | None:
+            h, miss = value(hits), value(misses)
+            return round(h / (h + miss), 4) if h + miss else None
+
+        requests = {
+            op: value(f"serve.requests.{op}")
+            for op in protocol.VALID_OPS
+            if m.get(f"serve.requests.{op}") is not None
+        }
+        placement = {
+            name.rsplit(".", 1)[1]: value(name)
+            for name in m.names()
+            if name.startswith("serve.placement.chosen.")
+        }
+        tiers = {
+            name.rsplit(".", 1)[1]: value(name)
+            for name in m.names()
+            if name.startswith("serve.codegen.tier.")
+        }
+        return {
+            "ts": round(time.monotonic(), 6),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "workers": self.config.workers,
+            "queue_limit": self.config.queue_limit,
+            "queue_depth": self.pending,
+            "stopping": self._stopping,
+            "requests": requests,
+            "requests_total": sum(requests.values()),
+            "rejected": value("serve.rejected"),
+            "retries": value("serve.retries"),
+            "deadline_exceeded": value("serve.deadline_exceeded"),
+            "degradations": {
+                "total": value("serve.degradations"),
+                "deadline": value("serve.degradations.deadline"),
+                "vector_fallback": value("serve.degradations.vector_fallback"),
+            },
+            "cache": {
+                "memory_hit_rate": rate("cache.hits", "cache.misses"),
+                "disk_hit_rate": rate("cache.disk.hits", "cache.disk.misses"),
+                "fnobj_hit_rate": rate("cache.fnobj.hits", "cache.fnobj.misses"),
+            },
+            "placement": placement,
+            "codegen_tiers": tiers,
+            "latency_ms": {
+                op: hist.as_dict()
+                for op, hist in self._latency.items()
+                if hist.count
+            },
+            "flight_recorded": self.flight.recorded,
+        }
 
     def drain(self) -> None:
         """Stop admitting, then wait for in-flight requests to finish."""

@@ -1,0 +1,111 @@
+"""A line-protocol client for the unix-socket daemon.
+
+:class:`SocketClient` speaks the JSON-lines protocol of
+:mod:`repro.serve.daemon` over one connection: sequential
+request/response for the ordinary ops, plus a generator interface over
+the ``watch`` stream.  It is deliberately synchronous and
+single-threaded — it exists for the CLI tools (``repro top``, ``repro
+serve-trace``, ``repro submit --socket``, ``repro loadgen --socket``)
+and the test suite, not for high-fan-out clients (those should hold one
+connection per in-flight request, exactly like this class does).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Iterator
+
+
+class SocketClient:
+    """One connection to a ``repro serve --socket PATH`` daemon."""
+
+    def __init__(self, path: str, *, timeout: float | None = 30.0):
+        self.path = path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+        self._wfile = self._sock.makefile("w", encoding="utf-8")
+        self._ids = itertools.count(1)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def send(self, request: dict) -> Any:
+        """Send one request line; returns the ``id`` it was sent under."""
+        request = dict(request)
+        request.setdefault("id", next(self._ids))
+        self._wfile.write(json.dumps(request) + "\n")
+        self._wfile.flush()
+        return request["id"]
+
+    def recv(self) -> dict:
+        """The next response line (whatever request it answers)."""
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError(f"daemon at {self.path} closed the stream")
+        return json.loads(line)
+
+    def request(self, request: dict) -> dict:
+        """Send and wait for *this* request's response (responses to
+        other ids — e.g. a concurrent watch frame — are skipped; this
+        client sends sequentially, so nothing else is in flight)."""
+        request_id = self.send(request)
+        while True:
+            response = self.recv()
+            if response.get("id") == request_id:
+                return response
+
+    # -- ops ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def trace(
+        self, trace_id: str | None = None, *, perfetto: bool = False
+    ) -> dict:
+        request: dict = {"op": "trace", "perfetto": perfetto}
+        if trace_id is not None:
+            request["trace_id"] = trace_id
+        return self.request(request)
+
+    def watch(
+        self,
+        *,
+        interval_ms: float = 1000.0,
+        count: int | None = None,
+    ) -> Iterator[dict]:
+        """Yield telemetry frames (the ``result`` payloads) as they
+        arrive; ends after ``count`` frames (or when closed)."""
+        request: dict = {"op": "watch", "interval_ms": interval_ms}
+        if count is not None:
+            request["count"] = count
+        request_id = self.send(request)
+        received = 0
+        while count is None or received < count:
+            response = self.recv()
+            if response.get("id") != request_id:
+                continue
+            if not response.get("ok"):
+                raise ConnectionError(
+                    f"watch failed: {response.get('error')}"
+                )
+            received += 1
+            yield response["result"]
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+            self._wfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -8,14 +8,24 @@ workers finish them.
 Request envelope::
 
     {"id": <any JSON value>,
-     "op": "compile" | "run" | "tune" | "stats" | "shutdown",
+     "op": "compile" | "run" | "tune" | "stats" | "trace" | "watch"
+           | "shutdown",
+     "trace_id": "<optional client-chosen correlation id>",
      ...op-specific fields...}
 
 Response envelope::
 
-    {"id": ..., "ok": true,  "result": {...}}
-    {"id": ..., "ok": false, "error": {"code": "...", "message": "...",
-                                       "retryable": true|false}}
+    {"id": ..., "ok": true,  "trace_id": "...", "result": {...}}
+    {"id": ..., "ok": false, "trace_id": "...",
+     "error": {"code": "...", "message": "...", "retryable": true|false}}
+
+Every response carries a ``trace_id`` — the client-supplied one when the
+request had a valid ``trace_id`` field, otherwise one the broker
+generates at admission.  The same id tags every span the request emits
+(queue wait, placement, compile, execute), keys the flight recorder
+(:mod:`repro.obs.flight`), and is the argument of the ``trace`` op — so
+one id correlates a slow response with its full span tree after the
+fact.
 
 ``retryable`` tells clients whether resubmitting the identical request
 can succeed: ``queue_full`` and ``deadline_exceeded`` are backpressure
@@ -67,7 +77,11 @@ INTERNAL = "internal"
 #: Codes whose requests may succeed if resubmitted later.
 RETRYABLE_CODES = frozenset({QUEUE_FULL, DEADLINE_EXCEEDED, TRANSIENT_FAILURE})
 
-VALID_OPS = ("compile", "run", "tune", "stats", "shutdown")
+VALID_OPS = ("compile", "run", "tune", "stats", "trace", "watch", "shutdown")
+
+#: Longest accepted client-supplied ``trace_id`` (keeps log lines and
+#: flight-recorder keys bounded).
+MAX_TRACE_ID_LEN = 128
 
 
 class ServeError(ReproError):
@@ -96,6 +110,36 @@ def validate_request(obj: Any) -> dict:
         raise ServeError(
             BAD_REQUEST, f"unknown op {op!r}; expected one of {VALID_OPS}"
         )
+    trace_id = obj.get("trace_id")
+    if trace_id is not None and (
+        not isinstance(trace_id, str)
+        or not trace_id
+        or len(trace_id) > MAX_TRACE_ID_LEN
+    ):
+        raise ServeError(
+            BAD_REQUEST,
+            f"'trace_id' must be a non-empty string of at most "
+            f"{MAX_TRACE_ID_LEN} characters",
+        )
+    if op == "trace":
+        # Optional narrowing to one retained trace; optional Perfetto doc.
+        if "perfetto" in obj and not isinstance(obj["perfetto"], bool):
+            raise ServeError(BAD_REQUEST, "'perfetto' must be a boolean")
+    if op == "watch":
+        interval_ms = obj.get("interval_ms")
+        if interval_ms is not None and (
+            not isinstance(interval_ms, (int, float))
+            or isinstance(interval_ms, bool)
+            or interval_ms <= 0
+        ):
+            raise ServeError(
+                BAD_REQUEST, "'interval_ms' must be a positive number"
+            )
+        count = obj.get("count")
+        if count is not None and (
+            not isinstance(count, int) or isinstance(count, bool) or count < 1
+        ):
+            raise ServeError(BAD_REQUEST, "'count' must be a positive integer")
     if op in ("compile", "run", "tune"):
         source = obj.get("source")
         if not isinstance(source, str) or not source.strip():
@@ -149,14 +193,24 @@ def validate_request(obj: Any) -> dict:
     return obj
 
 
-def ok_response(request_id: Any, result: dict) -> dict:
-    return {"id": request_id, "ok": True, "result": result}
+def ok_response(
+    request_id: Any, result: dict, *, trace_id: str | None = None
+) -> dict:
+    out: dict = {"id": request_id, "ok": True, "result": result}
+    if trace_id is not None:
+        out["trace_id"] = trace_id
+    return out
 
 
 def error_response(
-    request_id: Any, code: str, message: str, *, retryable: bool | None = None
+    request_id: Any,
+    code: str,
+    message: str,
+    *,
+    retryable: bool | None = None,
+    trace_id: str | None = None,
 ) -> dict:
-    return {
+    out: dict = {
         "id": request_id,
         "ok": False,
         "error": {
@@ -167,3 +221,6 @@ def error_response(
             ),
         },
     }
+    if trace_id is not None:
+        out["trace_id"] = trace_id
+    return out

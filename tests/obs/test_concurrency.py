@@ -1,0 +1,173 @@
+"""Metrics and tracer behaviour under concurrent broker-like load.
+
+The registry's counters/gauges/histograms are shared by every serve
+worker; a monitoring layer that loses increments under exactly the load
+it exists to measure is worse than none.  These tests hammer the shared
+structures from many threads and assert exact totals, then check the
+span tracer keeps per-thread nesting consistent and exports
+Perfetto-valid JSON.
+"""
+
+import json
+import threading
+
+from repro.obs.chrome import chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, request_collector, span, trace_scope
+
+N_THREADS = 8
+PER_THREAD = 2_500
+
+
+def hammer(n_threads, work):
+    threads = [
+        threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestMetricsUnderThreads:
+    def test_counter_increments_are_lossless(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serve.requests.run")
+
+        def work(_):
+            for _ in range(PER_THREAD):
+                counter.inc()
+
+        hammer(N_THREADS, work)
+        assert counter.value == N_THREADS * PER_THREAD
+
+    def test_gauge_add_is_lossless(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("serve.queue_depth")
+
+        def work(_):
+            for _ in range(PER_THREAD):
+                gauge.add(1)
+            for _ in range(PER_THREAD):
+                gauge.add(-1)
+
+        hammer(N_THREADS, work)
+        assert gauge.value == 0
+
+    def test_histogram_observations_are_lossless(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("serve.handle_ms")
+
+        def work(i):
+            for j in range(PER_THREAD):
+                hist.observe(0.001 * (i + 1) * (j % 50 + 1))
+
+        hammer(N_THREADS, work)
+        assert hist.count == N_THREADS * PER_THREAD
+        assert sum(hist.counts) == N_THREADS * PER_THREAD
+
+    def test_log_histogram_observations_are_lossless(self):
+        registry = MetricsRegistry()
+        hist = registry.log_histogram("serve.latency_ms.run")
+
+        def work(i):
+            for j in range(PER_THREAD):
+                hist.observe(0.01 * (i + j % 100 + 1))
+
+        hammer(N_THREADS, work)
+        assert hist.count == N_THREADS * PER_THREAD
+
+    def test_get_or_create_race_yields_one_metric(self):
+        registry = MetricsRegistry()
+        results = []
+
+        def work(_):
+            results.append(registry.counter("cache.hits"))
+
+        hammer(N_THREADS, work)
+        assert len({id(c) for c in results}) == 1
+
+
+class TestTracerUnderThreads:
+    def test_span_nesting_consistent_per_thread(self):
+        tracer = Tracer(enabled=True)
+        depth = 5
+        # Keep all threads alive at once: the OS reuses thread idents of
+        # exited threads, which would legitimately merge tids.
+        barrier = threading.Barrier(N_THREADS)
+
+        def work(i):
+            barrier.wait()
+            with tracer.span(f"outer-{i}"):
+                for j in range(depth):
+                    with tracer.span(f"inner-{i}-{j}"):
+                        pass
+
+        hammer(N_THREADS, work)
+        spans = tracer.spans
+        assert len(spans) == N_THREADS * (depth + 1)
+        # Per thread: the outer span strictly contains each inner one.
+        by_tid = {}
+        for s in spans:
+            by_tid.setdefault(s.tid, []).append(s)
+        assert len(by_tid) == N_THREADS
+        for tid, group in by_tid.items():
+            outers = [s for s in group if s.name.startswith("outer")]
+            assert len(outers) == 1
+            outer = outers[0]
+            for inner in group:
+                if inner is outer:
+                    continue
+                assert inner.ts_us >= outer.ts_us
+                assert inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us
+
+    def test_trace_scopes_stay_thread_local(self):
+        """Concurrent requests' spans never leak into each other's
+        collector, and each carries its own trace_id."""
+        collectors = {}
+        barrier = threading.Barrier(N_THREADS)
+
+        def work(i):
+            collector = request_collector()
+            collectors[i] = collector
+            barrier.wait()
+            with trace_scope(f"trace-{i}", collector):
+                with span("handle", worker=i):
+                    with span("execute", worker=i):
+                        pass
+
+        hammer(N_THREADS, work)
+        for i, collector in collectors.items():
+            spans = collector.spans
+            assert sorted(s.name for s in spans) == ["execute", "handle"]
+            assert all(s.args["trace_id"] == f"trace-{i}" for s in spans)
+            assert all(s.args["worker"] == i for s in spans)
+
+    def test_chrome_export_is_perfetto_valid_json(self):
+        tracer = Tracer(enabled=True)
+
+        def work(i):
+            with tracer.span("request", worker=i):
+                with tracer.span("execute"):
+                    pass
+
+        hammer(4, work)
+        doc = chrome_trace(tracer)
+        parsed = json.loads(json.dumps(doc))
+        events = parsed["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 8
+        for e in complete:
+            assert isinstance(e["ts"], (int, float))
+            assert isinstance(e["dur"], (int, float))
+            assert e["dur"] >= 0
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+
+    def test_max_spans_drops_are_counted_not_silent(self):
+        collector = request_collector(max_spans=3)
+        with trace_scope("t", collector):
+            for i in range(10):
+                with span(f"s{i}"):
+                    pass
+        assert len(collector.spans) == 3
+        assert collector.dropped == 7

@@ -1,0 +1,138 @@
+"""Flight recorder: bounded retention of the slowest + errored request
+traces, span-tree reconstruction, and Perfetto-loadable export."""
+
+import json
+
+from repro.obs.flight import (
+    FlightRecorder,
+    RequestRecord,
+    span_tree,
+    to_chrome,
+)
+
+
+def record(trace_id, duration_ms, ok=True, op="run", spans=None):
+    return RequestRecord(
+        trace_id=trace_id,
+        op=op,
+        ok=ok,
+        duration_ms=duration_ms,
+        error_code=None if ok else "internal",
+        spans=spans or [],
+    )
+
+
+def span(name, ts, dur, tid=0, **args):
+    return {"name": name, "cat": "t", "ts_us": ts, "dur_us": dur,
+            "tid": tid, "args": args}
+
+
+class TestRetention:
+    def test_keeps_exactly_the_n_slowest(self):
+        fr = FlightRecorder(max_slow=3, max_errors=8)
+        for i in range(20):
+            fr.record(record(f"t{i}", duration_ms=float(i)))
+        assert [r.trace_id for r in fr.slowest()] == ["t19", "t18", "t17"]
+        assert fr.recorded == 20
+
+    def test_slow_ring_is_order_independent(self):
+        fr = FlightRecorder(max_slow=2, max_errors=0)
+        for duration in (5.0, 50.0, 1.0, 30.0, 2.0):
+            fr.record(record(f"d{duration}", duration_ms=duration))
+        assert [r.duration_ms for r in fr.slowest()] == [50.0, 30.0]
+
+    def test_all_errors_kept_up_to_bound_newest_first(self):
+        fr = FlightRecorder(max_slow=2, max_errors=3)
+        for i in range(6):
+            fr.record(record(f"e{i}", duration_ms=0.1, ok=False))
+        assert [r.trace_id for r in fr.errors()] == ["e5", "e4", "e3"]
+
+    def test_fast_errors_survive_slow_ring_displacement(self):
+        fr = FlightRecorder(max_slow=2, max_errors=8)
+        fr.record(record("fast-broken", duration_ms=0.01, ok=False))
+        for i in range(10):
+            fr.record(record(f"slow{i}", duration_ms=100.0 + i))
+        assert fr.get("fast-broken") is not None
+
+    def test_memory_bound_under_churn(self):
+        fr = FlightRecorder(max_slow=4, max_errors=4)
+        for i in range(10_000):
+            fr.record(record(f"t{i}", duration_ms=float(i % 97), ok=i % 5 != 0))
+        assert len(fr.slowest()) == 4
+        assert len(fr.errors()) == 4
+        assert fr.recorded == 10_000
+
+    def test_get_by_trace_id_and_clear(self):
+        fr = FlightRecorder(max_slow=4, max_errors=4)
+        fr.record(record("a", duration_ms=5.0))
+        assert fr.get("a").trace_id == "a"
+        assert fr.get("missing") is None
+        fr.clear()
+        assert fr.get("a") is None and fr.recorded == 0
+
+    def test_zero_bounds_retain_nothing(self):
+        fr = FlightRecorder(max_slow=0, max_errors=0)
+        fr.record(record("a", duration_ms=5.0, ok=False))
+        assert fr.slowest() == [] and fr.errors() == []
+        assert fr.recorded == 1
+
+
+class TestSpanTree:
+    def test_nesting_by_containment(self):
+        spans = [
+            span("root", 0.0, 100.0),
+            span("child1", 5.0, 20.0),
+            span("grandchild", 6.0, 5.0),
+            span("child2", 50.0, 30.0),
+        ]
+        roots = span_tree(spans)
+        assert [r["name"] for r in roots] == ["root"]
+        kids = roots[0]["children"]
+        assert [k["name"] for k in kids] == ["child1", "child2"]
+        assert [g["name"] for g in kids[0]["children"]] == ["grandchild"]
+
+    def test_threads_get_separate_trees(self):
+        spans = [span("a", 0.0, 10.0, tid=0), span("b", 1.0, 5.0, tid=1)]
+        roots = span_tree(spans)
+        assert sorted(r["name"] for r in roots) == ["a", "b"]
+
+    def test_record_as_dict_includes_tree(self):
+        rec = record(
+            "t", 10.0, spans=[span("outer", 0.0, 9.0), span("inner", 1.0, 2.0)]
+        )
+        d = rec.as_dict()
+        assert d["span_tree"][0]["name"] == "outer"
+        assert d["span_tree"][0]["children"][0]["name"] == "inner"
+
+
+class TestChromeExport:
+    def test_document_is_perfetto_shaped(self):
+        rec = record(
+            "abc", 12.0,
+            spans=[span("request", 0.0, 12_000.0),
+                   span("execute", 100.0, 900.0, elements=64)],
+        )
+        doc = to_chrome(rec)
+        text = json.dumps(doc)  # must be JSON-serializable
+        assert "traceEvents" in doc and "displayTimeUnit" in doc
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+        assert len(complete) == 2
+        for e in complete:
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+        assert doc["otherData"]["trace_id"] == "abc"
+        assert "abc" in text
+
+    def test_snapshot_shape(self):
+        fr = FlightRecorder(max_slow=2, max_errors=2)
+        fr.record(record("s", duration_ms=5.0))
+        fr.record(record("e", duration_ms=1.0, ok=False))
+        snap = fr.snapshot()
+        assert snap["recorded"] == 2
+        assert snap["retention"] == {"max_slow": 2, "max_errors": 2}
+        assert {r["trace_id"] for r in snap["slowest"]} == {"s", "e"}
+        assert [r["trace_id"] for r in snap["errors"]] == ["e"]
+        json.dumps(snap)

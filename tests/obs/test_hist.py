@@ -1,0 +1,151 @@
+"""LogHistogram: bounded relative error, exact-in-the-HDR-sense
+quantiles, clamping, merging, and concurrent observation."""
+
+import math
+import threading
+from random import Random
+
+import pytest
+
+from repro.obs.hist import DEFAULT_SUB_BUCKETS, LogHistogram
+
+
+def true_quantile(values, q):
+    ordered = sorted(values)
+    return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+
+
+class TestQuantiles:
+    def test_empty_histogram_reports_zero(self):
+        h = LogHistogram("x")
+        assert h.count == 0
+        assert h.p50 == 0.0 and h.p99 == 0.0 and h.p999 == 0.0
+
+    def test_single_value_is_every_quantile(self):
+        h = LogHistogram("x")
+        h.observe(42.0)
+        for q in (0.01, 0.5, 0.99, 0.999, 1.0):
+            assert h.quantile(q) == pytest.approx(42.0)
+
+    def test_quantiles_within_relative_error_of_order_statistics(self):
+        rng = Random(7)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(20_000)]
+        h = LogHistogram("x")
+        for v in values:
+            h.observe(v)
+        # One sub-bucket is a 2^(1/32)-1 ~ 2.2% relative step; clamping
+        # to [min_seen, max_seen] can only tighten the estimate.
+        tolerance = 2.0 ** (1.0 / DEFAULT_SUB_BUCKETS) - 1.0 + 1e-9
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = true_quantile(values, q)
+            estimate = h.quantile(q)
+            assert abs(estimate - exact) / exact <= tolerance, (q, estimate, exact)
+
+    def test_q1_is_exactly_max_seen(self):
+        h = LogHistogram("x")
+        for v in (0.5, 3.0, 17.25):
+            h.observe(v)
+        assert h.quantile(1.0) == 17.25
+
+    def test_quantile_never_leaves_observed_range(self):
+        h = LogHistogram("x")
+        h.observe(5.0)
+        h.observe(6.0)
+        for q in (0.001, 0.5, 1.0):
+            assert 5.0 <= h.quantile(q) <= 6.0
+
+    def test_out_of_range_q_rejected(self):
+        h = LogHistogram("x")
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestClampingAndGeometry:
+    def test_values_outside_range_clamp_to_end_buckets(self):
+        h = LogHistogram("x", min_value=1.0, max_value=100.0)
+        h.observe(1e-9)
+        h.observe(1e9)
+        assert h.count == 2
+        assert h.min_seen == 1e-9 and h.max_seen == 1e9
+        # Clamped samples report from the end buckets: quantiles stay
+        # inside the representable range rather than inventing precision.
+        assert h.quantile(1.0) == pytest.approx(100.0, rel=0.05)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram("x", min_value=0.0, max_value=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram("x", min_value=2.0, max_value=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram("x", sub_buckets=0)
+
+    def test_memory_is_bounded_and_flat(self):
+        h = LogHistogram("x")
+        before = len(h.counts)
+        for i in range(10_000):
+            h.observe(0.001 * (i + 1))
+        assert len(h.counts) == before  # no per-sample allocation
+
+
+class TestMergeZeroDict:
+    def test_merge_equals_observing_everything_in_one(self):
+        a, b, both = LogHistogram("a"), LogHistogram("b"), LogHistogram("ab")
+        rng = Random(3)
+        for _ in range(500):
+            v = rng.expovariate(0.1)
+            (a if rng.random() < 0.5 else b).observe(v)
+            both.observe(v)
+        a.merge(b)
+        assert a.count == both.count
+        assert a.counts == both.counts
+        assert a.quantile(0.99) == both.quantile(0.99)
+
+    def test_merge_rejects_different_geometry(self):
+        a = LogHistogram("a")
+        b = LogHistogram("b", sub_buckets=16)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_zero_resets_everything(self):
+        h = LogHistogram("x")
+        h.observe(1.0)
+        h.zero()
+        assert h.count == 0 and h.total == 0.0
+        assert h.p99 == 0.0
+
+    def test_as_dict_shape(self):
+        h = LogHistogram("x")
+        h.observe(2.0)
+        h.observe(4.0)
+        d = h.as_dict()
+        assert d["type"] == "loghistogram"
+        assert d["count"] == 2
+        assert d["min"] == 2.0 and d["max"] == 4.0
+        assert set(d) >= {"p50", "p90", "p99", "p999", "sum", "mean"}
+
+    def test_empty_as_dict_is_all_zero(self):
+        d = LogHistogram("x").as_dict()
+        assert d["count"] == 0 and d["min"] == 0.0 and d["p999"] == 0.0
+
+
+class TestConcurrency:
+    def test_no_lost_observations_under_threads(self):
+        h = LogHistogram("x")
+        n_threads, per_thread = 8, 2_000
+
+        def work(seed):
+            rng = Random(seed)
+            for _ in range(per_thread):
+                h.observe(rng.uniform(0.01, 100.0))
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == n_threads * per_thread
+        assert sum(h.counts) == n_threads * per_thread

@@ -151,6 +151,39 @@ class TestMain:
         assert "compile.function" in names and "pipeline" in names
 
 
+class TestSloRow:
+    @pytest.fixture(scope="class")
+    def slo_row(self, regress):
+        return regress.collect_slo()
+
+    def test_row_gates_pass(self, regress, slo_row):
+        assert regress.check_slo(slo_row) == []
+
+    def test_row_is_coordinated_omission_safe(self, slo_row):
+        assert slo_row["latency_basis"] == "scheduled_arrival"
+        assert slo_row["coordinated_omission_safe"] is True
+
+    def test_warm_window_hits_the_cache(self, slo_row):
+        assert slo_row["error_rate"] == 0.0
+        assert slo_row["warm_hit_rate"] >= 0.9
+        assert slo_row["completed"] == slo_row["scheduled"]
+
+    def test_check_slo_flags_each_violation(self, regress, slo_row):
+        errored = dict(slo_row, error_rate=0.1)
+        assert any("error rate" in p for p in regress.check_slo(errored))
+        cold = dict(slo_row, warm_hit_rate=0.5)
+        assert any("hit rate" in p for p in regress.check_slo(cold))
+        slow = dict(slo_row, p99_ms=regress.SLO_P99_MS * 2)
+        assert any("p99" in p for p in regress.check_slo(slow))
+        closed_loop = dict(slo_row, latency_basis="send_time")
+        assert any(
+            "coordinated omission" in p
+            for p in regress.check_slo(closed_loop)
+        )
+        lost = dict(slo_row, completed=slo_row["scheduled"] - 1)
+        assert any("scheduled" in p for p in regress.check_slo(lost))
+
+
 class TestTuneRow:
     @pytest.fixture(scope="class")
     def tune_row(self, regress):

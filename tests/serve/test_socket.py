@@ -1,0 +1,204 @@
+"""Unix-socket daemon: round-trip serving, the client library, watch
+streaming, and the daemon half of the tracing acceptance property — a
+request served over the socket yields a connected trace retrievable via
+the ``trace`` op on the same connection."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.flight import span_tree
+from repro.serve.broker import Broker, BrokerConfig
+from repro.serve.client import SocketClient
+from repro.serve.daemon import SocketServer
+
+FLEET = ("kepler-k20xm", "cdna2-mi250")
+
+SRC = """
+kernel axpy(const double x[1:n], double y[1:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 1; i < n; i++) {
+    y[i] = x[i] + y[i];
+  }
+}
+"""
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live broker behind a unix socket; yields the socket path."""
+    broker = Broker(BrokerConfig(workers=2, fleet=FLEET))
+    server = SocketServer(broker, str(tmp_path / "repro.sock"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.path
+    finally:
+        server.close()
+        thread.join(timeout=5)
+        broker.drain()
+
+
+def run_request(request_id=1, **fields) -> dict:
+    return {
+        "id": request_id,
+        "op": "run",
+        "source": SRC,
+        "env": {"n": 64},
+        **fields,
+    }
+
+
+class TestRoundTrip:
+    def test_run_over_socket(self, served):
+        with SocketClient(served) as client:
+            response = client.request(run_request())
+            assert response["ok"]
+            assert response["result"]["elements"] == 63
+
+    def test_concurrent_connections(self, served):
+        results = {}
+
+        def work(i):
+            with SocketClient(served) as client:
+                results[i] = client.request(run_request(i))
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4
+        assert all(r["ok"] for r in results.values())
+
+    def test_protocol_error_over_socket(self, served):
+        with SocketClient(served) as client:
+            response = client.request({"op": "frobnicate"})
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+
+    def test_stats_helper(self, served):
+        with SocketClient(served) as client:
+            stats = client.stats()["result"]
+            assert stats["broker"]["workers"] == 2
+            assert "flight" in stats
+
+
+class TestDaemonTraceAcceptance:
+    """The daemon half of the acceptance criterion: a socket round-trip
+    produces the same connected, Perfetto-loadable trace as in-process."""
+
+    def test_socket_request_yields_connected_trace(self, served):
+        with SocketClient(served) as client:
+            response = client.request(run_request(trace_id="sock-1"))
+            assert response["ok"]
+            assert response["trace_id"] == "sock-1"
+
+            looked_up = client.trace(trace_id="sock-1")["result"]
+            assert looked_up["found"] is True
+            record = looked_up["record"]
+            names = {s["name"] for s in record["spans"]}
+            assert {"request", "queue.wait", "placement", "compile",
+                    "execute"} <= names
+            for s in record["spans"]:
+                assert s["args"]["trace_id"] == "sock-1"
+            roots = span_tree(record["spans"])
+            assert [r["name"] for r in roots] == ["request"]
+
+    def test_perfetto_document_over_socket(self, served):
+        with SocketClient(served) as client:
+            client.request(run_request(trace_id="sock-p"))
+            looked_up = client.trace(trace_id="sock-p", perfetto=True)["result"]
+            doc = looked_up["chrome"]
+            text = json.dumps(doc)
+            assert "traceEvents" in doc
+            complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+            assert {e["name"] for e in complete} >= {
+                "request", "queue.wait", "placement", "compile", "execute"
+            }
+            assert "sock-p" in text
+
+    def test_trace_listing_over_socket(self, served):
+        with SocketClient(served) as client:
+            client.request(run_request(1, trace_id="sl-1"))
+            client.request(run_request(2, trace_id="sl-2"))
+            snap = client.trace()["result"]
+            assert snap["recorded"] >= 2
+            assert {r["trace_id"] for r in snap["slowest"]} >= {"sl-1", "sl-2"}
+
+
+class TestWatchStreaming:
+    def test_watch_streams_bounded_frames(self, served):
+        with SocketClient(served) as client:
+            client.request(run_request())
+            frames = list(client.watch(interval_ms=10.0, count=3))
+            assert len(frames) == 3
+            assert [f["seq"] for f in frames] == [0, 1, 2]
+            for frame in frames:
+                assert frame["requests"]["run"] == 1
+                assert "latency_ms" in frame
+            # Monotonic frame stamps.
+            stamps = [f["ts"] for f in frames]
+            assert stamps == sorted(stamps)
+
+    def test_watch_then_regular_requests_same_connection(self, served):
+        with SocketClient(served) as client:
+            frames = list(client.watch(interval_ms=5.0, count=1))
+            assert len(frames) == 1
+            response = client.request(run_request())
+            assert response["ok"]
+
+    def test_watch_does_not_occupy_broker_workers(self, tmp_path):
+        # A single-worker broker must keep serving while a watch streams.
+        broker = Broker(BrokerConfig(workers=1, fleet=FLEET))
+        server = SocketServer(broker, str(tmp_path / "one.sock"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with SocketClient(server.path) as watcher, \
+                    SocketClient(server.path) as worker:
+                stream = watcher.watch(interval_ms=20.0, count=50)
+                next(stream)  # the stream is live...
+                response = worker.request(run_request())  # ...and serving works
+                assert response["ok"]
+        finally:
+            server.close()
+            thread.join(timeout=5)
+            broker.drain()
+
+    def test_bad_watch_interval_rejected(self, served):
+        with SocketClient(served) as client:
+            client.send({"id": 9, "op": "watch", "interval_ms": -1})
+            response = client.recv()
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+
+
+class TestLifecycle:
+    def test_shutdown_op_stops_server(self, tmp_path):
+        broker = Broker(BrokerConfig(workers=1))
+        server = SocketServer(broker, str(tmp_path / "s.sock"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        with SocketClient(server.path) as client:
+            response = client.shutdown()
+            assert response["ok"]
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        server.close()
+
+    def test_stale_socket_file_is_replaced(self, tmp_path):
+        path = tmp_path / "stale.sock"
+        path.touch()
+        broker = Broker(BrokerConfig(workers=1))
+        server = SocketServer(broker, str(path))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with SocketClient(server.path) as client:
+                assert client.stats()["result"]["broker"]["workers"] == 1
+        finally:
+            server.close()
+            thread.join(timeout=5)
+            broker.drain()
