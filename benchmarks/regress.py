@@ -47,6 +47,15 @@ generous absolute bound — latencies are measured from each request's
 *scheduled* arrival, so a backlog cannot hide behind coordinated
 omission.
 
+A ``cluster`` row gates the sharded serving tier
+(``docs/sharding.md``): the open-loop profile against a two-shard
+consistent-hash router must finish with zero errors, balanced per-shard
+routing (busiest shard within 20% of fair), and a p99 under the ``slo``
+bound; a drain + restart of one shard *mid-run* must also finish with
+zero errors and a >= 0.9 warm hit rate after the shard rejoins (the
+shared disk tier carries its keys); and a hedged retry must beat a
+deliberately laggy primary.
+
 A ``fleet`` row gates the multi-arch serving layer
 (``docs/serving.md``): the CDNA2 profile's waves-per-SIMD table must
 match the published MI200 occupancy limits at every tier, and fleet
@@ -471,6 +480,264 @@ def check_slo(row: dict) -> list[str]:
     return problems
 
 
+#: Benchmark set for the ``cluster`` row: a five-benchmark mix whose
+#: compile *and* run paths are healthy (EP/352.ep are compile-only in
+#: the loadgen workload), wide enough that the rendezvous hash spreads
+#: keys over both shards.
+CLUSTER_BENCHMARKS = (
+    "303.ostencil",
+    "304.olbm",
+    "314.omriq",
+    "355.seismic",
+    "BT",
+)
+
+
+class _LaggyRegressShard:
+    """Delegates to an inner ``LocalShard`` but delivers every response
+    ``delay_s`` late — the slow replica in the hedging scenario."""
+
+    def __init__(self, inner, delay_s: float):
+        self._inner = inner
+        self._delay_s = delay_s
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def try_submit(self, request):
+        import threading
+        from concurrent.futures import Future
+
+        inner_future = self._inner.try_submit(request)
+        if inner_future is None:
+            return None
+        slow: Future = Future()
+
+        def deliver(done):
+            timer = threading.Timer(
+                self._delay_s, lambda: slow.set_result(done.result())
+            )
+            timer.daemon = True
+            timer.start()
+
+        inner_future.add_done_callback(deliver)
+        return slow
+
+
+def collect_cluster(attempts: int = 2) -> dict:
+    """The sharded-serving row (``docs/sharding.md``).
+
+    Three sub-measurements against a two-shard consistent-hash router
+    over one shared disk-cache namespace:
+
+    * **steady** — the fixed-rate open-loop profile must finish with
+      zero errors, a warm hit rate >= 0.9, a router p99 under the
+      ``slo`` row's absolute bound, and per-shard balance within 20% of
+      fair (``balance_coefficient <= 1.2``);
+    * **churn** — the same load with a drain + restart of shard 1 fired
+      mid-run must still complete every request with zero errors, and a
+      post-restart compile probe over every distinct source must answer
+      from a cache tier (>= 0.9 — the shared disk tier carries the
+      restarted shard's keys, so a rolling restart loses no warm state);
+    * **hedge** — against a deliberately laggy primary, the hedged
+      retry must win at least once and every request must still succeed.
+
+    Like ``collect_slo``, the row measures wall clock: a failing attempt
+    is re-measured (up to ``attempts`` total) so a transient load spike
+    cannot fail a healthy build; a real routing or drain bug fails every
+    attempt.
+    """
+    row: dict = {}
+    for _ in range(max(1, attempts)):
+        row = _measure_cluster()
+        if not check_cluster(row):
+            return row
+    return row
+
+
+def _measure_cluster() -> dict:
+    import tempfile
+    import threading
+
+    from repro.loadgen import LoadProfile, run_load, workload_specs
+    from repro.serve.broker import BrokerConfig
+    from repro.serve import hashring
+    from repro.serve.cluster import (
+        ClusterConfig,
+        LocalShard,
+        Router,
+        routing_key,
+    )
+
+    profile = LoadProfile(
+        rate_rps=25.0,
+        duration_s=1.2,
+        arrival="fixed",
+        benchmarks=CLUSTER_BENCHMARKS,
+        seed=0,
+    )
+    specs, _runnable = workload_specs(profile)
+    row: dict = {"shards": 2, "profile": None}
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as tmp:
+        config = ClusterConfig(
+            shards=2, broker=BrokerConfig(workers=2, cache_dir=tmp)
+        )
+
+        # 1. Steady state: balance and tail latency on the warm path.
+        with Router(config) as router:
+            # Warm the run path too (first run pays the executor build).
+            run_load(
+                LoadProfile(
+                    rate_rps=20.0,
+                    duration_s=0.5,
+                    arrival="fixed",
+                    benchmarks=CLUSTER_BENCHMARKS,
+                    seed=1,
+                ),
+                broker=router,
+            )
+            report = run_load(profile, broker=router)
+        balance = report["shard_balance"] or {}
+        row["profile"] = report["profile"]
+        row["steady"] = {
+            "scheduled": report["requests"]["scheduled"],
+            "completed": report["requests"]["completed"],
+            "error_rate": report["error_rate"],
+            "warm_hit_rate": report["warm_hit_rate"],
+            "p99_ms": report["latency_ms"]["overall"]["p99"],
+            "per_shard": report["per_shard"],
+            "shards_seen": balance.get("shards_seen", 0),
+            "balance_coefficient": balance.get("balance_coefficient"),
+        }
+
+        # 2. Churn: drain + restart shard 1 mid-run, same cache dir.
+        with Router(config) as router:
+            drain_result: dict = {}
+            timer = threading.Timer(
+                0.45,
+                lambda: drain_result.update(
+                    router.drain_shard(1, restart=True)
+                ),
+            )
+            timer.start()
+            report = run_load(profile, broker=router)
+            timer.join()
+            # Post-restart probe: shard 1 lost its memory tier, so a
+            # cache answer here means the shared disk tier carried it.
+            # The env must match loadgen's compile requests — the compile
+            # cache keys on it (the routing key does not).
+            warm = 0
+            for spec in specs:
+                env = {k: int(v) for k, v in spec.interpreter_args().items()}
+                resp = router.handle(
+                    {"op": "compile", "source": spec.source, "env": env}
+                )
+                if resp.get("ok") and resp["result"].get("cached") in (
+                    "memory",
+                    "disk",
+                ):
+                    warm += 1
+            stanza = router.telemetry_snapshot()["cluster"]
+        row["churn"] = {
+            "scheduled": report["requests"]["scheduled"],
+            "completed": report["requests"]["completed"],
+            "error_rate": report["error_rate"],
+            "drains": stanza["drains"],
+            "restarts": stanza["restarts"],
+            "drain_ms": drain_result.get("drain_ms"),
+            "warm_after_restart": warm / len(specs),
+        }
+
+        # 3. Hedging: make the shard that owns one key laggy; the hedge
+        # to the next rank (disk-warm from the runs above) must win.
+        request = {"op": "compile", "source": specs[0].source}
+        members = ["shard-0", "shard-1"]
+        owner = members.index(hashring.route(routing_key(request), members))
+        shards = [
+            LocalShard(i, BrokerConfig(workers=1, cache_dir=tmp))
+            for i in range(2)
+        ]
+        shards[owner] = _LaggyRegressShard(shards[owner], delay_s=0.4)
+        hedge_config = ClusterConfig(
+            shards=2, hedge_after_ms=50.0, hot_key_min_hits=10_000
+        )
+        with Router(hedge_config, shards=shards) as router:
+            ok = sum(
+                1 if router.handle(dict(request)).get("ok") else 0
+                for _ in range(3)
+            )
+            stanza = router.telemetry_snapshot()["cluster"]
+        row["hedge"] = {
+            "requests": 3,
+            "ok": ok,
+            "hedges": stanza["hedges"],
+            "hedge_wins": stanza["hedge_wins"],
+        }
+    return row
+
+
+def check_cluster(row: dict) -> list[str]:
+    """Absolute gates on the sharded-serving row."""
+    problems: list[str] = []
+    steady, churn, hedge = row["steady"], row["churn"], row["hedge"]
+    for name, part in (("steady", steady), ("churn", churn)):
+        if part["completed"] != part["scheduled"]:
+            problems.append(
+                f"cluster: {name} run completed {part['completed']} of "
+                f"{part['scheduled']} scheduled requests"
+            )
+        if part["error_rate"] != 0.0:
+            problems.append(
+                f"cluster: {name} run error rate {part['error_rate']} "
+                f"(gate: 0) — the router is failing requests"
+            )
+    if steady["warm_hit_rate"] is None or steady["warm_hit_rate"] < 0.9:
+        problems.append(
+            f"cluster: steady warm hit rate {steady['warm_hit_rate']} "
+            f"(gate: >= 0.9) — sharded routing is missing the cache"
+        )
+    if steady["p99_ms"] >= SLO_P99_MS:
+        problems.append(
+            f"cluster: router p99 is {steady['p99_ms']} ms "
+            f"(gate: < {SLO_P99_MS} ms)"
+        )
+    if steady["shards_seen"] != row["shards"]:
+        problems.append(
+            f"cluster: load reached {steady['shards_seen']} of "
+            f"{row['shards']} shards — routing is not spreading keys"
+        )
+    coefficient = steady["balance_coefficient"]
+    if coefficient is None or coefficient > 1.2:
+        problems.append(
+            f"cluster: balance coefficient {coefficient} (gate: <= 1.2, "
+            f"i.e. the busiest shard within 20% of its fair 1/N share)"
+        )
+    if churn["drains"] < 1 or churn["restarts"] < 1:
+        problems.append(
+            f"cluster: mid-run churn recorded {churn['drains']} drains / "
+            f"{churn['restarts']} restarts (expected >= 1 each) — the "
+            f"drain never happened, the run gated nothing"
+        )
+    if churn["warm_after_restart"] < 0.9:
+        problems.append(
+            f"cluster: warm hit rate after drain+restart is "
+            f"{churn['warm_after_restart']} (gate: >= 0.9) — the shared "
+            f"disk tier did not carry the restarted shard's keys"
+        )
+    if hedge["ok"] != hedge["requests"]:
+        problems.append(
+            f"cluster: {hedge['ok']} of {hedge['requests']} hedged "
+            f"requests succeeded against a laggy primary"
+        )
+    if hedge["hedge_wins"] < 1:
+        problems.append(
+            f"cluster: {hedge['hedge_wins']} hedge wins over "
+            f"{hedge['hedges']} hedges — the hedged retry never beat the "
+            f"laggy primary"
+        )
+    return problems
+
+
 #: Published MI200-series occupancy ladder: architected VGPRs per lane
 #: -> resident wavefronts per SIMD (the CDNA2 rule the `fleet` row
 #: gates; the same table is unit-tested in tests/gpu/test_arch_registry.py).
@@ -739,6 +1006,24 @@ def main(argv: list[str] | None = None) -> int:
         f"fleet: CDNA2 occupancy table matches the published limits; "
         f"{len(routed)} benchmarks routed ({chosen}), none worse than "
         f"the single-arch default"
+    )
+
+    doc["cluster"] = collect_cluster()
+    cluster_problems = check_cluster(doc["cluster"])
+    if cluster_problems:
+        print(f"\nFAIL: cluster gate:", file=sys.stderr)
+        for p in cluster_problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    steady = doc["cluster"]["steady"]
+    churn = doc["cluster"]["churn"]
+    print(
+        f"cluster: {steady['completed']} requests over 2 shards, 0 errors, "
+        f"balance {steady['balance_coefficient']:.2f}, p99 "
+        f"{steady['p99_ms']:.1f} ms; mid-run drain+restart kept 0 errors "
+        f"with warm hit rate {churn['warm_after_restart']:.2f} after "
+        f"rejoin; hedging won {doc['cluster']['hedge']['hedge_wins']} of "
+        f"{doc['cluster']['hedge']['hedges']} hedges"
     )
 
     if opts.output.exists():

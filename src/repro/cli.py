@@ -353,9 +353,48 @@ def _broker_config(args: argparse.Namespace) -> "BrokerConfig":
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    if getattr(args, "shards", None) and args.shards > 1:
+        from .serve.cluster import ClusterConfig, run_cluster
+
+        kwargs: dict = {
+            "shards": args.shards,
+            "broker": _broker_config(args),
+            "process_shards": True,
+        }
+        if args.replication is not None:
+            kwargs["replication"] = args.replication
+        if args.hedge_after_ms is not None:
+            kwargs["hedge_after_ms"] = args.hedge_after_ms
+        if args.tenant_rate is not None:
+            kwargs["tenant_rate"] = args.tenant_rate
+        if args.tenant_burst is not None:
+            kwargs["tenant_burst"] = args.tenant_burst
+        try:
+            config = ClusterConfig(**kwargs)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        return run_cluster(config, socket_path=args.socket)
     from .serve.daemon import run_daemon
 
     return run_daemon(_broker_config(args), socket_path=args.socket)
+
+
+def cmd_cluster_drain(args: argparse.Namespace) -> int:
+    """Drain (and optionally restart) one shard of a live cluster router
+    over its unix socket.  Exit 0 iff the drain completed."""
+    import json
+
+    from .serve.client import SocketClient
+
+    request = {"op": "drain", "shard": args.shard, "restart": args.restart}
+    try:
+        with SocketClient(args.socket, timeout=args.timeout) as client:
+            response = client.request(request)
+    except (ConnectionError, TimeoutError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
 
 
 def _render_span_tree(nodes: list, indent: int = 0) -> list[str]:
@@ -513,6 +552,33 @@ def _render_top_frame(frame: dict, previous: dict | None) -> str:
                 for tier, n in sorted(frame["codegen_tiers"].items())
             )
         )
+    cluster = frame.get("cluster")
+    if cluster:
+        lines.append(
+            f"cluster   shards {cluster['up']}/{cluster['shards']}   "
+            f"replication {cluster['replication']}   "
+            f"hot keys {cluster['hot_keys']}   "
+            f"hedges {cluster['hedges']} "
+            f"(won {cluster['hedge_wins']}, wasted {cluster['hedge_wasted']})"
+            f"   failovers {cluster['failovers']}   "
+            f"quota_rejected {cluster['quota_rejected']}   "
+            f"drains {cluster['drains']}   restarts {cluster['restarts']}"
+        )
+    shards = frame.get("shards")
+    if shards:
+        lines.append("")
+        lines.append(
+            f"  {'shard':<7} {'state':<10} {'routed':>8} {'total':>8} "
+            f"{'queue':>6}  {'mem':>6}  {'disk':>6}"
+        )
+        for row in shards:
+            lines.append(
+                f"  {row['shard']:<7} {row['state']:<10} "
+                f"{row['routed']:>8} {row['requests_total']:>8} "
+                f"{row['queue_depth']:>6}  "
+                f"{pct(row['memory_hit_rate']):>6}  "
+                f"{pct(row['disk_hit_rate']):>6}"
+            )
     latency = frame.get("latency_ms") or {}
     if latency:
         lines.append("")
@@ -586,6 +652,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         overrides["prewarm"] = False
     if args.deadline_ms is not None:
         overrides["deadline_ms"] = args.deadline_ms
+    if args.tenant:
+        overrides["tenant"] = args.tenant
     if args.quick:
         profile = quick_profile(**overrides)
     else:
@@ -630,6 +698,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         request["config"] = args.config
     if args.arch:
         request["arch"] = args.arch
+    if args.tenant:
+        request["tenant"] = args.tenant
     env = _parse_env(args.env)
     if env:
         request["env"] = env
@@ -870,7 +940,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen on a unix-domain socket instead of stdin/stdout "
         "(repro top / serve-trace / loadgen connect here)",
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run the sharded cluster tier: a consistent-hash router "
+        "over N broker subprocesses sharing one disk cache (see "
+        "docs/sharding.md; default: a single in-process broker)",
+    )
+    p.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        help="shards a hot key may be served from (cluster mode; "
+        "default: 2)",
+    )
+    p.add_argument(
+        "--hedge-after-ms",
+        dest="hedge_after_ms",
+        type=float,
+        default=None,
+        help="fixed hedged-retry delay in milliseconds (cluster mode; "
+        "default: adaptive, from the p95 shard service time)",
+    )
+    p.add_argument(
+        "--tenant-rate",
+        dest="tenant_rate",
+        type=float,
+        default=None,
+        help="per-tenant quota refill rate in requests/s (cluster "
+        "mode; default: quotas disabled)",
+    )
+    p.add_argument(
+        "--tenant-burst",
+        dest="tenant_burst",
+        type=float,
+        default=None,
+        help="per-tenant quota burst ceiling (cluster mode; "
+        "default: 10)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "cluster-drain",
+        help="drain one shard of a live cluster router (requests finish, "
+        "the shard leaves the ring; --restart rejoins it with a warm "
+        "disk cache)",
+    )
+    p.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="the router's unix socket (repro serve --shards N --socket)",
+    )
+    p.add_argument(
+        "--shard",
+        required=True,
+        type=int,
+        help="shard index to drain (0-based)",
+    )
+    p.add_argument(
+        "--restart",
+        action="store_true",
+        help="restart the shard after draining (it rejoins the ring; "
+        "the shared disk cache keeps its keys warm)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for the drain to complete (default: 120)",
+    )
+    p.set_defaults(func=cmd_cluster_drain)
 
     p = sub.add_parser(
         "serve-trace",
@@ -961,6 +1102,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, help="schedule RNG seed (default: 0)")
     p.add_argument(
+        "--tenant",
+        default=None,
+        help="stamp every request with this tenant name (exercises "
+        "per-tenant quotas on a cluster router)",
+    )
+    p.add_argument(
         "--quick",
         action="store_true",
         help="start from the CI smoke profile instead of the defaults",
@@ -997,6 +1144,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--arch",
         help="pin the request to a registered arch profile (the server "
         "answers unknown_arch for unregistered names)",
+    )
+    p.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant name for the request (charged against per-tenant "
+        "quotas on a cluster router)",
     )
     p.add_argument(
         "--run",

@@ -113,6 +113,29 @@ class ExecutionFailedError(ProtocolError):
     code = "execution_error"
 
 
+class QuotaExceededError(ProtocolError):
+    """The tenant's admission token bucket is empty (``quota_exceeded``).
+
+    Retryable: the bucket refills at the configured per-tenant rate, so
+    the identical request succeeds once the client backs off.
+    """
+
+    code = "quota_exceeded"
+    retryable = True
+
+
+class ShardUnavailableError(ProtocolError):
+    """No shard could take the request (``shard_unavailable``).
+
+    Raised by the cluster router when every candidate shard for the
+    request's key is draining, down, or unreachable.  Retryable: shards
+    rejoin after a drain/restart cycle.
+    """
+
+    code = "shard_unavailable"
+    retryable = True
+
+
 class ShuttingDownError(ProtocolError):
     """The daemon is draining after a shutdown request."""
 
@@ -155,6 +178,8 @@ __all__ = [
     "QueueFullError",
     "CompileFailedError",
     "ExecutionFailedError",
+    "QuotaExceededError",
+    "ShardUnavailableError",
     "ShuttingDownError",
     "InternalServiceError",
     "code_for",
@@ -195,6 +220,8 @@ def _code_map() -> dict[str, type]:
         "compile_error": CompileFailedError,
         "execution_error": ExecutionFailedError,
         "tune_error": TuneError,
+        "quota_exceeded": QuotaExceededError,
+        "shard_unavailable": ShardUnavailableError,
         "shutting_down": ShuttingDownError,
         "internal": InternalServiceError,
     }

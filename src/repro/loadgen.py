@@ -65,6 +65,10 @@ class LoadProfile:
     #: Tune budget when the mix includes ``tune`` (kept tiny: tuning is
     #: minutes at default budgets).
     tune_budget: int = 2
+    #: ``tenant`` protocol field stamped on every request (``None`` →
+    #: anonymous) — lets a run exercise the cluster router's per-tenant
+    #: admission quotas.
+    tenant: str | None = None
     #: Schedule RNG seed — same seed, same arrivals, same request bodies.
     seed: int = 0
 
@@ -78,6 +82,7 @@ class LoadProfile:
             "deadline_ms": self.deadline_ms,
             "prewarm": self.prewarm,
             "tune_budget": self.tune_budget,
+            "tenant": self.tenant,
             "seed": self.seed,
         }
 
@@ -138,6 +143,8 @@ def _request_for(op: str, spec, profile: LoadProfile) -> dict:
     if op == "tune":
         request["budget"] = profile.tune_budget
         request["strategy"] = "beam"
+    if profile.tenant is not None:
+        request["tenant"] = profile.tenant
     request["_benchmark"] = spec.qualified_name  # stripped before sending
     return request
 
@@ -195,6 +202,10 @@ class _Recorder:
         self.degraded = 0
         self.warm_hits = 0
         self.compile_ok = 0
+        #: Shard index → answered requests, when the target annotates
+        #: responses with ``shard`` (the cluster router does; a plain
+        #: broker leaves the map empty).
+        self.per_shard: dict[int, int] = {}
         self._lock = threading.Lock()
 
     def record(self, op: str, latency_ms: float, response: dict) -> None:
@@ -204,6 +215,9 @@ class _Recorder:
             hist = self.per_op.get(op)
             if hist is not None:
                 hist.observe(latency_ms)
+            shard = response.get("shard")
+            if isinstance(shard, int):
+                self.per_shard[shard] = self.per_shard.get(shard, 0) + 1
             if response.get("ok"):
                 self.ok += 1
                 result = response.get("result") or {}
@@ -243,6 +257,8 @@ def _prewarm(send, schedule) -> int:
                 "source": src,
                 "env": env,
             }
+            if "tenant" in request:
+                seen[src]["tenant"] = request["tenant"]
     for request in seen.values():
         send(request)
     return len(seen)
@@ -278,6 +294,28 @@ def _strip(request: dict) -> tuple[str, dict]:
     """(op, wire-ready request) — drops generator-internal fields."""
     wire = {k: v for k, v in request.items() if not k.startswith("_")}
     return request["op"], wire
+
+
+def _shard_balance(per_shard: dict[int, int]) -> dict | None:
+    """The per-shard balance stanza: fractions plus a single balance
+    coefficient — the busiest shard's load relative to the uniform
+    ``1/N`` share (1.0 = perfectly balanced, 2.0 = one shard carries
+    double its share).  ``None`` when the target reported no shards."""
+    if not per_shard:
+        return None
+    total = sum(per_shard.values())
+    n = len(per_shard)
+    counts = list(per_shard.values())
+    return {
+        "shards_seen": n,
+        "fractions": {
+            str(k): round(v / total, 4) for k, v in sorted(per_shard.items())
+        },
+        "balance_coefficient": round(max(counts) * n / total, 4),
+        "max_abs_deviation": round(
+            max(abs(v / total - 1.0 / n) for v in counts), 4
+        ),
+    }
 
 
 def _report(
@@ -325,6 +363,14 @@ def _report(
             if recorder.compile_ok
             else None
         ),
+        #: Answered-request counts by shard index, and the balance
+        #: stanza derived from them — populated when the target is a
+        #: cluster router (responses carry ``shard``), absent counts /
+        #: ``None`` against a single broker.
+        "per_shard": {
+            str(k): v for k, v in sorted(recorder.per_shard.items())
+        },
+        "shard_balance": _shard_balance(recorder.per_shard),
         "arrival": {
             "kind": profile.arrival,
             "latency_basis": "scheduled_arrival",

@@ -55,6 +55,7 @@ METRIC_FAMILIES = (
     ("codegen", "codegen (generated-NumPy tier)"),
     ("tune", "tune (autotuner)"),
     ("serve", "serve (broker, placement, degradations, latency)"),
+    ("cluster", "cluster (router, sharding, hedging, quotas)"),
     ("loadgen", "loadgen (open-loop load generator)"),
 )
 

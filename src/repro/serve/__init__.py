@@ -17,7 +17,13 @@ sessions.
   the daemon-side ``watch`` telemetry streaming;
 * :mod:`repro.serve.client` — the socket client the live tools
   (``repro top``, ``repro serve-trace``, ``repro loadgen --socket``)
-  connect with.
+  connect with;
+* :mod:`repro.serve.cluster` — the sharded tier behind ``repro serve
+  --shards N``: a consistent-hash router over N broker shards with
+  hot-key replication, hedged retries, per-tenant quotas and graceful
+  drain/restart (:mod:`repro.serve.hashring` provides the rendezvous
+  hashing, :mod:`repro.serve.quota` the token buckets — see
+  ``docs/sharding.md``).
 
 See ``docs/serving.md`` for the protocol reference and the disk-cache
 layout, and ``docs/architecture.md`` for where this layer sits.
@@ -25,6 +31,7 @@ layout, and ``docs/architecture.md`` for where this layer sits.
 
 from .broker import Broker, BrokerConfig
 from .client import SocketClient
+from .cluster import ClusterConfig, Router, routing_key, run_cluster
 from .daemon import SocketServer, run_daemon, serve_loop, serve_socket
 from .placement import PlacementCandidate, PlacementDecision, choose_placement
 from .protocol import ServeError, error_response, ok_response, validate_request
@@ -32,14 +39,18 @@ from .protocol import ServeError, error_response, ok_response, validate_request
 __all__ = [
     "Broker",
     "BrokerConfig",
+    "ClusterConfig",
     "PlacementCandidate",
     "PlacementDecision",
+    "Router",
     "ServeError",
     "SocketClient",
     "SocketServer",
     "choose_placement",
     "error_response",
     "ok_response",
+    "routing_key",
+    "run_cluster",
     "run_daemon",
     "serve_loop",
     "serve_socket",

@@ -366,6 +366,16 @@ class Broker:
                         response = protocol.ok_response(
                             request_id, self.telemetry_snapshot()
                         )
+                    elif op == "drain":
+                        # Cluster-router op: a single-process broker has
+                        # no shards to drain (use shutdown instead).
+                        response = protocol.error_response(
+                            request_id,
+                            protocol.BAD_REQUEST,
+                            "op 'drain' targets a cluster router shard; "
+                            "this is a single-process daemon (use "
+                            "'shutdown' to drain it)",
+                        )
                     else:  # "shutdown" — answered here, drained by the daemon
                         response = protocol.ok_response(
                             request_id, {"stopping": True}

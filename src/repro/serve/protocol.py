@@ -9,8 +9,9 @@ Request envelope::
 
     {"id": <any JSON value>,
      "op": "compile" | "run" | "tune" | "stats" | "trace" | "watch"
-           | "shutdown",
+           | "drain" | "shutdown",
      "trace_id": "<optional client-chosen correlation id>",
+     "tenant": "<optional tenant name for admission quotas>",
      ...op-specific fields...}
 
 Response envelope::
@@ -28,9 +29,10 @@ one id correlates a slow response with its full span tree after the
 fact.
 
 ``retryable`` tells clients whether resubmitting the identical request
-can succeed: ``queue_full`` and ``deadline_exceeded`` are backpressure
-(retry later, ideally with backoff); ``parse_error`` / ``bad_request`` /
-``compile_error`` are permanent — the request itself is wrong.
+can succeed: ``queue_full``, ``deadline_exceeded``, ``quota_exceeded``
+and ``shard_unavailable`` are backpressure (retry later, ideally with
+backoff); ``parse_error`` / ``bad_request`` / ``compile_error`` are
+permanent — the request itself is wrong.
 
 Every error code maps 1:1 onto an exception type in :mod:`repro.errors`
 (:func:`repro.errors.error_for` / :func:`repro.errors.code_for`), so a
@@ -71,17 +73,44 @@ EXECUTION_ERROR = "execution_error"
 TUNE_ERROR = "tune_error"
 #: The daemon is draining after a shutdown request.
 SHUTTING_DOWN = "shutting_down"
+#: The tenant's token bucket is empty — per-tenant admission throttling
+#: (the router's 429; retry after the bucket refills).
+QUOTA_EXCEEDED = "quota_exceeded"
+#: No shard could take the request (all candidates draining, down, or
+#: unreachable).  Retryable: shards rejoin after drain/restart.
+SHARD_UNAVAILABLE = "shard_unavailable"
 #: An unexpected failure inside the service itself (a bug; not retryable).
 INTERNAL = "internal"
 
 #: Codes whose requests may succeed if resubmitted later.
-RETRYABLE_CODES = frozenset({QUEUE_FULL, DEADLINE_EXCEEDED, TRANSIENT_FAILURE})
+RETRYABLE_CODES = frozenset(
+    {
+        QUEUE_FULL,
+        DEADLINE_EXCEEDED,
+        TRANSIENT_FAILURE,
+        QUOTA_EXCEEDED,
+        SHARD_UNAVAILABLE,
+    }
+)
 
-VALID_OPS = ("compile", "run", "tune", "stats", "trace", "watch", "shutdown")
+VALID_OPS = (
+    "compile",
+    "run",
+    "tune",
+    "stats",
+    "trace",
+    "watch",
+    "drain",
+    "shutdown",
+)
 
 #: Longest accepted client-supplied ``trace_id`` (keeps log lines and
 #: flight-recorder keys bounded).
 MAX_TRACE_ID_LEN = 128
+
+#: Longest accepted ``tenant`` name (keys token buckets and metric
+#: labels; bounded for the same reason as trace ids).
+MAX_TENANT_LEN = 64
 
 
 class ServeError(ReproError):
@@ -121,10 +150,29 @@ def validate_request(obj: Any) -> dict:
             f"'trace_id' must be a non-empty string of at most "
             f"{MAX_TRACE_ID_LEN} characters",
         )
+    tenant = obj.get("tenant")
+    if tenant is not None and (
+        not isinstance(tenant, str)
+        or not tenant
+        or len(tenant) > MAX_TENANT_LEN
+    ):
+        raise ServeError(
+            BAD_REQUEST,
+            f"'tenant' must be a non-empty string of at most "
+            f"{MAX_TENANT_LEN} characters",
+        )
     if op == "trace":
         # Optional narrowing to one retained trace; optional Perfetto doc.
         if "perfetto" in obj and not isinstance(obj["perfetto"], bool):
             raise ServeError(BAD_REQUEST, "'perfetto' must be a boolean")
+    if op == "drain":
+        shard = obj.get("shard")
+        if not isinstance(shard, int) or isinstance(shard, bool) or shard < 0:
+            raise ServeError(
+                BAD_REQUEST, "op 'drain' needs a non-negative 'shard' integer"
+            )
+        if "restart" in obj and not isinstance(obj["restart"], bool):
+            raise ServeError(BAD_REQUEST, "'restart' must be a boolean")
     if op == "watch":
         interval_ms = obj.get("interval_ms")
         if interval_ms is not None and (

@@ -1,0 +1,104 @@
+"""Per-tenant admission quotas: token buckets keyed by the protocol's
+``tenant`` field.
+
+The router (:mod:`repro.serve.cluster`) charges one token per keyed
+request before routing; an empty bucket yields the retryable
+``quota_exceeded`` error code.  Buckets refill continuously at
+``rate`` tokens/second up to a ``burst`` ceiling, so a tenant that sits
+idle earns back at most one burst, not an unbounded backlog of credit.
+
+Control-plane ops (``stats``, ``watch``, ``trace``, ``drain``,
+``shutdown``) are never charged — an over-quota tenant can still
+observe and operate the service.
+
+The clock is injectable so tests can drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket", "TenantQuotas"]
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket (thread-safe)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; ``False`` (no partial debit)
+        otherwise."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._refilled)
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._refilled = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """The current (refill-adjusted) balance — diagnostic only."""
+        with self._lock:
+            elapsed = max(0.0, self._clock() - self._refilled)
+            return min(self.burst, self._tokens + elapsed * self.rate)
+
+
+class TenantQuotas:
+    """One token bucket per tenant name, created on first sight.
+
+    Requests without a ``tenant`` field are charged to ``default_tenant``
+    so an anonymous flood cannot sidestep admission control.
+    """
+
+    #: Bucket charged for requests that carry no ``tenant`` field.
+    default_tenant = "_anonymous"
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tenant: str | None) -> bool:
+        name = tenant if tenant else self.default_tenant
+        with self._lock:
+            bucket = self._buckets.get(name)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+                self._buckets[name] = bucket
+        return bucket.try_acquire()
+
+    def snapshot(self) -> dict[str, float]:
+        """Tenant → current token balance (for stats rollups)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+        return {name: round(b.tokens, 3) for name, b in sorted(buckets.items())}

@@ -1,12 +1,17 @@
 """Documentation lint: the docs set stays complete and navigable.
 
-Three invariants, cheap enough to gate CI:
+Five invariants, cheap enough to gate CI:
 
 * every CLI subcommand is documented somewhere under ``docs/`` or the
   top-level ``README.md`` (a new subcommand without docs fails here);
 * every page in ``docs/`` is reachable from the ``docs/README.md``
   index (no orphaned documentation);
-* every relative intra-repo markdown link resolves to a real file.
+* every relative intra-repo markdown link resolves to a real file;
+* every serve-protocol error code is documented in ``docs/serving.md``
+  (a new wire code without client-facing docs fails here);
+* every metric name the observability docs cite belongs to a registered
+  :data:`~repro.obs.metrics.METRIC_FAMILIES` family (stale or
+  misspelled metric references fail here).
 """
 
 import re
@@ -15,6 +20,8 @@ from pathlib import Path
 import pytest
 
 from repro.cli import build_parser
+from repro.obs.metrics import METRIC_FAMILIES
+from repro.serve import protocol
 
 REPO = Path(__file__).resolve().parents[2]
 DOCS = REPO / "docs"
@@ -60,6 +67,84 @@ class TestCliCoverage:
         assert not undocumented, (
             f"CLI subcommands missing from docs/ and README.md: "
             f"{undocumented} (document them, e.g. 'python -m repro <name>')"
+        )
+
+
+class TestErrorCodeCoverage:
+    def test_every_protocol_error_code_is_documented(self):
+        # The module's uppercase string constants are exactly the wire
+        # codes (ops, limits and code sets are non-string constants).
+        codes = sorted(
+            value
+            for name, value in vars(protocol).items()
+            if name.isupper() and isinstance(value, str)
+        )
+        assert len(codes) >= 13, "protocol error codes went missing?"
+        serving = (DOCS / "serving.md").read_text()
+        undocumented = [c for c in codes if f"`{c}`" not in serving]
+        assert not undocumented, (
+            f"serve protocol error codes missing from docs/serving.md: "
+            f"{undocumented}"
+        )
+
+
+#: Dotted backticked tokens in the observability docs that are *not*
+#: metric names: span names and stdlib/module references.
+NON_METRIC_TOKENS = {
+    "compile.function",
+    "queue.wait",
+    "vector.plan",
+    "safara.iteration",
+}
+NON_METRIC_PREFIXES = ("repro", "np", "os", "concurrent", "config")
+METRIC_TOKEN_RE = re.compile(r"`([a-z_]+(?:\.[a-z_0-9]+)+)`")
+
+
+class TestMetricFamilyCoverage:
+    """The observability-facing pages only cite metrics whose family is
+    registered — so ``repro stats`` sections and the docs agree."""
+
+    PAGES = ("observability.md", "sharding.md", "serving.md")
+
+    def metric_tokens(self) -> set[str]:
+        tokens: set[str] = set()
+        for name in self.PAGES:
+            page = DOCS / name
+            if not page.exists():
+                continue
+            for token in METRIC_TOKEN_RE.findall(page.read_text()):
+                if token in NON_METRIC_TOKENS:
+                    continue
+                if token.split(".", 1)[0] in NON_METRIC_PREFIXES:
+                    continue
+                if token.endswith((".py", ".md", ".json", ".sock")):
+                    continue
+                tokens.add(token)
+        return tokens
+
+    def test_cited_metrics_belong_to_registered_families(self):
+        families = {key for key, _ in METRIC_FAMILIES}
+        tokens = self.metric_tokens()
+        assert tokens, "observability docs cite no metrics at all?"
+        strays = sorted(
+            t for t in tokens if t.split(".", 1)[0] not in families
+        )
+        assert not strays, (
+            f"docs cite metrics outside METRIC_FAMILIES: {strays} "
+            f"(register the family or fix the name)"
+        )
+
+    def test_every_family_is_documented(self):
+        corpus = "\n".join(
+            (DOCS / name).read_text()
+            for name in self.PAGES
+            if (DOCS / name).exists()
+        )
+        missing = [
+            key for key, _ in METRIC_FAMILIES if f"`{key}." not in corpus
+        ]
+        assert not missing, (
+            f"metric families with no documented metric: {missing}"
         )
 
 

@@ -226,6 +226,91 @@ class TestInProcessRun:
         )
 
 
+class _ShardStampingBroker(_SerialBroker):
+    """A fake router: annotates each response with a round-robin
+    ``shard`` index, the way the cluster router does."""
+
+    def __init__(self, service_s: float, shards: int):
+        super().__init__(service_s)
+        self.shards = shards
+        self._count = 0
+
+    def _pick(self, count: int) -> int:
+        return count % self.shards
+
+    def submit(self, request: dict) -> Future:
+        with self._lock:
+            shard = self._pick(self._count)
+            self._count += 1
+        future: Future = Future()
+
+        def work():
+            time.sleep(self.service_s)
+            future.set_result(
+                {
+                    "id": request.get("id"),
+                    "ok": True,
+                    "result": {},
+                    "shard": shard,
+                }
+            )
+
+        threading.Thread(target=work, daemon=True).start()
+        return future
+
+
+class TestTenantAndShards:
+    def test_tenant_is_stamped_on_every_request(self):
+        from repro.loadgen import build_schedule
+
+        schedule = build_schedule(profile(tenant="acme"))
+        assert schedule
+        assert all(req["tenant"] == "acme" for _, req in schedule)
+
+    def test_no_tenant_field_without_a_tenant(self):
+        from repro.loadgen import build_schedule
+
+        schedule = build_schedule(profile())
+        assert all("tenant" not in req for _, req in schedule)
+
+    def test_tenant_appears_in_the_report_profile(self):
+        p = profile(rate_rps=10.0, duration_s=0.3, prewarm=False,
+                    tenant="acme")
+        report = run_load(p, broker=_SerialBroker(0.001))
+        assert report["profile"]["tenant"] == "acme"
+
+    def test_per_shard_counts_and_balance(self):
+        p = profile(rate_rps=40.0, duration_s=0.5, prewarm=False)
+        report = run_load(p, broker=_ShardStampingBroker(0.001, shards=2))
+        assert report["per_shard"] == {"0": 10, "1": 10}
+        balance = report["shard_balance"]
+        assert balance["shards_seen"] == 2
+        assert balance["fractions"] == {"0": 0.5, "1": 0.5}
+        # Perfectly even: the busiest shard carries exactly its share.
+        assert balance["balance_coefficient"] == pytest.approx(1.0)
+        assert balance["max_abs_deviation"] == pytest.approx(0.0)
+
+    def test_skew_shows_up_in_the_coefficient(self):
+        class Skewed(_ShardStampingBroker):
+            # 3 of every 4 requests land on shard 0.
+            def _pick(self, count: int) -> int:
+                return 0 if count % 4 else 1
+
+        p = profile(rate_rps=40.0, duration_s=0.5, prewarm=False)
+        report = run_load(p, broker=Skewed(0.001, shards=2))
+        balance = report["shard_balance"]
+        assert report["per_shard"] == {"0": 15, "1": 5}
+        # Shard 0 carries 1.5x its fair share; the coefficient says so.
+        assert balance["balance_coefficient"] == pytest.approx(1.5)
+        assert balance["max_abs_deviation"] == pytest.approx(0.25)
+
+    def test_unsharded_broker_reports_no_balance(self):
+        p = profile(rate_rps=10.0, duration_s=0.3, prewarm=False)
+        report = run_load(p, broker=_SerialBroker(0.001))
+        assert report["per_shard"] == {}
+        assert report["shard_balance"] is None
+
+
 class TestSocketRun:
     def test_load_over_socket(self, tmp_path):
         from repro.serve.broker import Broker, BrokerConfig

@@ -1,0 +1,139 @@
+"""Rendezvous-hash properties the cluster router depends on: bounded
+remap under membership churn, distinct replicas, and cross-process
+routing determinism (the scores must come from SHA-256, never Python's
+randomized ``hash``)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serve import hashring
+
+REPO = Path(__file__).resolve().parents[2]
+
+SHARDS_4 = [f"shard-{i}" for i in range(4)]
+KEYS = [f"key-{i:04d}" for i in range(2000)]
+
+
+class TestScore:
+    def test_score_is_deterministic_and_64_bit(self):
+        a = hashring.score("k", "shard-0")
+        assert a == hashring.score("k", "shard-0")
+        assert 0 <= a < 2**64
+
+    def test_score_varies_with_shard_and_key(self):
+        assert hashring.score("k", "shard-0") != hashring.score("k", "shard-1")
+        assert hashring.score("k1", "shard-0") != hashring.score(
+            "k2", "shard-0"
+        )
+
+
+class TestRank:
+    def test_rank_is_a_permutation(self):
+        for key in KEYS[:50]:
+            order = hashring.rank(key, SHARDS_4)
+            assert sorted(order) == sorted(SHARDS_4)
+
+    def test_rank_ignores_input_order(self):
+        for key in KEYS[:50]:
+            assert hashring.rank(key, SHARDS_4) == hashring.rank(
+                key, list(reversed(SHARDS_4))
+            )
+
+    def test_route_is_top_rank(self):
+        for key in KEYS[:50]:
+            assert hashring.route(key, SHARDS_4) == hashring.rank(
+                key, SHARDS_4
+            )[0]
+
+    def test_route_over_empty_membership_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            hashring.route("k", [])
+
+
+class TestReplicas:
+    def test_replicas_are_distinct_shards(self):
+        for key in KEYS:
+            reps = hashring.replicas(key, SHARDS_4, 3)
+            assert len(reps) == 3
+            assert len(set(reps)) == 3
+
+    def test_replicas_clamped_to_membership(self):
+        assert len(hashring.replicas("k", SHARDS_4, 99)) == 4
+
+    def test_replica_count_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            hashring.replicas("k", SHARDS_4, 0)
+
+    def test_first_replica_is_the_route(self):
+        for key in KEYS[:50]:
+            assert hashring.replicas(key, SHARDS_4, 2)[0] == hashring.route(
+                key, SHARDS_4
+            )
+
+
+class TestStability:
+    """Membership churn only remaps the expected ~1/N key fraction."""
+
+    def test_removal_remaps_about_one_nth(self):
+        removed = SHARDS_4[:-1]
+        moved = hashring.remap_fraction(KEYS, SHARDS_4, removed)
+        # Expected 1/4; allow generous sampling slack over 2000 keys.
+        assert 0.15 < moved < 0.35
+
+    def test_removal_only_moves_keys_owned_by_the_removed_shard(self):
+        removed = SHARDS_4[:-1]
+        for key in KEYS:
+            before = hashring.route(key, SHARDS_4)
+            after = hashring.route(key, removed)
+            if before != SHARDS_4[-1]:
+                assert after == before  # survivors keep their keys
+
+    def test_addition_remaps_about_one_over_n_plus_one(self):
+        grown = SHARDS_4 + ["shard-4"]
+        moved = hashring.remap_fraction(KEYS, SHARDS_4, grown)
+        assert 0.10 < moved < 0.30
+
+    def test_spread_is_roughly_uniform(self):
+        counts: dict[str, int] = {}
+        for key in KEYS:
+            owner = hashring.route(key, SHARDS_4)
+            counts[owner] = counts.get(owner, 0) + 1
+        for shard in SHARDS_4:
+            assert counts[shard] / len(KEYS) == pytest.approx(0.25, abs=0.07)
+
+    def test_remap_fraction_of_no_keys_is_zero(self):
+        assert hashring.remap_fraction([], SHARDS_4, SHARDS_4[:-1]) == 0.0
+
+
+class TestCrossProcessDeterminism:
+    def test_subprocess_ranks_identically(self):
+        """A fresh interpreter (fresh PYTHONHASHSEED) must produce the
+        same routing decisions — the property that lets N independent
+        router/shard processes agree without coordination."""
+        keys = KEYS[:200]
+        local = [hashring.route(k, SHARDS_4) for k in keys]
+        program = (
+            "import sys, json\n"
+            "from repro.serve import hashring\n"
+            "keys, shards = json.load(sys.stdin)\n"
+            "json.dump([hashring.route(k, shards) for k in keys], sys.stdout)\n"
+        )
+        import json
+
+        proc = subprocess.run(
+            [sys.executable, "-c", program],
+            input=json.dumps([keys, SHARDS_4]),
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={
+                "PYTHONPATH": str(REPO / "src"),
+                "PATH": "/usr/bin:/bin",
+                "PYTHONHASHSEED": "random",
+            },
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout) == local

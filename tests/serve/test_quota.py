@@ -1,0 +1,86 @@
+"""Per-tenant token buckets: continuous refill, burst ceiling, no
+partial debit, and the anonymous-tenant charging rule.  All driven by an
+injected clock — no sleeps."""
+
+import pytest
+
+from repro.serve.quota import TenantQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_is_available_immediately(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_is_continuous(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2 tokens/s x 0.5s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.tokens == 2.0
+
+    def test_no_partial_debit_on_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert not bucket.try_acquire(5.0)
+        assert bucket.tokens == 2.0  # the failed acquire cost nothing
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestTenantQuotas:
+    def test_tenants_have_independent_buckets(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=1.0, burst=1.0, clock=clock)
+        assert quotas.try_acquire("a")
+        assert quotas.try_acquire("b")  # b's bucket untouched by a
+        assert not quotas.try_acquire("a")
+
+    def test_anonymous_requests_share_one_bucket(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=1.0, burst=2.0, clock=clock)
+        assert quotas.try_acquire(None)
+        assert quotas.try_acquire("")  # empty string is anonymous too
+        assert not quotas.try_acquire(None)
+
+    def test_snapshot_lists_balances(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=1.0, burst=3.0, clock=clock)
+        quotas.try_acquire("acme")
+        quotas.try_acquire(None)
+        snap = quotas.snapshot()
+        assert snap == {"_anonymous": 2.0, "acme": 2.0}
+
+    def test_refill_applies_per_tenant(self):
+        clock = FakeClock()
+        quotas = TenantQuotas(rate=10.0, burst=1.0, clock=clock)
+        assert quotas.try_acquire("t")
+        assert not quotas.try_acquire("t")
+        clock.advance(0.2)  # comfortably past one token of refill
+        assert quotas.try_acquire("t")
