@@ -31,6 +31,15 @@ worse than the ``OpenUH(SAFARA+small+dim)`` default, and a warm re-tune
 through the shared tuning ledger must replay every score with zero
 backend compilations.
 
+An ``esat`` row gates the equality-saturation pass end to end
+(``docs/optimizer.md``): every benchmark compiled with ``saturate`` on
+must model no slower than ``OpenUH(base)`` — the dual-compile pressure
+guard's never-worse contract — the geomean model speedup must be at
+least 1.0 with register pressure strictly reduced on three or more
+kernels, and a warm re-tune over the widened knob space
+(``saturate=(False, True)``) must replay every score from the tuning
+ledger with zero backend compilations.
+
 A ``hotpath`` row gates the generated-code serving hot path
 (``docs/execution.md``, ``docs/serving.md``): warm in-process compiles
 through the two-tier cache must answer in under a millisecond at p50,
@@ -256,6 +265,151 @@ def collect_tune() -> dict:
         }
 
 
+def collect_esat() -> dict:
+    """The equality-saturation row (``docs/optimizer.md``).
+
+    Compiles every benchmark under ``OpenUH(base)`` and the same config
+    with ``saturate`` on.  The dual-compile pressure guard makes the
+    pass fail-safe *per kernel* by construction, so the gates are
+    absolute: the saturated model time must never be worse on any
+    benchmark, the geomean model speedup must be >= 1.0 with at least
+    three kernels reducing peak register pressure, and a warm re-tune
+    over the widened knob space (``saturate=(False, True)``) must replay
+    every score from the tuning ledger with zero backend compilations.
+    """
+    import dataclasses
+    import math
+    import tempfile
+
+    from repro.tune import tune
+    from repro.tune.space import default_space
+
+    load_all()
+    specs = list(SPEC.all()) + list(NAS.all())
+    sat_cfg = BASE.derive(name="OpenUH(base+esat)", saturate=True)
+    backend_metric = "pipeline.pass.safara.backend_compilations"
+
+    session = CompilerSession()
+    kernels: dict[str, dict] = {}
+    for spec in specs:
+        results = run_configs(spec, [BASE, sat_cfg], session=session)
+        base_r = results[BASE.name]
+        sat_r = results[sat_cfg.name]
+        kernels[spec.name] = {
+            "base_ms": round(base_r.total_ms, 6),
+            "saturated_ms": round(sat_r.total_ms, 6),
+            "base_registers": base_r.max_registers,
+            "saturated_registers": sat_r.max_registers,
+            "speedup": round(base_r.total_ms / sat_r.total_ms, 6),
+        }
+    geomean = math.exp(
+        sum(math.log(cell["base_ms"] / cell["saturated_ms"])
+            for cell in kernels.values())
+        / len(kernels)
+    )
+    register_wins = sorted(
+        name
+        for name, cell in kernels.items()
+        if cell["saturated_registers"] < cell["base_registers"]
+    )
+
+    # Warm re-tune over the widened space: the saturate axis rides in
+    # the ledger key suffix, so a pre-widening ledger stays valid and a
+    # re-tune of the widened task replays without a single compile.
+    tune_spec = SPEC.get("356.sp")
+    space = dataclasses.replace(
+        default_space(tune_spec.source), saturate=(False, True)
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-esat-bench-") as tmp:
+        ledger = pathlib.Path(tmp) / "tune_ledger.json"
+        cold_session = CompilerSession(cache_dir=tmp)
+        cold = tune(
+            tune_spec.source,
+            env=dict(tune_spec.env),
+            launches=tune_spec.launches,
+            strategy="beam",
+            budget=12,
+            space=space,
+            session=cold_session,
+            ledger=ledger,
+        )
+        warm_session = CompilerSession(cache_dir=tmp)
+        warm = tune(
+            tune_spec.source,
+            env=dict(tune_spec.env),
+            launches=tune_spec.launches,
+            strategy="beam",
+            budget=12,
+            space=space,
+            session=warm_session,
+            ledger=ledger,
+        )
+        warm_backend = warm_session.metrics.get(backend_metric)
+
+    return {
+        "base_config": BASE.name,
+        "saturated_config": sat_cfg.name,
+        # gated (deterministic model times and counters):
+        "kernels": kernels,
+        "geomean_speedup": round(geomean, 6),
+        "register_wins": register_wins,
+        "tune_benchmark": tune_spec.name,
+        "tune_trials": len(cold.trials),
+        "warm_evaluated": warm.evaluated,
+        "warm_backend_compilations": int(warm_backend.value)
+        if warm_backend
+        else 0,
+        "warm_ledger_hits": warm.ledger_hits,
+        # informational:
+        "tuned_best_point": cold.best.point.as_dict(),
+        "tuned_ms": round(cold.best.model_ms, 6),
+    }
+
+
+def check_esat(row: dict) -> list[str]:
+    """Absolute gates on the equality-saturation row."""
+    problems: list[str] = []
+    for name, cell in row["kernels"].items():
+        if cell["saturated_ms"] > cell["base_ms"]:
+            problems.append(
+                f"esat: {name} modeled slower with saturation "
+                f"({cell['saturated_ms']} ms vs {cell['base_ms']} ms) — "
+                f"the dual-compile guard should have rejected the rewrite"
+            )
+        if cell["saturated_registers"] > cell["base_registers"]:
+            problems.append(
+                f"esat: {name} register pressure rose under saturation "
+                f"({cell['base_registers']} -> "
+                f"{cell['saturated_registers']})"
+            )
+    if row["geomean_speedup"] < 1.0:
+        problems.append(
+            f"esat: geomean model speedup {row['geomean_speedup']} < 1.0"
+        )
+    if len(row["register_wins"]) < 3:
+        problems.append(
+            f"esat: only {len(row['register_wins'])} kernel(s) reduced "
+            f"register pressure (expected >= 3): {row['register_wins']}"
+        )
+    if row["warm_evaluated"] != 0:
+        problems.append(
+            f"esat: warm re-tune over the widened space evaluated "
+            f"{row['warm_evaluated']} points (expected 0)"
+        )
+    if row["warm_backend_compilations"] != 0:
+        problems.append(
+            f"esat: warm re-tune performed "
+            f"{row['warm_backend_compilations']} backend compilations "
+            f"(expected 0)"
+        )
+    if row["warm_ledger_hits"] != row["tune_trials"]:
+        problems.append(
+            f"esat: warm re-tune replayed {row['warm_ledger_hits']} of "
+            f"{row['tune_trials']} cold trials"
+        )
+    return problems
+
+
 def collect_hotpath() -> dict:
     """The generated-code hot-path row (``docs/execution.md``).
 
@@ -387,7 +541,7 @@ def check_hotpath(row: dict) -> list[str]:
 SLO_P99_MS = 500.0
 
 
-def collect_slo(attempts: int = 2) -> dict:
+def collect_slo(attempts: int = 3) -> dict:
     """The open-loop serving SLO row (``docs/observability.md``).
 
     Runs the CI quick profile (fixed-rate arrivals over the two small
@@ -524,7 +678,7 @@ class _LaggyRegressShard:
         return slow
 
 
-def collect_cluster(attempts: int = 2) -> dict:
+def collect_cluster(attempts: int = 3) -> dict:
     """The sharded-serving row (``docs/sharding.md``).
 
     Three sub-measurements against a two-shard consistent-hash router
@@ -958,6 +1112,22 @@ def main(argv: list[str] | None = None) -> int:
         f"({doc['tune']['speedup_over_default']:.3f}x, "
         f"{doc['tune']['trials']} trials; warm re-tune replayed all, "
         f"0 backend compilations)"
+    )
+
+    doc["esat"] = collect_esat()
+    esat_problems = check_esat(doc["esat"])
+    if esat_problems:
+        print(f"\nFAIL: esat gate:", file=sys.stderr)
+        for p in esat_problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    wins = doc["esat"]["register_wins"]
+    print(
+        f"esat: {len(doc['esat']['kernels'])} benchmarks never worse, "
+        f"geomean {doc['esat']['geomean_speedup']:.4f}x, register "
+        f"pressure down on {len(wins)} ({', '.join(wins)}); widened-space "
+        f"warm re-tune replayed {doc['esat']['warm_ledger_hits']} trials, "
+        f"0 backend compilations"
     )
 
     doc["hotpath"] = collect_hotpath()

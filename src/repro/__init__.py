@@ -4,9 +4,11 @@ OpenACC and Compiler Optimizations" (Tian et al., ICPP 2016).
 The stable public API is this module's ``__all__``: :func:`compile`,
 :func:`run`, and :func:`tune` over the process-default
 :class:`CompilerSession`, plus the session and :class:`CompilerConfig`
-types for callers that want isolation, and :func:`get_arch` /
+types for callers that want isolation, :func:`get_arch` /
 :func:`list_archs` for selecting a registered GPU architecture profile
-by name.  Everything else is reachable
+by name, and :func:`register_pass` / :func:`get_pass` /
+:func:`list_passes` for the pluggable optimization-pass registry the
+default pipeline is built from.  Everything else is reachable
 through the subpackages but is not covered by the facade's stability
 contract; the historical free functions (``compile_source``,
 ``compile_function``, ``compile_guarded``, ``time_program``,
@@ -51,13 +53,17 @@ from .compiler.session import (
     default_session,
 )
 from .gpu.arch import get_arch, list_archs
+from .pipeline.registry import get_pass, list_passes, register_pass
 
 __all__ = [
     "CompilerConfig",
     "CompilerSession",
     "compile",
     "get_arch",
+    "get_pass",
     "list_archs",
+    "list_passes",
+    "register_pass",
     "run",
     "tune",
 ]

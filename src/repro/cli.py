@@ -134,6 +134,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             raise SystemExit(f"unknown config {name!r}; known: {known}")
         if args.arch:
             config = _derive_arch(config, args.arch)
+        if args.saturate is not None:
+            config = config.derive(saturate=args.saturate)
         program = session.compile_source(source, config)
         print(f"== {config.name} ==")
         for kernel in program.kernels:
@@ -142,6 +144,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                 line += (
                     f"  [SAFARA: {kernel.safara.groups_replaced} groups, "
                     f"{kernel.backend_compilations} backend compiles]"
+                )
+            if kernel.esat is not None:
+                line += (
+                    f"  [esat: {kernel.esat.rewritten} rewritten, "
+                    f"{kernel.esat.unified_spellings} unified"
+                    f"{', guarded out' if not kernel.esat.applied else ''}]"
                 )
             print(line)
             if args.dump_vir:
@@ -698,6 +706,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         request["config"] = args.config
     if args.arch:
         request["arch"] = args.arch
+    if getattr(args, "saturate", None) is not None:
+        request["saturate"] = args.saturate
     if args.tenant:
         request["tenant"] = args.tenant
     env = _parse_env(args.env)
@@ -729,6 +739,41 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     # The experiment harness routes through the default session's batch
     # compiler; report how much work the compile cache absorbed.
     print(default_session().cache.summary())
+    return 0
+
+
+def cmd_passes(args: argparse.Namespace) -> int:
+    """List the registered optimization passes (the pluggable registry
+    the default pipeline is built from; see docs/optimizer.md)."""
+    from .pipeline.passes import DEFAULT_PASS_ORDER
+    from .pipeline.registry import PASSES
+
+    default_order = {key: i for i, key in enumerate(DEFAULT_PASS_ORDER)}
+    rows = []
+    for key, pass_cls in PASSES.items():
+        doc = (pass_cls.__doc__ or "").strip().splitlines()
+        rows.append(
+            {
+                "pass": key,
+                "class": pass_cls.__name__,
+                "default_position": default_order.get(key),
+                "summary": doc[0] if doc else "",
+            }
+        )
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2))
+        return 0
+    in_default = [r for r in rows if r["default_position"] is not None]
+    extra = [r for r in rows if r["default_position"] is None]
+    print("default pipeline (in order):")
+    for r in sorted(in_default, key=lambda r: r["default_position"]):
+        print(f"  {r['pass']:14s} {r['class']:22s} {r['summary']}")
+    if extra:
+        print("registered (not in the default pipeline):")
+        for r in extra:
+            print(f"  {r['pass']:14s} {r['class']:22s} {r['summary']}")
     return 0
 
 
@@ -777,6 +822,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. kepler-k20xm, cdna2-mi250; see docs/device_model.md)",
     )
     p.add_argument("--launches", type=int, default=1)
+    p.add_argument(
+        "--saturate",
+        action="store_true",
+        default=None,
+        help="enable the equality-saturation pass (repro.esat) on top of "
+        "the selected configs (the pressure guard keeps a kernel "
+        "unsaturated when saturation would not help)",
+    )
+    p.add_argument(
+        "--no-saturate",
+        dest="saturate",
+        action="store_false",
+        help="force the equality-saturation pass off",
+    )
     p.add_argument("--dump-vir", action="store_true", help="print the virtual ISA")
     p.add_argument("--cuda", action="store_true", help="print CUDA-like source")
     p.add_argument(
@@ -1152,6 +1211,18 @@ def build_parser() -> argparse.ArgumentParser:
         "quotas on a cluster router)",
     )
     p.add_argument(
+        "--saturate",
+        action="store_true",
+        default=None,
+        help="request the equality-saturation pass on top of the config",
+    )
+    p.add_argument(
+        "--no-saturate",
+        dest="saturate",
+        action="store_false",
+        help="force the equality-saturation pass off for this request",
+    )
+    p.add_argument(
         "--run",
         action="store_true",
         help="submit a 'run' request (functional execution) instead of 'compile'",
@@ -1182,6 +1253,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("names", nargs="*", help=f"subset of: {', '.join(ALL_EXPERIMENTS)}")
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser(
+        "passes", help="list the registered optimization passes"
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(func=cmd_passes)
 
     p = sub.add_parser("bench", help="list the modelled benchmarks")
     p.set_defaults(func=cmd_bench)

@@ -36,6 +36,7 @@ from ..ir.expr import (
     UnOp,
     VarRef,
     expr_type,
+    scalar_reads,
 )
 from ..ir.stmt import Assign, If, LocalDecl, Loop, Region, Stmt
 from ..ir.symbols import Symbol, SymbolTable
@@ -61,6 +62,14 @@ class CodegenOptions:
     #: one) into a single two-element vector load — the paper's
     #: future-work "memory vectorization".
     vectorize_loads: bool = False
+    #: Value-number expressions during lowering: structurally identical
+    #: pure scalar expressions share one register within a scope, loads
+    #: of the same reference share within a statement, and row offsets
+    #: share partial accumulators per subscript prefix.  Off by default —
+    #: enabled by ``CompilerConfig.saturate``, because it only pays once
+    #: equality saturation has canonicalized equal spellings into
+    #: structurally identical trees.
+    cse_exprs: bool = False
     #: vector_length when a vector clause has no size.
     default_vector_length: int = 128
 
@@ -86,6 +95,13 @@ class KernelGenerator:
         self.dope_regs: dict[tuple[Symbol, int, str], VReg] = {}
         # Stack-scoped offset cache: (array-or-class-rep, indices, width).
         self._offset_scopes: list[dict] = [{}]
+        # Value-numbering state (cse_exprs): evaluated sub-expressions,
+        # cached per *statement* only.  Cross-statement reuse is deliberately
+        # off — holding a value across statements stretches its live range,
+        # and the max-overlap register model charges that directly (one
+        # extra resident register can cross an occupancy boundary and cost
+        # more than the saved ALU op ever pays back).
+        self._stmt_cache: dict[Expr, VReg] = {}
         # Per-statement vector-load fusion state.
         self._vec_partner: dict = {}
         self._vec_loaded: dict = {}
@@ -247,6 +263,7 @@ class KernelGenerator:
             self._emit_stmt(stmt)
 
     def _emit_stmt(self, stmt: Stmt) -> None:
+        self._begin_stmt()
         if isinstance(stmt, Assign):
             self._scan_vector_pairs(stmt)
             value = self._eval(stmt.value)
@@ -260,6 +277,7 @@ class KernelGenerator:
                         is_float=stmt.target.sym.stype.is_float,
                     )
                 )
+                self._evict_scalar(stmt.target.sym)
             else:
                 self._emit_store(stmt.target, value)
         elif isinstance(stmt, LocalDecl):
@@ -270,6 +288,7 @@ class KernelGenerator:
                 self._emit(
                     Instr(Op.MOV, dst=dst, srcs=(value,), is_float=stmt.sym.stype.is_float)
                 )
+                self._evict_scalar(stmt.sym)
             else:
                 self._scalar_reg(stmt.sym)
         elif isinstance(stmt, If):
@@ -315,6 +334,7 @@ class KernelGenerator:
         else:
             step_reg = self._imm(loop.step)
             self._emit(Instr(Op.MAD, dst=var_reg, srcs=(raw, step_reg, init)))
+        self._evict_scalar(loop.var)
         bound = self._eval(loop.bound)
         pred = self.ra.fresh(hint=f"guard_{loop.var.name}")
         self._emit(Instr(Op.SETP, dst=pred, srcs=(var_reg, bound), func=loop.cond_op))
@@ -406,6 +426,7 @@ class KernelGenerator:
         var_reg = self._scalar_reg(loop.var)
         init = self._eval(loop.init)
         self._emit(Instr(Op.MOV, dst=var_reg, srcs=(init,)))
+        self._evict_scalar(loop.var)
         bound = self._eval(loop.bound)
         self._emit(Instr(Op.LOOP_BEGIN, loop=loop, srcs=(bound,)))
         self._push_scope()
@@ -563,7 +584,20 @@ class KernelGenerator:
             return self._to_width(idx, width)
         dims = rep.array.dims if rep.array and rep.array.dims else sym.array.dims
         acc: VReg | None = None
+        start = 0
+        if self.options.cse_exprs and self.options.cse_offsets:
+            # Resume from the longest cached subscript prefix: stencils
+            # differing only in the last subscript (A[k][j][i±1]) share
+            # every row-offset accumulator but the final one.
+            cache = self._offset_cache()
+            for p in range(len(ref.indices) - 1, 0, -1):
+                cached = cache.get((rep, ref.indices[:p], width))
+                if cached is not None:
+                    acc, start = cached, p
+                    break
         for d, (index_expr, dim) in enumerate(zip(ref.indices, dims)):
+            if d < start:
+                continue
             idx = self._to_width(self._eval(index_expr), width)
             # idx - lb
             if self._lower_is_immediate(rep, d):
@@ -578,15 +612,21 @@ class KernelGenerator:
                 idx = tmp
             if acc is None:
                 acc = idx
-                continue
-            # acc = acc * len_d + idx
-            out = self.ra.fresh(bits=width, hint="off")
-            if isinstance(dim.extent, int):
-                self._emit(Instr(Op.MAD, dst=out, srcs=(acc, idx), imm=dim.extent))
             else:
-                length = self._dope_reg(rep, d, "len", width)
-                self._emit(Instr(Op.MAD, dst=out, srcs=(acc, length, idx)))
-            acc = out
+                # acc = acc * len_d + idx
+                out = self.ra.fresh(bits=width, hint="off")
+                if isinstance(dim.extent, int):
+                    self._emit(Instr(Op.MAD, dst=out, srcs=(acc, idx), imm=dim.extent))
+                else:
+                    length = self._dope_reg(rep, d, "len", width)
+                    self._emit(Instr(Op.MAD, dst=out, srcs=(acc, length, idx)))
+                acc = out
+            if (
+                self.options.cse_exprs
+                and self.options.cse_offsets
+                and d < len(ref.indices) - 1
+            ):
+                self._offset_cache()[(rep, ref.indices[: d + 1], width)] = acc
         assert acc is not None
         return acc
 
@@ -602,8 +642,62 @@ class KernelGenerator:
         self._emit(Instr(Op.MOV_IMM, dst=reg, imm=value, is_float=is_float))
         return reg
 
+    # -- expression value numbering (cse_exprs) -----------------------------
+    def _vn_lookup(self, e: Expr) -> VReg | None:
+        return self._stmt_cache.get(e)
+
+    def _vn_store(self, e: Expr, reg: VReg) -> None:
+        self._stmt_cache[e] = reg
+
+    def _evict_scalar(self, sym: Symbol) -> None:
+        """Drop every cached value that reads ``sym`` — from the statement
+        cache (a sequential loop writes its variable between the init and
+        bound evaluations of one logical statement) and from the offset
+        caches (subscripts read scalars too, and those persist across
+        statements)."""
+        if not self.options.cse_exprs:
+            return
+        stale = [
+            k
+            for k in self._stmt_cache
+            if any(r.sym is sym for r in scalar_reads(k))
+        ]
+        for k in stale:
+            del self._stmt_cache[k]
+        for cache in self._offset_scopes:
+            stale = [
+                key
+                for key in cache
+                if any(
+                    r.sym is sym
+                    for index in key[1]
+                    for r in scalar_reads(index)
+                )
+            ]
+            for key in stale:
+                del cache[key]
+
+    def _begin_stmt(self) -> None:
+        self._stmt_cache = {}
+
     # -- expressions --------------------------------------------------------
     def _eval(self, e: Expr) -> VReg:
+        # Leaves are never cached: scalars already live in one register,
+        # and constants are cheaper rematerialized (one MOV_IMM) than
+        # kept alive across statements — caching them stretches live
+        # ranges and raises the max-overlap register count for nothing.
+        if not self.options.cse_exprs or isinstance(
+            e, (VarRef, IntConst, FloatConst)
+        ):
+            return self._eval_inner(e)
+        cached = self._vn_lookup(e)
+        if cached is not None:
+            return cached
+        reg = self._eval_inner(e)
+        self._vn_store(e, reg)
+        return reg
+
+    def _eval_inner(self, e: Expr) -> VReg:
         if isinstance(e, IntConst):
             return self._imm(e.value, bits=e.stype.bits)
         if isinstance(e, FloatConst):

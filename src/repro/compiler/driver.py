@@ -24,6 +24,7 @@ from ..codegen.vir import VirKernel
 from ..gpu.registers import PtxasInfo
 from ..gpu.timing import KernelTiming
 from ..ir.module import KernelFunction
+from ..esat.optimize import EsatReport
 from ..transforms.carr_kennedy import CarrKennedyReport
 from ..transforms.autopar import AutoparReport
 from ..transforms.licm import LicmReport
@@ -45,6 +46,7 @@ class CompiledKernel:
     licm: LicmReport | None = None
     autopar: AutoparReport | None = None
     unroll: UnrollReport | None = None
+    esat: "EsatReport | None" = None
     backend_compilations: int = 1
 
     @property

@@ -53,6 +53,18 @@ class CompilerConfig:
     #: Merge adjacent loads into vector (128-bit) loads during codegen —
     #: the future-work "memory vectorization".
     vectorize_loads: bool = False
+    #: Run equality saturation (:mod:`repro.esat`) before scalar
+    #: replacement: canonicalize expressions so equal-but-differently-
+    #: spelled subscripts unify, and strength-reduce where bit-exact.
+    #: Also turns on expression value numbering in codegen (the two are
+    #: one optimization: esat canonicalizes, codegen reuses).
+    saturate: bool = False
+    #: Overrides for the esat extraction cost weights, as a mapping from
+    #: weight key (``repro.esat.WEIGHT_KEYS``) to positive float.  Stored
+    #: normalized as a sorted tuple of pairs so the frozen config stays
+    #: hashable and cache keys are spelling-independent; unknown keys and
+    #: non-positive values raise :class:`~repro.errors.ConfigError`.
+    esat_extraction_weights: "tuple[tuple[str, float], ...] | None" = None
     #: Relative quality of the backend's scalar code (PGI's mature backend
     #: emits slightly tighter address code than the research compiler).
     issue_efficiency: float = 1.0
@@ -67,6 +79,23 @@ class CompilerConfig:
     def __post_init__(self) -> None:
         if not isinstance(self.arch, GpuArch):
             object.__setattr__(self, "arch", ARCHES.get(self.arch))
+        if self.esat_extraction_weights is not None:
+            from ..esat.extract import validate_weights
+
+            raw = self.esat_extraction_weights
+            pairs = dict(raw.items() if isinstance(raw, dict) else raw)
+            validate_weights(pairs)
+            object.__setattr__(
+                self,
+                "esat_extraction_weights",
+                tuple(sorted((k, float(v)) for k, v in pairs.items())),
+            )
+
+    def extraction_weights(self) -> "dict[str, float] | None":
+        """The weight overrides as the dict :mod:`repro.esat` consumes."""
+        if self.esat_extraction_weights is None:
+            return None
+        return dict(self.esat_extraction_weights)
 
     def codegen_options(self) -> CodegenOptions:
         return CodegenOptions(
@@ -74,6 +103,7 @@ class CompilerConfig:
             honor_small=self.honor_small,
             readonly_cache=self.readonly_cache and self.arch.has_readonly_cache,
             vectorize_loads=self.vectorize_loads,
+            cse_exprs=self.saturate,
         )
 
     def derive(self, **overrides) -> "CompilerConfig":

@@ -35,8 +35,9 @@ from ..codegen.kernelgen import CodegenOptions, generate_kernel
 from ..executors import parse_executor
 from ..gpu.arch import GpuArch, KEPLER_K20XM
 from ..gpu.registers import ptxas_info
-from ..gpu.timing import estimate_time
+from ..gpu.timing import estimate_time, profile_thread
 from ..ir.builder import build_module
+from ..ir.stmt import clone_region
 from ..ir.module import KernelFunction
 from ..lang.parser import parse_program
 from ..obs.metrics import MetricsRegistry
@@ -56,6 +57,29 @@ from ..feedback.driver import (
 from .driver import CompiledKernel, CompiledProgram, ProgramTiming
 from .guards import GuardedKernel, _compile_guarded
 from .options import BASE, CompilerConfig
+
+
+class _SyntheticTripEnv(dict):
+    """An env that answers every lookup with one fixed value.
+
+    The saturation guard profiles two codegen alternatives of the same
+    region without knowing the real problem size; any fixed trip count is
+    fair because both alternatives are charged identically and the guard
+    only compares, never reports, the resulting cycle numbers.
+    """
+
+    def __init__(self, value: int):
+        super().__init__()
+        self._value = value
+
+    def __contains__(self, key) -> bool:
+        return True
+
+    def __getitem__(self, key) -> int:
+        return self._value
+
+    def get(self, key, default=None) -> int:
+        return self._value
 
 
 @dataclass(frozen=True, slots=True)
@@ -152,24 +176,14 @@ class CompilerSession:
             codegen_opts = config.codegen_options()
             for index, region in enumerate(fn.regions(), start=1):
                 name = f"{fn.name}_k{index}"
-                ctx = PassContext(
-                    region=region,
-                    symtab=fn.symtab,
-                    config=config,
-                    options=codegen_opts,
-                    kernel_name=name,
-                )
-                region_trace = self.pipeline.run(ctx)
-                backend_latency()
-                with span("codegen", kernel=name) as cg_span:
-                    vir = generate_kernel(
-                        region, fn.symtab, codegen_opts, name=name
+                if config.saturate:
+                    vir, info, ctx, region_trace = self._lower_region_guarded(
+                        region, fn.symtab, config, codegen_opts, name
                     )
-                    info = ptxas_info(vir, config.arch, config.register_limit)
-                    cg_span.set(
-                        registers=info.registers, spill_bytes=info.spill_bytes
+                else:
+                    vir, info, ctx, region_trace = self._lower_region(
+                        region, fn.symtab, config, codegen_opts, name
                     )
-                ctx.backend_compilations += 1
                 program.kernels.append(
                     CompiledKernel(
                         name=name,
@@ -181,6 +195,7 @@ class CompilerSession:
                         licm=ctx.reports.get("licm"),
                         autopar=ctx.reports.get("autopar"),
                         unroll=ctx.reports.get("unroll"),
+                        esat=ctx.reports.get("esat"),
                         backend_compilations=ctx.backend_compilations,
                     )
                 )
@@ -189,7 +204,95 @@ class CompilerSession:
             fn_span.set(kernels=len(program.kernels), wall_ms=trace.wall_ms)
         with self._lock:
             self.stats.record(trace)
+            for kernel in program.kernels:
+                if kernel.esat is not None:
+                    self.stats.record_esat(kernel.esat)
         return program
+
+    def _lower_region(self, region, symtab, config, codegen_opts, name):
+        """Run the pass pipeline over one region and lower it: returns
+        ``(vir, ptxas_info, pass_context, region_trace)``."""
+        ctx = PassContext(
+            region=region,
+            symtab=symtab,
+            config=config,
+            options=codegen_opts,
+            kernel_name=name,
+        )
+        region_trace = self.pipeline.run(ctx)
+        backend_latency()
+        with span("codegen", kernel=name) as cg_span:
+            vir = generate_kernel(region, symtab, codegen_opts, name=name)
+            info = ptxas_info(vir, config.arch, config.register_limit)
+            cg_span.set(
+                registers=info.registers, spill_bytes=info.spill_bytes
+            )
+        ctx.backend_compilations += 1
+        return vir, info, ctx, region_trace
+
+    def _lower_region_guarded(self, region, symtab, config, codegen_opts, name):
+        """Pressure guard for equality saturation: compile the region both
+        with and without the saturated pipeline and keep the saturated
+        kernel only when it is *never worse* — no more registers, no more
+        spill bytes, and no higher value for any term of the timing model
+        (issue cycles, memory latency, memory traffic, measured with
+        synthetic trip counts so the verdict is problem-size independent).
+
+        Saturation's rewrites only remove or cheapen instructions at equal
+        loop depth, so the one way it can lose is by stretching live
+        ranges across an occupancy boundary; compiling both alternatives
+        and comparing is the direct check.  The discarded compile's
+        backend invocations are still charged to the kernel's count.
+        """
+        sat_region = clone_region(region)
+        base_config = config.derive(saturate=False)
+        base = self._lower_region(
+            region, symtab, base_config, base_config.codegen_options(), name
+        )
+        sat = self._lower_region(sat_region, symtab, config, codegen_opts, name)
+        applied = self._never_worse(sat, base, config.arch)
+        if applied:
+            # The function's IR must match the kernel that ships: graft
+            # the saturated statements back into the caller-visible region.
+            region.body[:] = sat_region.body
+            region.directive = sat_region.directive
+        chosen, other = (sat, base) if applied else (base, sat)
+        vir, info, ctx, region_trace = chosen
+        ctx.backend_compilations += other[2].backend_compilations
+        report = sat[2].reports.get("esat")
+        if report is not None:
+            report.applied = applied
+            ctx.reports["esat"] = report
+        if not applied:
+            # The saturation pass did run (on the discarded alternative);
+            # surface its trace instead of the base pipeline's skip marker.
+            try:
+                sat_pass = sat[3].pass_trace("esat")
+                skip = region_trace.pass_trace("esat")
+                region_trace.passes[region_trace.passes.index(skip)] = sat_pass
+            except KeyError:
+                pass
+        return vir, info, ctx, region_trace
+
+    @staticmethod
+    def _never_worse(sat, base, arch: GpuArch) -> bool:
+        """True when the saturated alternative cannot be slower under any
+        problem size: every input to the timing model is <= the base's."""
+        sat_vir, sat_info = sat[0], sat[1]
+        base_vir, base_info = base[0], base[1]
+        if sat_info.registers > base_info.registers:
+            return False
+        if sat_info.spill_bytes > base_info.spill_bytes:
+            return False
+        env = _SyntheticTripEnv(64)
+        sp = profile_thread(sat_vir, env, sat_info, arch)
+        bp = profile_thread(base_vir, env, base_info, arch)
+        eps = 1e-9
+        return (
+            sp.issue_cycles <= bp.issue_cycles * (1 + eps) + eps
+            and sp.mem_latency <= bp.mem_latency * (1 + eps) + eps
+            and sp.mem_bytes_warp <= bp.mem_bytes_warp * (1 + eps) + eps
+        )
 
     def compile_source(
         self,

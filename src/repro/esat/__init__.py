@@ -1,0 +1,35 @@
+"""Equality saturation over the IR (the ACC-Saturator idea).
+
+``repro.esat`` builds an e-graph per offload region, saturates it with a
+catalog of bit-exact rewrite rules (:mod:`repro.esat.rules`), and
+extracts the cheapest representative of every expression under a
+configurable latency×use cost model (:mod:`repro.esat.extract`).  The
+net effect is canonicalization: syntactically distinct but provably
+equal expressions — commuted products, reassociated subscripts,
+strength-reducible forms — collapse to one spelling, which the scalar
+replacement pass (SAFARA) and the codegen value numberer then recognise
+as reuse.
+
+Runs as the ``esat`` pipeline pass (``CompilerConfig.saturate``); the
+tuner exposes saturation on/off and the extraction weights as axes.
+"""
+
+from .egraph import EClass, EGraph, ENode, SaturationStats
+from .extract import DEFAULT_WEIGHTS, WEIGHT_KEYS, Extractor, validate_weights
+from .optimize import EsatReport, saturate_region
+from .rules import Rule, default_rules
+
+__all__ = [
+    "DEFAULT_WEIGHTS",
+    "EClass",
+    "EGraph",
+    "ENode",
+    "EsatReport",
+    "Extractor",
+    "Rule",
+    "SaturationStats",
+    "WEIGHT_KEYS",
+    "default_rules",
+    "saturate_region",
+    "validate_weights",
+]

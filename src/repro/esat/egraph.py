@@ -1,0 +1,312 @@
+"""The e-graph: equality saturation over ``repro.ir.expr`` trees.
+
+An e-graph is a congruence-closed partition of expression nodes into
+**e-classes** of provably equal expressions.  Each :class:`ENode` is one
+operator application whose children are e-class ids rather than concrete
+subtrees, so a single class compactly represents every equivalent
+spelling discovered so far (the classic egg design [Willsey et al.]).
+
+The implementation is deliberately bounded and deterministic — it runs
+inside the compile pipeline, where reproducibility is a contract:
+
+* **bounded**: saturation stops at ``node_limit`` e-nodes or
+  ``iter_limit`` rule sweeps, whichever comes first (the rule set is
+  size-increasing only through constant-depth rewrites, so the bound is
+  rarely hit in practice);
+* **deterministic**: classes are numbered in insertion order, the
+  worklist is a list swept in class-id order, unions keep the *smaller*
+  id as representative, and no set or identity-keyed dict is ever
+  iterated — the same region saturates to the same e-graph under any
+  ``PYTHONHASHSEED`` (asserted by a subprocess test).
+
+Soundness note: every rewrite rule is *algebraic* — it equates
+expressions that evaluate identically in **every** environment (bit-for-
+bit, under the interpreter's semantics: exact Python ints with C
+truncating division, IEEE-754 doubles).  No rule equates a variable with
+a defining expression, so e-class membership never depends on program
+point and the extracted program is semantically identical statement by
+statement (``docs/optimizer.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Cast,
+    Expr,
+    FloatConst,
+    IntConst,
+    LOGIC_OPS,
+    REL_OPS,
+    Select,
+    UnOp,
+    VarRef,
+)
+from ..ir.types import BOOL, F64, ScalarType, promote
+
+
+@dataclass(frozen=True, slots=True)
+class ENode:
+    """One operator application over e-class children.
+
+    ``tag`` names the node kind (``int``, ``float``, ``var``, ``aref``,
+    ``bin``, ``un``, ``call``, ``cast``, ``sel``); ``payload`` carries the
+    non-child fields (constant value, symbol, operator, intrinsic name,
+    target type); ``children`` are e-class ids.
+    """
+
+    tag: str
+    payload: tuple
+    children: tuple[int, ...]
+
+    def with_children(self, children: tuple[int, ...]) -> "ENode":
+        return ENode(self.tag, self.payload, children)
+
+
+@dataclass(slots=True)
+class EClass:
+    """One equivalence class: its e-nodes in discovery order."""
+
+    id: int
+    nodes: list[ENode] = field(default_factory=list)
+    #: Result type shared by every member (rules are type-preserving).
+    stype: ScalarType = F64
+    #: Distinct *original* (pre-rule) spellings that landed in this class
+    #: — ``> 1`` means saturation unified syntactically different source
+    #: expressions (the subscript-unification statistic).
+    source_spellings: int = 0
+
+
+@dataclass(slots=True)
+class SaturationStats:
+    """What one saturation run did (rendered into the esat report)."""
+
+    nodes: int = 0
+    classes: int = 0
+    unions: int = 0
+    iterations: int = 0
+    saturated: bool = False  # reached a fixpoint within the limits
+
+
+class EGraph:
+    """A bounded, deterministic e-graph over IR expressions."""
+
+    def __init__(self, *, node_limit: int = 4096, iter_limit: int = 8):
+        self.node_limit = node_limit
+        self.iter_limit = iter_limit
+        #: Union-find over class ids (parent pointers; roots self-map).
+        self._parent: list[int] = []
+        #: Root id -> class.  Insertion-ordered; only roots are present.
+        self.classes: dict[int, EClass] = {}
+        #: Canonical e-node -> root class id (the hash-cons).
+        self._memo: dict[ENode, int] = {}
+        #: Classes whose membership changed since the last rebuild.
+        self._dirty: bool = False
+        self.stats = SaturationStats()
+
+    # -- union-find --------------------------------------------------------
+    def find(self, cid: int) -> int:
+        root = cid
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[cid] != root:  # path compression
+            self._parent[cid], cid = root, self._parent[cid]
+        return root
+
+    def canonicalize(self, node: ENode) -> ENode:
+        if not node.children:
+            return node
+        return node.with_children(tuple(self.find(c) for c in node.children))
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(len(c.nodes) for c in self.classes.values())
+
+    def stype(self, cid: int) -> ScalarType:
+        return self.classes[self.find(cid)].stype
+
+    # -- construction ------------------------------------------------------
+    def _new_class(self, node: ENode, stype: ScalarType) -> int:
+        cid = len(self._parent)
+        self._parent.append(cid)
+        self.classes[cid] = EClass(id=cid, nodes=[node], stype=stype)
+        self._memo[node] = cid
+        return cid
+
+    def add_node(self, node: ENode) -> int:
+        """Insert one (canonicalized) e-node; returns its class id."""
+        node = self.canonicalize(node)
+        cached = self._memo.get(node)
+        if cached is not None:
+            return self.find(cached)
+        return self._new_class(node, self._node_stype(node))
+
+    def add(self, expr: Expr) -> int:
+        """Insert a whole expression tree; returns the root's class id.
+
+        Counts each *distinct* spelling toward its class's
+        ``source_spellings`` (a repeated identical expression hits the
+        hash-cons and does not count twice).
+        """
+        node = self.canonicalize(self._enode_of(expr))
+        known = node in self._memo
+        cid = self.add_node(node)
+        if not known:
+            self.classes[self.find(cid)].source_spellings += 1
+        return cid
+
+    def _enode_of(self, e: Expr) -> ENode:
+        if isinstance(e, IntConst):
+            return ENode("int", (e.value, e.stype), ())
+        if isinstance(e, FloatConst):
+            return ENode("float", (e.value, e.stype), ())
+        if isinstance(e, VarRef):
+            return ENode("var", (e.sym,), ())
+        if isinstance(e, ArrayRef):
+            children = tuple(self.add(i) for i in e.indices)
+            return ENode("aref", (e.sym,), children)
+        if isinstance(e, BinOp):
+            return ENode("bin", (e.op,), (self.add(e.left), self.add(e.right)))
+        if isinstance(e, UnOp):
+            return ENode("un", (e.op,), (self.add(e.operand),))
+        if isinstance(e, Call):
+            return ENode("call", (e.func,), tuple(self.add(a) for a in e.args))
+        if isinstance(e, Cast):
+            return ENode("cast", (e.to_type,), (self.add(e.operand),))
+        if isinstance(e, Select):
+            return ENode(
+                "sel",
+                (),
+                (self.add(e.cond), self.add(e.then), self.add(e.otherwise)),
+            )
+        raise TypeError(f"cannot add expression {type(e).__name__}")
+
+    def _node_stype(self, node: ENode) -> ScalarType:
+        tag, payload = node.tag, node.payload
+        if tag in ("int", "float"):
+            return payload[1]
+        if tag == "var":
+            return payload[0].stype
+        if tag == "aref":
+            return payload[0].array.elem
+        if tag == "bin":
+            op = payload[0]
+            if op in REL_OPS or op in LOGIC_OPS:
+                return BOOL
+            return promote(
+                self.stype(node.children[0]), self.stype(node.children[1])
+            )
+        if tag == "un":
+            return BOOL if payload[0] == "!" else self.stype(node.children[0])
+        if tag == "cast":
+            return payload[0]
+        if tag == "sel":
+            return promote(
+                self.stype(node.children[1]), self.stype(node.children[2])
+            )
+        if tag == "call":
+            func = payload[0]
+            if not node.children:
+                return F64
+            arg_t = self.stype(node.children[0])
+            for c in node.children[1:]:
+                arg_t = promote(arg_t, self.stype(c))
+            if func not in ("min", "max", "abs") and not arg_t.is_float:
+                return F64
+            return arg_t
+        raise TypeError(f"unknown e-node tag {tag!r}")
+
+    # -- merging -----------------------------------------------------------
+    def union(self, a: int, b: int) -> int:
+        """Merge two classes; the smaller id stays the representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if rb < ra:
+            ra, rb = rb, ra
+        keep, gone = self.classes[ra], self.classes.pop(rb)
+        self._parent[rb] = ra
+        keep.nodes.extend(gone.nodes)
+        keep.source_spellings += gone.source_spellings
+        self._dirty = True
+        self.stats.unions += 1
+        return ra
+
+    def rebuild(self) -> None:
+        """Restore congruence closure after unions.
+
+        Re-canonicalizes every e-node; two classes holding the same
+        canonical node are congruent and merge, which can cascade — loop
+        to a fixpoint.  The simple full-sweep variant is O(iterations x
+        nodes), fine at this module's node bounds.
+        """
+        while self._dirty:
+            self._dirty = False
+            memo: dict[ENode, int] = {}
+            for cid in sorted(self.classes):
+                cls = self.classes.get(cid)
+                if cls is None:  # merged away earlier in this sweep
+                    continue
+                fresh: list[ENode] = []
+                for node in cls.nodes:
+                    canon = self.canonicalize(node)
+                    if canon not in fresh:
+                        fresh.append(canon)
+                cls.nodes = fresh
+                for node in fresh:
+                    owner = memo.get(node)
+                    if owner is None:
+                        memo[node] = self.find(cid)
+                    elif self.find(owner) != self.find(cid):
+                        self.union(owner, cid)
+            self._memo = {
+                node: cid
+                for cid in sorted(self.classes)
+                for node in self.classes[cid].nodes
+            }
+
+    # -- saturation --------------------------------------------------------
+    def saturate(self, rules: "list") -> SaturationStats:
+        """Apply ``rules`` to a fixpoint or to the node/iteration bound.
+
+        Each rule is called once per (class, node) pair per sweep and
+        returns class ids to union with that class (building any new
+        nodes through :meth:`add_node`).  Sweeps run in class-id order;
+        the run is deterministic for a deterministic rule list.
+        """
+        for sweep in range(self.iter_limit):
+            self.stats.iterations = sweep + 1
+            changed = False
+            for cid in sorted(self.classes):
+                cls = self.classes.get(cid)
+                if cls is None:
+                    continue
+                # Snapshot: rules may append nodes to this very class.
+                for node in list(cls.nodes):
+                    if self.n_nodes >= self.node_limit:
+                        break
+                    for rule in rules:
+                        for equal in rule.apply(self, self.find(cid), node):
+                            if self.find(equal) != self.find(cid):
+                                self.union(equal, cid)
+                                changed = True
+            self.rebuild()
+            if not changed:
+                self.stats.saturated = True
+                break
+        self.stats.nodes = self.n_nodes
+        self.stats.classes = len(self.classes)
+        return self.stats
+
+    # -- introspection -----------------------------------------------------
+    def unified_classes(self) -> int:
+        """Classes holding more than one distinct original spelling —
+        saturation proved syntactically different source expressions
+        equal (the headline statistic of the esat report)."""
+        return sum(
+            1 for c in self.classes.values() if c.source_spellings > 1
+        )

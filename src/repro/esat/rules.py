@@ -1,0 +1,308 @@
+"""The rewrite-rule catalog for equality saturation.
+
+Every rule is **bit-exact**: it equates expressions that evaluate to the
+same value — same bits, not merely the same real number — under the
+execution semantics shared by the scalar interpreter and the vectorized
+engine (exact Python integers with C truncating division; IEEE-754
+binary64 for floats; ``pow`` is the correctly-rounded libm ``pow``).
+That discipline is what lets extraction pick *any* representative and
+still reproduce the unsaturated program's output exactly (the scalar-
+oracle property test over the full benchmark suite).
+
+What is deliberately **not** here, and why:
+
+* float associativity / distribution — reassociation changes rounding;
+* ``x + 0.0`` / ``x * 0.0`` for floats — ``-0.0 + 0.0`` is ``+0.0``,
+  and ``NaN * 0.0`` is ``NaN``, not ``0.0``;
+* ``x / c -> x * (1/c)`` for a general constant — only exact when ``c``
+  is a power of two (binary scaling commutes with rounding);
+* ``pow(x, n) -> x * x * ...`` for ``n >= 3`` — the mul chain rounds
+  twice, the correctly-rounded ``pow`` once, and they differ by an ulp
+  on real inputs; only ``n == 2`` (one rounding each) is exact.
+
+Each rule implements ``apply(egraph, cid, node) -> list[int]``: class
+ids provably equal to ``cid``.  Rules construct new nodes through
+:meth:`~repro.esat.egraph.EGraph.add_node` only — building is how an
+e-graph explores, union is decided by the saturation driver.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.types import I32, ScalarType
+from .egraph import EGraph, ENode
+
+#: Operators the commutativity / associativity rules touch.
+_COMM_OPS = ("+", "*")
+
+
+def _const_of(eg: EGraph, cid: int) -> "tuple[object, ScalarType] | None":
+    """The (value, stype) of a constant member of class ``cid``, if any."""
+    for node in eg.classes[eg.find(cid)].nodes:
+        if node.tag in ("int", "float"):
+            return node.payload
+    return None
+
+
+def _int_const(eg: EGraph, cid: int) -> "int | None":
+    got = _const_of(eg, cid)
+    if got is not None and isinstance(got[0], int):
+        return got[0]
+    return None
+
+
+def _is_int(eg: EGraph, cid: int) -> bool:
+    return not eg.stype(cid).is_float
+
+
+def _bin(eg: EGraph, op: str, left: int, right: int) -> int:
+    return eg.add_node(ENode("bin", (op,), (left, right)))
+
+
+def _iconst(eg: EGraph, value: int, stype: ScalarType = I32) -> int:
+    return eg.add_node(ENode("int", (value, stype), ()))
+
+
+def _fconst(eg: EGraph, value: float, stype: ScalarType) -> int:
+    return eg.add_node(ENode("float", (value, stype), ()))
+
+
+class Rule:
+    """Base: a named bit-exact rewrite."""
+
+    name: str = "rule"
+
+    def apply(self, eg: EGraph, cid: int, node: ENode) -> list[int]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.name}>"
+
+
+class Commute(Rule):
+    """``a + b = b + a``, ``a * b = b * a`` — IEEE addition and
+    multiplication are commutative bit-for-bit (both orders round the
+    same exact product/sum), so this holds for floats too."""
+
+    name = "commute"
+
+    def apply(self, eg: EGraph, cid: int, node: ENode) -> list[int]:
+        if node.tag != "bin" or node.payload[0] not in _COMM_OPS:
+            return []
+        left, right = node.children
+        return [_bin(eg, node.payload[0], right, left)]
+
+
+class AssociateInt(Rule):
+    """``(a op b) op c = a op (b op c)`` for integer ``+``/``*`` only —
+    exact integers reassociate freely; floats do not."""
+
+    name = "assoc-int"
+
+    def apply(self, eg: EGraph, cid: int, node: ENode) -> list[int]:
+        if node.tag != "bin" or node.payload[0] not in _COMM_OPS:
+            return []
+        if not _is_int(eg, cid):
+            return []
+        op = node.payload[0]
+        left, right = node.children
+        out = []
+        for inner in eg.classes[eg.find(left)].nodes:
+            if inner.tag == "bin" and inner.payload[0] == op:
+                a, b = inner.children
+                out.append(_bin(eg, op, a, _bin(eg, op, b, right)))
+        return out
+
+
+class FoldInt(Rule):
+    """Integer constant folding: ``+``, ``-``, ``*``, unary ``-``, and
+    ``/`` under C truncation-toward-zero (the interpreter's rule)."""
+
+    name = "fold-int"
+
+    def apply(self, eg: EGraph, cid: int, node: ENode) -> list[int]:
+        if node.tag == "un" and node.payload[0] == "-":
+            got = _const_of(eg, node.children[0])
+            if got is not None and isinstance(got[0], int):
+                return [_iconst(eg, -got[0], got[1])]
+            return []
+        if node.tag != "bin":
+            return []
+        op = node.payload[0]
+        if op not in ("+", "-", "*", "/"):
+            return []
+        lv = _const_of(eg, node.children[0])
+        rv = _const_of(eg, node.children[1])
+        if lv is None or rv is None:
+            return []
+        (a, at), (b, _bt) = lv, rv
+        if not (isinstance(a, int) and isinstance(b, int)):
+            return []
+        if op == "+":
+            return [_iconst(eg, a + b, at)]
+        if op == "-":
+            return [_iconst(eg, a - b, at)]
+        if op == "*":
+            return [_iconst(eg, a * b, at)]
+        if b == 0:
+            return []
+        q = abs(a) // abs(b)
+        return [_iconst(eg, q if (a >= 0) == (b >= 0) else -q, at)]
+
+
+class Identity(Rule):
+    """Identity and annihilator elements:
+
+    * ``x * 1 = x`` and ``x / 1 = x`` — exact for floats too (scaling by
+      one is the identity on every IEEE value, signed zeros included);
+    * ``x + 0 = x``, ``x - 0 = x``, ``x * 0 = 0``, ``x - x = 0`` —
+      **integers only** (``-0.0 + 0.0`` flips the zero sign; ``NaN - NaN``
+      is ``NaN``).
+    """
+
+    name = "identity"
+
+    def apply(self, eg: EGraph, cid: int, node: ENode) -> list[int]:
+        if node.tag != "bin":
+            return []
+        op = node.payload[0]
+        left, right = node.children
+        rc = _const_of(eg, right)
+        rval = rc[0] if rc is not None else None
+        if op in ("*", "/") and rval == 1 and not isinstance(rval, bool):
+            return [left]
+        if not _is_int(eg, cid):
+            return []
+        out = []
+        if op in ("+", "-") and rval == 0:
+            out.append(left)
+        if op == "*" and rval == 0:
+            out.append(_iconst(eg, 0, eg.stype(cid)))
+        if op == "-" and eg.find(left) == eg.find(right):
+            out.append(_iconst(eg, 0, eg.stype(cid)))
+        return out
+
+
+class MulTwo(Rule):
+    """``x * 2 = x + x`` — exact for integers *and* floats (both spell
+    the same exactly-representable doubling).  The extractor's shared-
+    subtree costing prefers ``x + x``, which turns a lone ``2 * A[i]``
+    into a second ``A[i]`` occurrence — a new scalar-replacement
+    candidate (the ACC Saturator observation)."""
+
+    name = "mul-two"
+
+    def apply(self, eg: EGraph, cid: int, node: ENode) -> list[int]:
+        if node.tag != "bin" or node.payload[0] != "*":
+            return []
+        left, right = node.children
+        rc = _const_of(eg, right)
+        if rc is not None and rc[0] == 2 and not isinstance(rc[0], bool):
+            return [_bin(eg, "+", left, left)]
+        if rc is not None and rc[0] == 2.0 and isinstance(rc[0], float):
+            return [_bin(eg, "+", left, left)]
+        return []
+
+
+class DivPow2(Rule):
+    """``x / c = x * (1/c)`` for a float power-of-two constant ``c`` —
+    binary scaling commutes with IEEE rounding, so this is the one
+    div-to-mul strength reduction that stays bit-exact."""
+
+    name = "div-pow2"
+
+    def apply(self, eg: EGraph, cid: int, node: ENode) -> list[int]:
+        if node.tag != "bin" or node.payload[0] != "/":
+            return []
+        if not eg.stype(cid).is_float:
+            return []
+        got = _const_of(eg, node.children[1])
+        if got is None or not isinstance(got[0], float):
+            return []
+        c, ctype = got
+        if c == 0.0 or not math.isfinite(c):
+            return []
+        mantissa, _exp = math.frexp(c)
+        if abs(mantissa) != 0.5:
+            return []
+        inv = 1.0 / c
+        if not math.isfinite(inv) or inv == 0.0:
+            return []
+        return [_bin(eg, "*", node.children[0], _fconst(eg, inv, ctype))]
+
+
+class DivCancel(Rule):
+    """``(x * c) / c = x`` for a nonzero integer constant ``c`` — the
+    product is exact (Python integers), so truncating division undoes
+    it.  This is the rule that re-unifies obfuscated subscripts like
+    ``a[(i * 4) / 4]`` with ``a[i]`` and hands the reuse analysis a
+    candidate it could not see."""
+
+    name = "div-cancel"
+
+    def apply(self, eg: EGraph, cid: int, node: ENode) -> list[int]:
+        if node.tag != "bin" or node.payload[0] != "/":
+            return []
+        if not _is_int(eg, cid):
+            return []
+        c = _int_const(eg, node.children[1])
+        if c is None or c == 0:
+            return []
+        out = []
+        for inner in eg.classes[eg.find(node.children[0])].nodes:
+            if inner.tag == "bin" and inner.payload[0] == "*":
+                if _int_const(eg, inner.children[1]) == c:
+                    out.append(inner.children[0])
+                if _int_const(eg, inner.children[0]) == c:
+                    out.append(inner.children[1])
+        return out
+
+
+class PowSquare(Rule):
+    """``pow(x, 2) = x * x`` and ``pow(x, 1) = x``.
+
+    Exactness argument for the square: libm ``pow`` is correctly
+    rounded and ``x * x`` is the correctly rounded square, so both
+    produce the same double.  The chain stops here — ``x * x * x``
+    rounds twice and differs from ``pow(x, 3)`` by an ulp on real
+    inputs, so no rule equates them.
+    """
+
+    name = "pow-square"
+
+    def apply(self, eg: EGraph, cid: int, node: ENode) -> list[int]:
+        if node.tag != "call" or node.payload[0] != "pow":
+            return []
+        if len(node.children) != 2:
+            return []
+        base, exponent = node.children
+        got = _const_of(eg, exponent)
+        if got is None:
+            return []
+        value = got[0]
+        if isinstance(value, bool) or value not in (1, 1.0, 2, 2.0):
+            return []
+        if value in (1, 1.0):
+            if eg.stype(base).is_float:
+                return [base]
+            return []
+        if not eg.stype(base).is_float:
+            return []
+        return [_bin(eg, "*", base, base)]
+    # pow promotes integer args to double, so the bare-base forms only
+    # apply when the base is already a double (no hidden cast).
+
+
+def default_rules() -> list[Rule]:
+    """The catalog, in its canonical (deterministic) application order."""
+    return [
+        FoldInt(),
+        Identity(),
+        Commute(),
+        AssociateInt(),
+        MulTwo(),
+        DivPow2(),
+        DivCancel(),
+        PowSquare(),
+    ]

@@ -22,6 +22,7 @@ from .expr import (
     expr_type,
     fold_constants,
     intern_expr,
+    intern_stats,
     intern_table_size,
     rewrite,
     scalar_reads,
@@ -36,6 +37,8 @@ from .stmt import (
     Loop,
     Region,
     Stmt,
+    clone_region,
+    clone_stmt,
     loops_in,
     regions_in,
     stmt_exprs,
@@ -80,7 +83,10 @@ __all__ = [
     "expr_type",
     "fold_constants",
     "intern_expr",
+    "intern_stats",
     "intern_table_size",
+    "clone_region",
+    "clone_stmt",
     "format_expr",
     "format_function",
     "format_stmts",

@@ -223,6 +223,12 @@ class Select(Expr):
 _INTERN: dict[Expr, Expr] = {}
 _INTERN_MAX = 1 << 16
 
+#: Lifetime table statistics.  Process-wide monotonic totals; sessions
+#: snapshot them and publish deltas as the ``ir.intern.*`` counters so
+#: ``repro stats`` shows the table's behavior (a high eviction count
+#: means the bound is thrashing and hash-consing has stopped paying).
+_INTERN_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
 
 def intern_expr(e: Expr) -> Expr:
     """Return the canonical instance of ``e`` (deduplicated bottom-up).
@@ -236,8 +242,11 @@ def intern_expr(e: Expr) -> Expr:
     e = e.map_children(intern_expr)
     cached = _INTERN.get(e)
     if cached is not None:
+        _INTERN_STATS["hits"] += 1
         return cached
+    _INTERN_STATS["misses"] += 1
     if len(_INTERN) >= _INTERN_MAX:
+        _INTERN_STATS["evictions"] += len(_INTERN)
         _INTERN.clear()
     _INTERN[e] = e
     return e
@@ -246,6 +255,11 @@ def intern_expr(e: Expr) -> Expr:
 def intern_table_size() -> int:
     """Current number of canonical nodes (observability / tests)."""
     return len(_INTERN)
+
+
+def intern_stats() -> dict[str, int]:
+    """Lifetime hit/miss/eviction totals of the intern table (a copy)."""
+    return dict(_INTERN_STATS)
 
 
 # ---------------------------------------------------------------------------

@@ -9,7 +9,7 @@ directive including the proposed ``dim``/``small`` clauses.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterator
 
 from ..lang.directives import ComputeDirective, LoopDirective
@@ -203,6 +203,66 @@ def stmt_exprs(stmt: Stmt) -> list[Expr]:
     if isinstance(stmt, Loop):
         return [stmt.init, stmt.bound]
     return []
+
+
+def clone_stmt(stmt: Stmt) -> Stmt:
+    """Structural copy of one statement tree.
+
+    Expressions and :class:`~repro.ir.symbols.Symbol` objects are *shared*
+    (exprs are immutable and hash-consed; symbols compare by identity and
+    must stay the same objects the symbol table holds) — only the mutable
+    statement skeleton is copied, so transformations on the clone cannot
+    reach the original.  Directives are copied too (they are mutable
+    dataclasses that passes may rewrite), keeping ``loop_id``/``region_id``
+    so traces and launch caches line up between the two copies.
+    """
+    if isinstance(stmt, Assign):
+        return Assign(target=stmt.target, value=stmt.value)
+    if isinstance(stmt, LocalDecl):
+        return LocalDecl(sym=stmt.sym, init=stmt.init)
+    if isinstance(stmt, If):
+        return If(
+            cond=stmt.cond,
+            then_body=[clone_stmt(s) for s in stmt.then_body],
+            else_body=[clone_stmt(s) for s in stmt.else_body],
+        )
+    if isinstance(stmt, Loop):
+        return Loop(
+            var=stmt.var,
+            init=stmt.init,
+            cond_op=stmt.cond_op,
+            bound=stmt.bound,
+            step=stmt.step,
+            body=[clone_stmt(s) for s in stmt.body],
+            directive=_clone_loop_directive(stmt.directive),
+            loop_id=stmt.loop_id,
+            sequentialized=stmt.sequentialized,
+        )
+    if isinstance(stmt, Region):
+        return clone_region(stmt)
+    raise TypeError(f"cannot clone statement {type(stmt).__name__}")
+
+
+def _clone_loop_directive(d: LoopDirective | None) -> LoopDirective | None:
+    if d is None:
+        return None
+    return replace(d)
+
+
+def clone_region(region: Region) -> Region:
+    """Independent copy of an offload region (same ``region_id``): compile
+    the copy down one configuration path while keeping the original intact
+    for another — the register-pressure guard compiles a region both with
+    and without equality saturation and keeps the better kernel."""
+    directive = replace(
+        region.directive,
+        combined_loop=_clone_loop_directive(region.directive.combined_loop),
+    )
+    return Region(
+        directive=directive,
+        body=[clone_stmt(s) for s in region.body],
+        region_id=region.region_id,
+    )
 
 
 def loops_in(stmts: list[Stmt]) -> list[Loop]:

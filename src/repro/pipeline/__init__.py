@@ -19,6 +19,8 @@ from .diskcache import DiskCache
 from .passes import (
     AutoParallelizePass,
     CarrKennedyPass,
+    DEFAULT_PASS_ORDER,
+    EsatPass,
     LicmPass,
     Pass,
     PassContext,
@@ -29,6 +31,13 @@ from .passes import (
     ir_size,
     run_safara,
 )
+from .registry import (
+    PASSES,
+    PassRegistry,
+    get_pass,
+    list_passes,
+    register_pass,
+)
 from .trace import CompileTrace, PassTrace, RegionTrace, SessionStats
 
 __all__ = [
@@ -36,11 +45,15 @@ __all__ = [
     "CarrKennedyPass",
     "CompileCache",
     "CompileTrace",
+    "DEFAULT_PASS_ORDER",
     "DiskCache",
+    "EsatPass",
     "LicmPass",
+    "PASSES",
     "Pass",
     "PassContext",
     "PassManager",
+    "PassRegistry",
     "PassTrace",
     "RegionTrace",
     "SafaraPass",
@@ -49,6 +62,8 @@ __all__ = [
     "cache_key",
     "config_token",
     "default_passes",
+    "get_pass",
     "ir_size",
-    "run_safara",
+    "list_passes",
+    "register_pass",
 ]

@@ -124,6 +124,28 @@ class UnrollPass(Pass):
         return report
 
 
+class EsatPass(Pass):
+    """Equality saturation + extraction (:mod:`repro.esat`): canonicalize
+    every expression of the region so equal-but-differently-spelled
+    subscripts and subexpressions become structurally identical before
+    the scalar-replacement passes group references.  Runs after
+    unrolling (unrolled bodies are where duplicate spellings bloom) and
+    before Carr-Kennedy/SAFARA (the consumers of the canonical forms)."""
+
+    name = "esat"
+    report_key = "esat"
+
+    def enabled(self, config) -> bool:
+        return getattr(config, "saturate", False)
+
+    def run(self, ctx: PassContext):
+        from ..esat import saturate_region
+
+        return saturate_region(
+            ctx.region, weights=ctx.config.extraction_weights()
+        )
+
+
 class CarrKennedyPass(Pass):
     """The classic scalar-replacement baseline (paper Section III-A)."""
 
@@ -205,15 +227,21 @@ class SafaraPass(Pass):
         return report
 
 
+#: Canonical order of the paper's region pipeline, by registry key.
+DEFAULT_PASS_ORDER = (
+    "autopar", "licm", "unroll", "esat", "carr-kennedy", "safara",
+)
+
+
 def default_passes() -> list[Pass]:
-    """The paper's region pipeline, in its canonical order."""
-    return [
-        AutoParallelizePass(),
-        LicmPass(),
-        UnrollPass(),
-        CarrKennedyPass(),
-        SafaraPass(),
-    ]
+    """The paper's region pipeline, in its canonical order.
+
+    Instantiated through the :mod:`~repro.pipeline.registry`, so a
+    subclass registered over a default key (e.g. a project-specific
+    ``safara``) replaces the stock pass in every new session."""
+    from .registry import PASSES
+
+    return [PASSES.get(key)() for key in DEFAULT_PASS_ORDER]
 
 
 class PassManager:

@@ -1,0 +1,132 @@
+"""The pluggable optimization-pass registry.
+
+Mirrors the device-fleet pattern of :class:`repro.gpu.arch.ArchRegistry`:
+canonical keys are kebab-case, lookups normalize case / spaces /
+underscores, aliases resolve to the same entry, and an unknown name
+raises :class:`~repro.errors.ConfigError` listing every registered pass —
+a typo in a custom pipeline definition fails loudly at configuration
+time, not as a silently shorter pipeline.
+
+The registry holds pass *classes* (passes are stateless; a
+:class:`~repro.pipeline.passes.PassManager` instantiates what it runs),
+so ``get_pass("safara")()`` is a fresh pass object and subclassing a
+registered pass never mutates shared state.  The default pipeline in
+:func:`repro.pipeline.passes.default_passes` is built from this registry,
+which makes it the single place third-party transformations plug in::
+
+    from repro import register_pass
+
+    class FusePass(Pass):
+        name = "fuse"
+        def run(self, ctx): ...
+
+    register_pass("fuse", FusePass, aliases=("loop-fuse",))
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .passes import (
+    AutoParallelizePass,
+    CarrKennedyPass,
+    EsatPass,
+    LicmPass,
+    Pass,
+    SafaraPass,
+    UnrollPass,
+)
+
+
+class PassRegistry:
+    """Named, pluggable optimization passes (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._passes: dict[str, type[Pass]] = {}
+        self._aliases: dict[str, str] = {}
+
+    @staticmethod
+    def normalize(name: str) -> str:
+        return "-".join(
+            str(name).strip().lower().replace("_", " ").replace("-", " ").split()
+        )
+
+    def register(
+        self,
+        key: str,
+        pass_cls: type[Pass],
+        *,
+        aliases: tuple[str, ...] = (),
+    ) -> type[Pass]:
+        """Register a pass class under a canonical ``key`` (plus aliases
+        and the class's own ``name``); returns the class for chaining —
+        usable as a decorator argument-style helper."""
+        if not (isinstance(pass_cls, type) and issubclass(pass_cls, Pass)):
+            raise ConfigError(
+                f"register_pass({key!r}): expected a Pass subclass, "
+                f"got {pass_cls!r}"
+            )
+        canon = self.normalize(key)
+        self._passes[canon] = pass_cls
+        for alias in (pass_cls.name, *aliases):
+            self._aliases[self.normalize(alias)] = canon
+        return pass_cls
+
+    def key_of(self, pass_cls: type[Pass]) -> str | None:
+        """The canonical key a pass class is registered under, or
+        ``None`` for an unregistered ad-hoc pass."""
+        for key, registered in self._passes.items():
+            if registered is pass_cls:
+                return key
+        return None
+
+    def get(self, name: "str | type[Pass]") -> type[Pass]:
+        """Resolve a pass name (or pass a class straight through)."""
+        if isinstance(name, type) and issubclass(name, Pass):
+            return name
+        norm = self.normalize(name)
+        key = self._aliases.get(norm, norm)
+        pass_cls = self._passes.get(key)
+        if pass_cls is None:
+            raise ConfigError(
+                f"unknown optimization pass {name!r} "
+                f"(registered passes: {', '.join(self.names())})"
+            )
+        return pass_cls
+
+    def names(self) -> list[str]:
+        """Canonical pass names, sorted."""
+        return sorted(self._passes)
+
+    def __contains__(self, name: str) -> bool:
+        norm = self.normalize(name)
+        return norm in self._passes or norm in self._aliases
+
+    def items(self) -> list[tuple[str, type[Pass]]]:
+        return sorted(self._passes.items())
+
+
+#: The process-wide registry ``default_passes()`` and the CLI resolve in.
+PASSES = PassRegistry()
+PASSES.register("autopar", AutoParallelizePass, aliases=("auto-parallelize",))
+PASSES.register("licm", LicmPass, aliases=("invariant-hoisting",))
+PASSES.register("unroll", UnrollPass, aliases=("loop-unroll",))
+PASSES.register("esat", EsatPass, aliases=("equality-saturation", "saturate"))
+PASSES.register("carr-kennedy", CarrKennedyPass, aliases=("ck",))
+PASSES.register("safara", SafaraPass, aliases=("scalar-replacement",))
+
+
+def register_pass(
+    key: str, pass_cls: type[Pass], *, aliases: tuple[str, ...] = ()
+) -> type[Pass]:
+    """Register a custom pass class in the process-wide registry."""
+    return PASSES.register(key, pass_cls, aliases=aliases)
+
+
+def get_pass(name: "str | type[Pass]") -> type[Pass]:
+    """Look up a registered pass class by name (or alias)."""
+    return PASSES.get(name)
+
+
+def list_passes() -> list[str]:
+    """Canonical names of every registered pass."""
+    return PASSES.names()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..ir.expr import intern_stats
 from ..obs.metrics import COUNT_BUCKETS, MetricsRegistry
 
 
@@ -161,6 +162,44 @@ class SessionStats:
         self._compile_wall_ms = m.histogram(
             "session.compile_wall_ms", help="wall time per compiled program"
         )
+        # Intern-table counters: the process-wide totals of
+        # repro.ir.expr.intern_stats() are snapshotted per record() and
+        # published as per-session deltas (high evictions = the bounded
+        # table is thrashing and hash-consing has stopped paying).
+        self._intern_hits = m.counter(
+            "ir.intern.hits", "expression intern-table hits"
+        )
+        self._intern_misses = m.counter(
+            "ir.intern.misses", "expression intern-table misses"
+        )
+        self._intern_evictions = m.counter(
+            "ir.intern.evictions",
+            "expressions dropped by intern-table wholesale clears",
+        )
+        self._intern_last = intern_stats()
+        # Equality-saturation counters, fed from each region's EsatReport.
+        self._esat_unions = m.counter(
+            "esat.unions", "e-class merges performed by saturation"
+        )
+        self._esat_unified = m.counter(
+            "esat.unified_spellings",
+            "e-classes that unified distinct source spellings",
+        )
+        self._esat_rewritten = m.counter(
+            "esat.rewritten", "expression slots changed by extraction"
+        )
+        self._esat_candidates = m.counter(
+            "esat.new_candidates",
+            "newly repeated array references fed to scalar replacement",
+        )
+        self._esat_fallbacks = m.counter(
+            "esat.guard_fallbacks",
+            "regions where the pressure guard kept the unsaturated kernel",
+        )
+        self._esat_saturated = m.counter(
+            "esat.saturated_runs",
+            "saturation runs that reached a fixpoint within bounds",
+        )
         self._execution_elements = m.histogram(
             "session.execution_elements",
             boundaries=COUNT_BUCKETS,
@@ -238,9 +277,31 @@ class SessionStats:
                         )
                 else:
                     m.counter(base + ".skips").inc()
+        current = intern_stats()
+        for key, counter in (
+            ("hits", self._intern_hits),
+            ("misses", self._intern_misses),
+            ("evictions", self._intern_evictions),
+        ):
+            delta = current[key] - self._intern_last[key]
+            if delta > 0:
+                counter.inc(delta)
+        self._intern_last = current
         self.traces.append(trace)
         if len(self.traces) > self.max_traces:
             del self.traces[: len(self.traces) - self.max_traces]
+
+    def record_esat(self, report) -> None:
+        """Fold one region's :class:`~repro.esat.optimize.EsatReport`
+        into the ``esat.*`` counters."""
+        self._esat_unions.inc(report.unions)
+        self._esat_unified.inc(report.unified_spellings)
+        self._esat_rewritten.inc(report.rewritten)
+        self._esat_candidates.inc(report.new_candidates)
+        if report.saturated:
+            self._esat_saturated.inc()
+        if not report.applied:
+            self._esat_fallbacks.inc()
 
     def record_timing(self) -> None:
         self._timings.inc()

@@ -482,6 +482,9 @@ class Broker:
                 protocol.UNKNOWN_CONFIG,
                 f"unknown config {name!r}; known: {', '.join(sorted(ALL_CONFIGS))}",
             )
+        saturate = request.get("saturate")
+        if saturate is not None and saturate != config.saturate:
+            config = config.derive(saturate=bool(saturate))
         return config
 
     @staticmethod

@@ -197,6 +197,9 @@ def validate_request(obj: Any) -> dict:
             raise ServeError(
                 BAD_REQUEST, "'arch' must be a profile-name string"
             )
+        saturate = obj.get("saturate")
+        if saturate is not None and not isinstance(saturate, bool):
+            raise ServeError(BAD_REQUEST, "'saturate' must be a boolean")
     if op == "tune":
         env = obj.get("env")
         if not isinstance(env, dict) or not env:

@@ -2,7 +2,8 @@
 
 A :class:`TrialPoint` is one assignment of the tunable knobs — register
 cap, SAFARA on/off and its per-iteration candidate budget, ``small``/
-``dim`` clause honoring, unroll factor — and maps onto a
+``dim`` clause honoring, unroll factor, equality saturation on/off and
+its extraction-weight override — and maps onto a
 :class:`~repro.compiler.options.CompilerConfig` via
 :meth:`TrialPoint.apply` (which goes through ``derive()``, so a typoed
 knob name fails loudly instead of tuning nothing).
@@ -15,6 +16,8 @@ backend compile, using only front-end facts:
   absent (``dim``/``small`` inference — the tuner reads the source, not
   the user's flags);
 * with SAFARA off, the candidate budget is dead;
+* with saturation off, the extraction-weight override is dead — and an
+  override spelling out the extractor's defaults equals ``None``;
 * a candidate budget at or above the cost model's candidate count for
   the region (see :func:`safara_candidate_ceiling`) never truncates —
   SAFARA's per-iteration candidate list only shrinks as replacements
@@ -60,11 +63,17 @@ class TrialPoint:
     #: ``None`` for the base config's arch.  A first-class axis, so one
     #: ``repro tune --fleet`` run searches configs *across* devices.
     arch: str | None = None
+    #: Equality saturation (the :mod:`repro.esat` pass) on/off.
+    saturate: bool = False
+    #: Extraction-weight override as sorted ``(key, value)`` pairs
+    #: (hashable; ``None`` = the extractor's defaults).  Dead unless
+    #: ``saturate`` is on.
+    esat_weights: "tuple[tuple[str, float], ...] | None" = None
 
     def key(self) -> str:
         """Stable content key for the ledger and within-run dedup (the
-        arch suffix appears only off the base arch, so single-arch
-        ledgers written before the fleet axis stay replayable)."""
+        arch/saturation suffixes appear only off their defaults, so
+        ledgers written before those axes existed stay replayable)."""
         rl = "none" if self.register_limit is None else self.register_limit
         cand = (
             "none"
@@ -78,6 +87,11 @@ class TrialPoint:
         )
         if self.arch is not None:
             key += f";arch={self.arch}"
+        if self.saturate:
+            key += ";sat=1"
+        if self.esat_weights is not None:
+            pairs = ",".join(f"{k}:{v:g}" for k, v in sorted(self.esat_weights))
+            key += f";esatw={pairs}"
         return key
 
     def apply(self, base) -> "object":
@@ -90,6 +104,8 @@ class TrialPoint:
             honor_small=self.honor_small,
             honor_dim=self.honor_dim,
             unroll_factor=self.unroll_factor,
+            saturate=self.saturate,
+            esat_extraction_weights=self.esat_weights,
         )
         if self.arch is not None:
             overrides["arch"] = self.arch
@@ -104,6 +120,12 @@ class TrialPoint:
             "honor_dim": self.honor_dim,
             "unroll_factor": self.unroll_factor,
             "arch": self.arch,
+            "saturate": self.saturate,
+            "esat_weights": (
+                None
+                if self.esat_weights is None
+                else {k: v for k, v in self.esat_weights}
+            ),
         }
 
 
@@ -115,9 +137,11 @@ AXES = (
     "honor_small",
     "honor_dim",
     "safara",
+    "saturate",
     "register_limit",
     "safara_max_candidates",
     "unroll_factor",
+    "esat_weights",
 )
 
 
@@ -134,6 +158,13 @@ class KnobSpace:
     #: Arch axis values (canonical registry keys; ``None`` = base arch).
     #: Single-valued by default — fleet tuning widens it.
     archs: tuple = (None,)
+    #: Equality-saturation axis.  Single-valued (off) by default so
+    #: pre-existing spaces, ledgers and budgets are unchanged; widen to
+    #: ``(False, True)`` to let the tuner weigh the esat pass.
+    saturate: tuple = (False,)
+    #: Extraction-weight axis: ``None`` = extractor defaults; widen with
+    #: sorted ``(key, value)``-pair tuples to sweep cost models.
+    esat_weights: tuple = (None,)
 
     def axis_values(self, axis: str) -> tuple:
         return {
@@ -144,6 +175,8 @@ class KnobSpace:
             "honor_dim": self.honor_dim,
             "unroll_factor": self.unroll_factors,
             "arch": self.archs,
+            "saturate": self.saturate,
+            "esat_weights": self.esat_weights,
         }[axis]
 
     @property
@@ -156,7 +189,7 @@ class KnobSpace:
     def points(self) -> list[TrialPoint]:
         """Every point, in a deterministic order."""
         out = []
-        for arch, rl, sa, cand, small, dim, unroll in itertools.product(
+        for arch, rl, sa, cand, small, dim, unroll, sat, ew in itertools.product(
             self.archs,
             self.register_limits,
             self.safara,
@@ -164,6 +197,8 @@ class KnobSpace:
             self.honor_small,
             self.honor_dim,
             self.unroll_factors,
+            self.saturate,
+            self.esat_weights,
         ):
             out.append(
                 TrialPoint(
@@ -174,6 +209,8 @@ class KnobSpace:
                     honor_dim=dim,
                     unroll_factor=unroll,
                     arch=arch,
+                    saturate=sat,
+                    esat_weights=ew,
                 )
             )
         return out
@@ -281,6 +318,13 @@ def canonicalize(
         p = replace(p, honor_dim=False)
     if not p.safara and p.safara_max_candidates is not None:
         p = replace(p, safara_max_candidates=None)
+    if not p.saturate and p.esat_weights is not None:
+        p = replace(p, esat_weights=None)
+    if p.saturate and p.esat_weights is not None:
+        from ..esat.extract import DEFAULT_WEIGHTS
+
+        if dict(p.esat_weights) == DEFAULT_WEIGHTS:
+            p = replace(p, esat_weights=None)
     if (
         p.safara
         and p.safara_max_candidates is not None

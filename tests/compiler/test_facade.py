@@ -23,7 +23,8 @@ class TestFacadeSurface:
     def test_all_is_the_stable_api(self):
         assert repro.__all__ == [
             "CompilerConfig", "CompilerSession", "compile",
-            "get_arch", "list_archs", "run", "tune",
+            "get_arch", "get_pass", "list_archs", "list_passes",
+            "register_pass", "run", "tune",
         ]
         for name in repro.__all__:
             assert getattr(repro, name) is not None

@@ -1,0 +1,173 @@
+"""E-graph mechanics: hash-consing, union-find, congruence closure,
+typing, and the determinism/bounding contracts of saturation."""
+
+import pytest
+
+from repro.esat.egraph import EGraph, ENode
+from repro.esat.rules import default_rules
+from repro.ir import BinOp, IntConst, VarRef
+from repro.ir.expr import Call, FloatConst
+from repro.ir.symbols import Symbol, SymbolKind
+from repro.ir.types import BOOL, F64, I32
+
+X = Symbol(name="x", stype=F64, kind=SymbolKind.PARAM)
+Y = Symbol(name="y", stype=F64, kind=SymbolKind.PARAM)
+I = Symbol(name="i", stype=I32, kind=SymbolKind.LOOPVAR)
+
+
+class TestHashCons:
+    def test_same_expression_lands_in_same_class(self):
+        eg = EGraph()
+        a = eg.add(BinOp("+", VarRef(X), VarRef(Y)))
+        b = eg.add(BinOp("+", VarRef(X), VarRef(Y)))
+        assert a == b
+        assert eg.n_nodes == 3  # x, y, x+y — no duplicates
+
+    def test_distinct_expressions_get_distinct_classes(self):
+        eg = EGraph()
+        a = eg.add(BinOp("+", VarRef(X), VarRef(Y)))
+        b = eg.add(BinOp("*", VarRef(X), VarRef(Y)))
+        assert eg.find(a) != eg.find(b)
+
+    def test_shared_subtrees_are_shared_classes(self):
+        eg = EGraph()
+        cx = eg.add(VarRef(X))
+        c = eg.add(BinOp("+", VarRef(X), VarRef(X)))
+        node = eg.classes[eg.find(c)].nodes[0]
+        assert node.children == (cx, cx)
+
+    def test_repeated_spelling_counts_once(self):
+        eg = EGraph()
+        eg.add(BinOp("+", VarRef(X), VarRef(Y)))
+        cid = eg.add(BinOp("+", VarRef(X), VarRef(Y)))
+        assert eg.classes[eg.find(cid)].source_spellings == 1
+
+
+class TestUnionFind:
+    def test_union_keeps_smaller_id_as_representative(self):
+        eg = EGraph()
+        a = eg.add(VarRef(X))
+        b = eg.add(VarRef(Y))
+        root = eg.union(b, a)
+        assert root == min(a, b)
+        assert eg.find(a) == eg.find(b) == root
+
+    def test_union_merges_node_lists_and_spellings(self):
+        eg = EGraph()
+        a = eg.add(VarRef(X))
+        b = eg.add(VarRef(Y))
+        root = eg.union(a, b)
+        cls = eg.classes[root]
+        assert len(cls.nodes) == 2
+        assert cls.source_spellings == 2
+
+    def test_self_union_is_a_no_op(self):
+        eg = EGraph()
+        a = eg.add(VarRef(X))
+        before = eg.stats.unions
+        assert eg.union(a, a) == eg.find(a)
+        assert eg.stats.unions == before
+
+    def test_merged_class_disappears_from_classes(self):
+        eg = EGraph()
+        a = eg.add(VarRef(X))
+        b = eg.add(VarRef(Y))
+        eg.union(a, b)
+        assert len(eg.classes) == 1
+
+
+class TestCongruence:
+    def test_rebuild_merges_congruent_parents(self):
+        """f(a) and f(b) become one class after union(a, b) + rebuild."""
+        eg = EGraph()
+        a = eg.add(VarRef(X))
+        b = eg.add(VarRef(Y))
+        fa = eg.add(Call("sqrt", (VarRef(X),)))
+        fb = eg.add(Call("sqrt", (VarRef(Y),)))
+        assert eg.find(fa) != eg.find(fb)
+        eg.union(a, b)
+        eg.rebuild()
+        assert eg.find(fa) == eg.find(fb)
+
+    def test_congruence_cascades(self):
+        """g(f(a)) = g(f(b)) needs two congruence steps."""
+        eg = EGraph()
+        a = eg.add(VarRef(X))
+        b = eg.add(VarRef(Y))
+        gfa = eg.add(Call("exp", (Call("sqrt", (VarRef(X),)),)))
+        gfb = eg.add(Call("exp", (Call("sqrt", (VarRef(Y),)),)))
+        eg.union(a, b)
+        eg.rebuild()
+        assert eg.find(gfa) == eg.find(gfb)
+
+
+class TestTyping:
+    def test_int_plus_float_promotes(self):
+        eg = EGraph()
+        c = eg.add(BinOp("+", VarRef(I), VarRef(X)))
+        assert eg.stype(c) is F64
+
+    def test_relational_is_bool(self):
+        eg = EGraph()
+        c = eg.add(BinOp("<", VarRef(I), IntConst(4)))
+        assert eg.stype(c) is BOOL
+
+    def test_int_only_subtree_stays_int(self):
+        eg = EGraph()
+        c = eg.add(BinOp("*", VarRef(I), IntConst(4)))
+        assert eg.stype(c) is I32
+
+
+class TestSaturationBounds:
+    def test_fixpoint_sets_saturated_flag(self):
+        eg = EGraph()
+        eg.add(BinOp("+", VarRef(X), VarRef(Y)))
+        stats = eg.saturate(default_rules())
+        assert stats.saturated
+        assert stats.iterations >= 1
+
+    def test_node_limit_bounds_growth(self):
+        eg = EGraph(node_limit=4)
+        eg.add(BinOp("+", BinOp("+", VarRef(I), IntConst(1)), IntConst(2)))
+        eg.saturate(default_rules())
+        # The sweep stops adding once at the cap; one in-flight rule
+        # application may overshoot by a constant.
+        assert eg.n_nodes <= 4 + 4
+
+    def test_iter_limit_bounds_sweeps(self):
+        eg = EGraph(iter_limit=2)
+        eg.add(BinOp("+", BinOp("+", VarRef(I), IntConst(1)), IntConst(2)))
+        stats = eg.saturate(default_rules())
+        assert stats.iterations <= 2
+
+    def test_same_input_same_stats(self):
+        def run():
+            eg = EGraph()
+            eg.add(BinOp("*", BinOp("+", VarRef(I), IntConst(0)), IntConst(2)))
+            eg.add(FloatConst(2.0))
+            s = eg.saturate(default_rules())
+            return (s.nodes, s.classes, s.unions, s.iterations, s.saturated,
+                    sorted(eg.classes))
+
+        assert run() == run()
+
+    def test_unified_classes_counts_multi_spelling_classes(self):
+        eg = EGraph()
+        a = eg.add(BinOp("+", VarRef(X), VarRef(Y)))
+        b = eg.add(BinOp("+", VarRef(Y), VarRef(X)))
+        assert eg.find(a) != eg.find(b)
+        eg.saturate(default_rules())
+        assert eg.find(a) == eg.find(b)
+        assert eg.unified_classes() == 1
+
+    def test_add_rejects_unknown_objects(self):
+        with pytest.raises(TypeError):
+            EGraph().add("not an expression")  # type: ignore[arg-type]
+
+    def test_canonicalize_rewrites_children_to_roots(self):
+        eg = EGraph()
+        a = eg.add(VarRef(X))
+        b = eg.add(VarRef(Y))
+        node = ENode("bin", ("+",), (b,))
+        eg.union(a, b)
+        assert eg.canonicalize(node).children == (eg.find(b),)

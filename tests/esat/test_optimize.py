@@ -1,0 +1,156 @@
+"""``saturate_region``: slot coverage, in-place rewriting, the report,
+the store-target shape guard, and the loop-bounds hands-off rule."""
+
+from repro.esat import EsatReport, saturate_region
+from repro.ir import BinOp, build_module
+from repro.ir.expr import ArrayRef, FloatConst
+from repro.ir.printer import Printer, format_expr
+from repro.ir.stmt import Assign, If, LocalDecl, Loop
+from repro.lang import parse_program
+
+SRC = """
+kernel k(double a[0:n], const double b[0:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    a[i] = b[i] * 2.0 + b[(i * 4) / 4] / 2.0;
+  }
+}
+"""
+
+
+def region_of(src):
+    fn = build_module(parse_program(src)).functions[0]
+    return fn, fn.regions()[0]
+
+
+def find_stmts(region, cls):
+    out = []
+    stack = list(region.body)
+    while stack:
+        stmt = stack.pop(0)
+        if isinstance(stmt, cls):
+            out.append(stmt)
+        stack.extend(getattr(stmt, "body", []))
+        stack.extend(getattr(stmt, "then_body", []))
+        stack.extend(getattr(stmt, "else_body", []))
+    return out
+
+
+class TestSaturateRegion:
+    def test_rewrites_in_place_and_reports(self):
+        _, region = region_of(SRC)
+        report = saturate_region(region)
+        assert isinstance(report, EsatReport)
+        assert report.exprs >= 1
+        assert report.rewritten >= 1
+        assert report.unions >= 1
+        assert report.saturated
+        (assign,) = find_stmts(region, Assign)
+        text = format_expr(assign.value)
+        # x*2 became a self-add, the obfuscated subscript collapsed to
+        # b[i], and /2.0 became *0.5 — one spelling of b[i], three uses.
+        assert text.count("b[i]") == 3
+        assert "/ 2.0" not in text and "* 2.0" not in text
+
+    def test_new_candidates_counts_newly_repeated_refs(self):
+        """b[i] occurs once before saturation and three times after:
+        one newly repeated reference for SAFARA to group."""
+        _, region = region_of(SRC)
+        report = saturate_region(region)
+        assert report.new_candidates == 1
+
+    def test_applied_defaults_true_until_the_guard_decides(self):
+        _, region = region_of(SRC)
+        assert saturate_region(region).applied is True
+
+    def test_loop_bounds_left_untouched(self):
+        """Bounds shape the launch topology, not per-thread work — the
+        saturator must not respell them."""
+        src = SRC.replace("i < n;", "i < n * 1;")
+        _, region = region_of(src)
+        saturate_region(region)
+        loops = find_stmts(region, Loop)
+        bound = next(l.bound for l in loops if l.var.name == "i")
+        assert isinstance(bound, BinOp)  # still ``n * 1``, not ``n``
+        assert format_expr(bound) == "n * 1"
+
+    def test_store_target_keeps_symbol_and_shape(self):
+        src = """
+kernel k(double a[0:n], const double b[0:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    a[(i * 4) / 4] = b[i];
+  }
+}
+"""
+        _, region = region_of(src)
+        saturate_region(region)
+        (assign,) = find_stmts(region, Assign)
+        assert isinstance(assign.target, ArrayRef)
+        assert assign.target.sym.name == "a"
+        # The subscript itself may canonicalize: (i*4)/4 -> i.
+        assert format_expr(assign.target) == "a[i]"
+
+    def test_branch_conditions_and_decl_inits_are_slots(self):
+        src = """
+kernel k(double a[0:n], const double b[0:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    double t = b[i] / 2.0;
+    if (b[i] / 2.0 > 0.5) { a[i] = t; } else { a[i] = 0.0 - t; }
+  }
+}
+"""
+        _, region = region_of(src)
+        report = saturate_region(region)
+        (decl,) = find_stmts(region, LocalDecl)
+        (cond,) = [s.cond for s in find_stmts(region, If)]
+        assert format_expr(decl.init) == "b[i] * 0.5"
+        assert "* 0.5" in format_expr(cond)
+        assert report.rewritten >= 2
+
+    def test_empty_region_is_a_no_op(self):
+        src = """
+kernel k(double a[0:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    a[i] = 1.0;
+  }
+}
+"""
+        _, region = region_of(src)
+        report = saturate_region(region)
+        assert report.rewritten == 0
+        assert report.new_candidates == 0
+
+    def test_same_source_saturates_identically(self):
+        def run():
+            fn, region = region_of(SRC)
+            report = saturate_region(region)
+            return Printer().print_function(fn), (
+                report.exprs, report.nodes, report.classes, report.unions,
+                report.iterations, report.saturated,
+                report.unified_spellings, report.rewritten,
+                report.new_candidates,
+            )
+
+        assert run() == run()
+
+    def test_custom_weights_steer_extraction(self):
+        src = """
+kernel k(double a[0:n], const double b[0:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    a[i] = b[i] / 2.0;
+  }
+}
+"""
+        _, cheap_div = region_of(src)
+        saturate_region(cheap_div, weights={"div": 0.9, "mul": 5.0})
+        (assign,) = find_stmts(cheap_div, Assign)
+        assert format_expr(assign.value) == "b[i] / 2.0"
+
+        _, default = region_of(src)
+        saturate_region(default)
+        (assign,) = find_stmts(default, Assign)
+        assert format_expr(assign.value) == "b[i] * 0.5"

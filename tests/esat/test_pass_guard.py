@@ -1,0 +1,124 @@
+"""The session's dual-compile pressure guard: ``--saturate`` compiles each
+region both ways and ships the saturated kernel only when it is never
+worse — no more registers, spills, or model cycles than the base kernel."""
+
+import numpy as np
+
+from repro.compiler import BASE, CompilerSession
+from repro.compiler.session import CompilerSession as _Session
+from repro.gpu.interpreter import run_kernel
+from repro.ir import build_module
+from repro.lang import parse_program
+
+SRC = """
+kernel scale(double a[0:n], const double b[0:n], int n) {
+  #pragma acc kernels loop gang vector(64)
+  for (i = 0; i < n; i++) {
+    a[i] = b[i] * 2.0 + b[(i * 4) / 4] / 2.0;
+  }
+}
+"""
+
+SAT = BASE.derive(name="base+sat", saturate=True)
+
+
+class TestGuardedCompile:
+    def test_saturated_never_worse_in_registers(self):
+        session = CompilerSession()
+        base = session.compile_source(SRC, BASE)
+        sat = session.compile_source(SRC, SAT)
+        for bk, sk in zip(base.kernels, sat.kernels):
+            assert sk.ptxas.registers <= bk.ptxas.registers
+            assert sk.ptxas.spill_bytes <= bk.ptxas.spill_bytes
+
+    def test_esat_report_attached_and_applied(self):
+        program = CompilerSession().compile_source(SRC, SAT)
+        (kernel,) = program.kernels
+        assert kernel.esat is not None
+        assert kernel.esat.rewritten >= 1
+        assert kernel.esat.applied is True
+
+    def test_discarded_compile_is_still_charged(self):
+        """The guard lowers each region twice; the discarded
+        alternative's backend invocations still count."""
+        sat = CompilerSession().compile_source(SRC, SAT)
+        base = CompilerSession().compile_source(SRC, BASE)
+        assert (
+            sat.kernels[0].backend_compilations
+            == 2 * base.kernels[0].backend_compilations
+        )
+
+    def test_unsaturated_config_has_no_esat_report(self):
+        program = CompilerSession().compile_source(SRC, BASE)
+        assert program.kernels[0].esat is None
+
+    def test_guard_fallback_keeps_base_kernel(self, monkeypatch):
+        """Force the verdict to 'worse': the base kernel ships, the
+        report says so, and the fallback counter ticks."""
+        monkeypatch.setattr(
+            _Session, "_never_worse", staticmethod(lambda sat, base, arch: False)
+        )
+        session = CompilerSession()
+        sat = session.compile_source(SRC, SAT)
+        base = CompilerSession().compile_source(SRC, BASE)
+        (sk,), (bk,) = sat.kernels, base.kernels
+        assert sk.esat is not None and sk.esat.applied is False
+        assert sk.ptxas.registers == bk.ptxas.registers
+        assert len(sk.vir.instrs) == len(bk.vir.instrs)
+        fallbacks = session.metrics.as_dict()["esat.guard_fallbacks"]
+        assert fallbacks["value"] == 1
+
+    def test_fallback_leaves_caller_ir_unsaturated(self, monkeypatch):
+        """When the guard rejects saturation the caller's IR must stay
+        the base program — the region graft only happens on accept."""
+        monkeypatch.setattr(
+            _Session, "_never_worse", staticmethod(lambda sat, base, arch: False)
+        )
+        fn = build_module(parse_program(SRC)).functions[0]
+        CompilerSession().compile_function(fn, SAT)
+        from repro.ir.printer import format_expr
+        from repro.ir.stmt import Assign, walk_stmts
+
+        (assign,) = [
+            s for s in walk_stmts(fn.regions()[0].body)
+            if isinstance(s, Assign)
+        ]
+        assert "* 2.0" in format_expr(assign.value)
+
+    def test_accepted_saturation_grafts_region_ir(self):
+        fn = build_module(parse_program(SRC)).functions[0]
+        CompilerSession().compile_function(fn, SAT)
+        from repro.ir.printer import format_expr
+        from repro.ir.stmt import Assign, walk_stmts
+
+        (assign,) = [
+            s for s in walk_stmts(fn.regions()[0].body)
+            if isinstance(s, Assign)
+        ]
+        assert format_expr(assign.value).count("b[i]") == 3
+
+    def test_guarded_compile_is_bit_identical(self):
+        """The shipped saturated program computes the base program's
+        exact bits (scalar oracle)."""
+        n = 64
+        rng = np.random.default_rng(7)
+        b = rng.uniform(-2.0, 2.0, size=n)
+
+        fn_base = build_module(parse_program(SRC)).functions[0]
+        a_base = {"a": np.zeros(n), "b": b.copy(), "n": n}
+        run_kernel(fn_base, a_base)
+
+        fn_sat = build_module(parse_program(SRC)).functions[0]
+        CompilerSession().compile_function(fn_sat, SAT)
+        a_sat = {"a": np.zeros(n), "b": b.copy(), "n": n}
+        run_kernel(fn_sat, a_sat)
+
+        np.testing.assert_array_equal(a_base["a"], a_sat["a"])
+
+    def test_esat_counters_recorded_in_session_stats(self):
+        session = CompilerSession()
+        session.compile_source(SRC, SAT)
+        counters = session.metrics.as_dict()
+        assert counters["esat.rewritten"]["value"] >= 1
+        assert counters["esat.new_candidates"]["value"] >= 1
+        assert counters["esat.guard_fallbacks"]["value"] == 0

@@ -1,0 +1,178 @@
+"""The rewrite-rule catalog: each rule unifies exactly what its bit-exact
+contract promises — and refuses the float rewrites the module docstring
+rules out (reassociation, ``+ 0.0``, general div-to-mul, pow chains)."""
+
+from repro.esat.egraph import EGraph
+from repro.esat.rules import default_rules
+from repro.ir import BinOp, IntConst, UnOp, VarRef
+from repro.ir.expr import Call, FloatConst
+from repro.ir.symbols import Symbol, SymbolKind
+from repro.ir.types import F64, I32
+
+X = Symbol(name="x", stype=F64, kind=SymbolKind.PARAM)
+Y = Symbol(name="y", stype=F64, kind=SymbolKind.PARAM)
+Z = Symbol(name="z", stype=F64, kind=SymbolKind.PARAM)
+I = Symbol(name="i", stype=I32, kind=SymbolKind.LOOPVAR)
+J = Symbol(name="j", stype=I32, kind=SymbolKind.LOOPVAR)
+
+
+def unified(e1, e2) -> bool:
+    """Saturation proves ``e1 == e2`` (they land in one e-class)."""
+    eg = EGraph()
+    a, b = eg.add(e1), eg.add(e2)
+    eg.saturate(default_rules())
+    return eg.find(a) == eg.find(b)
+
+
+class TestCommute:
+    def test_int_add_commutes(self):
+        assert unified(BinOp("+", VarRef(I), VarRef(J)),
+                       BinOp("+", VarRef(J), VarRef(I)))
+
+    def test_float_mul_commutes(self):
+        assert unified(BinOp("*", VarRef(X), VarRef(Y)),
+                       BinOp("*", VarRef(Y), VarRef(X)))
+
+    def test_sub_does_not_commute(self):
+        assert not unified(BinOp("-", VarRef(I), VarRef(J)),
+                           BinOp("-", VarRef(J), VarRef(I)))
+
+
+class TestAssociateInt:
+    def test_int_add_reassociates(self):
+        a = BinOp("+", BinOp("+", VarRef(I), VarRef(J)), IntConst(3))
+        b = BinOp("+", VarRef(I), BinOp("+", VarRef(J), IntConst(3)))
+        assert unified(a, b)
+
+    def test_float_add_does_not_reassociate(self):
+        """Reassociation changes float rounding — deliberately absent."""
+        a = BinOp("+", BinOp("+", VarRef(X), VarRef(Y)), VarRef(Z))
+        b = BinOp("+", VarRef(X), BinOp("+", VarRef(Y), VarRef(Z)))
+        assert not unified(a, b)
+
+
+class TestFoldInt:
+    def test_add_folds(self):
+        assert unified(BinOp("+", IntConst(3), IntConst(4)), IntConst(7))
+
+    def test_mul_folds(self):
+        assert unified(BinOp("*", IntConst(-3), IntConst(5)), IntConst(-15))
+
+    def test_div_truncates_toward_zero(self):
+        """C semantics: -7 / 2 == -3 (not Python's floor -4)."""
+        assert unified(BinOp("/", IntConst(-7), IntConst(2)), IntConst(-3))
+        assert not unified(BinOp("/", IntConst(-7), IntConst(2)), IntConst(-4))
+
+    def test_div_by_zero_never_folds(self):
+        assert not unified(BinOp("/", IntConst(7), IntConst(0)), IntConst(0))
+
+    def test_unary_neg_folds(self):
+        assert unified(UnOp("-", IntConst(5)), IntConst(-5))
+
+    def test_float_constants_do_not_fold(self):
+        assert not unified(BinOp("+", FloatConst(1.0), FloatConst(2.0)),
+                           FloatConst(3.0))
+
+
+class TestIdentity:
+    def test_mul_one_float(self):
+        assert unified(BinOp("*", VarRef(X), FloatConst(1.0)), VarRef(X))
+
+    def test_div_one_float(self):
+        assert unified(BinOp("/", VarRef(X), FloatConst(1.0)), VarRef(X))
+
+    def test_add_zero_int_only(self):
+        assert unified(BinOp("+", VarRef(I), IntConst(0)), VarRef(I))
+        # -0.0 + 0.0 is +0.0: the float form must NOT unify.
+        assert not unified(BinOp("+", VarRef(X), FloatConst(0.0)), VarRef(X))
+
+    def test_mul_zero_int_only(self):
+        assert unified(BinOp("*", VarRef(I), IntConst(0)), IntConst(0))
+        # NaN * 0.0 is NaN: the float form must NOT unify.
+        assert not unified(BinOp("*", VarRef(X), FloatConst(0.0)),
+                           FloatConst(0.0))
+
+    def test_self_subtraction_int_only(self):
+        assert unified(BinOp("-", VarRef(I), VarRef(I)), IntConst(0))
+        assert not unified(BinOp("-", VarRef(X), VarRef(X)), FloatConst(0.0))
+
+
+class TestMulTwo:
+    def test_int_times_two_is_self_add(self):
+        assert unified(BinOp("*", VarRef(I), IntConst(2)),
+                       BinOp("+", VarRef(I), VarRef(I)))
+
+    def test_float_times_two_is_self_add(self):
+        assert unified(BinOp("*", VarRef(X), FloatConst(2.0)),
+                       BinOp("+", VarRef(X), VarRef(X)))
+
+    def test_times_three_is_not(self):
+        assert not unified(BinOp("*", VarRef(X), FloatConst(3.0)),
+                           BinOp("+", VarRef(X), VarRef(X)))
+
+
+class TestDivPow2:
+    def test_div_by_power_of_two_is_mul_by_inverse(self):
+        assert unified(BinOp("/", VarRef(X), FloatConst(2.0)),
+                       BinOp("*", VarRef(X), FloatConst(0.5)))
+        assert unified(BinOp("/", VarRef(X), FloatConst(-4.0)),
+                       BinOp("*", VarRef(X), FloatConst(-0.25)))
+
+    def test_div_by_non_power_of_two_stays(self):
+        """1/3 is not exactly representable — rewriting would change bits."""
+        assert not unified(BinOp("/", VarRef(X), FloatConst(3.0)),
+                           BinOp("*", VarRef(X), FloatConst(1.0 / 3.0)))
+
+    def test_int_division_is_not_scaled(self):
+        assert not unified(BinOp("/", VarRef(I), IntConst(2)),
+                           BinOp("*", VarRef(I), IntConst(2)))
+
+
+class TestDivCancel:
+    def test_scaled_subscript_cancels(self):
+        """(i * 4) / 4 == i — the obfuscated-subscript re-unifier."""
+        assert unified(
+            BinOp("/", BinOp("*", VarRef(I), IntConst(4)), IntConst(4)),
+            VarRef(I),
+        )
+
+    def test_constant_on_either_side_of_the_product(self):
+        assert unified(
+            BinOp("/", BinOp("*", IntConst(4), VarRef(I)), IntConst(4)),
+            VarRef(I),
+        )
+
+    def test_mismatched_constants_do_not_cancel(self):
+        assert not unified(
+            BinOp("/", BinOp("*", VarRef(I), IntConst(4)), IntConst(2)),
+            VarRef(I),
+        )
+
+
+class TestPowSquare:
+    def test_pow_two_is_self_mul_for_float_base(self):
+        assert unified(Call("pow", (VarRef(X), FloatConst(2.0))),
+                       BinOp("*", VarRef(X), VarRef(X)))
+
+    def test_pow_one_is_identity_for_float_base(self):
+        assert unified(Call("pow", (VarRef(X), FloatConst(1.0))), VarRef(X))
+
+    def test_pow_three_is_left_alone(self):
+        """x*x*x rounds twice, pow once — differ by an ulp; no rule."""
+        assert not unified(
+            Call("pow", (VarRef(X), FloatConst(3.0))),
+            BinOp("*", BinOp("*", VarRef(X), VarRef(X)), VarRef(X)),
+        )
+
+    def test_int_base_is_left_alone(self):
+        """pow promotes an int base to double: x * x would skip the cast."""
+        assert not unified(Call("pow", (VarRef(I), FloatConst(2.0))),
+                           BinOp("*", VarRef(I), VarRef(I)))
+
+
+class TestRuleCatalog:
+    def test_default_rules_are_deterministically_ordered(self):
+        names = [r.name for r in default_rules()]
+        assert names == [r.name for r in default_rules()]
+        assert len(names) == len(set(names))
+        assert "mul-two" in names and "div-pow2" in names

@@ -19,6 +19,11 @@ def exercised_registry() -> MetricsRegistry:
     m.histogram("pipeline.pass.safara.wall_ms").observe(1.5)
     # codegen — the PR 7 generated-NumPy tier.
     m.counter("codegen.functions_built").inc()
+    # ir / esat — the PR 10 intern-table counters and equality saturation.
+    m.counter("ir.intern.hits").inc(5)
+    m.counter("ir.intern.misses").inc(2)
+    m.counter("esat.unions").inc(3)
+    m.counter("esat.new_candidates").inc()
     # tune — the PR 5 autotuner.
     m.counter("tune.trials").inc(7)
     m.histogram("tune.trial_ms").observe(12.0)
@@ -47,8 +52,8 @@ class TestRenderCoverage:
         m = exercised_registry()
         text = m.render_text()
         titles = dict(METRIC_FAMILIES)
-        for family in ("session", "cache", "pipeline", "codegen",
-                       "tune", "serve", "loadgen"):
+        for family in ("session", "cache", "ir", "pipeline", "esat",
+                       "codegen", "tune", "serve", "loadgen"):
             assert f"# {titles[family]}" in text, family
 
     def test_unknown_family_lands_in_catch_all(self):

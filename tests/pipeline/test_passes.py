@@ -42,7 +42,7 @@ kernel chain(const double x[1:nz][1:ny][1:nx], double y[1:nz][1:ny][1:nx],
 class TestPassManager:
     def test_default_order(self):
         assert PassManager().pass_names() == [
-            "autopar", "licm", "unroll", "carr-kennedy", "safara",
+            "autopar", "licm", "unroll", "esat", "carr-kennedy", "safara",
         ]
 
     def test_register_appends_by_default(self):
@@ -178,7 +178,7 @@ class TestCliStats:
         assert stats["compilations"] == 2  # two default configs
         assert stats["cache"]["misses"] == 2
         names = [p["pass"] for p in stats["traces"][0]["regions"][0]["passes"]]
-        assert names == ["autopar", "licm", "unroll", "carr-kennedy", "safara"]
+        assert names == ["autopar", "licm", "unroll", "esat", "carr-kennedy", "safara"]
         for p in stats["traces"][0]["regions"][0]["passes"]:
             assert {"wall_ms", "ir_delta", "register_delta"} <= set(p)
 

@@ -1,0 +1,141 @@
+"""The pluggable pass registry: normalization, aliases, loud failure on
+unknown names, third-party registration, the facade exports, and the
+``repro passes`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.pipeline import (
+    DEFAULT_PASS_ORDER,
+    PASSES,
+    Pass,
+    PassRegistry,
+    default_passes,
+    get_pass,
+    list_passes,
+    register_pass,
+)
+from repro.pipeline.passes import EsatPass, SafaraPass
+
+
+class TestLookup:
+    def test_canonical_names_resolve(self):
+        assert PASSES.get("esat") is EsatPass
+        assert PASSES.get("safara") is SafaraPass
+
+    def test_lookup_normalizes_case_spaces_underscores(self):
+        assert PASSES.get("Carr Kennedy") is PASSES.get("carr-kennedy")
+        assert PASSES.get("carr_kennedy") is PASSES.get("carr-kennedy")
+        assert PASSES.get("  ESAT  ") is EsatPass
+
+    def test_aliases_resolve_to_the_same_class(self):
+        assert PASSES.get("equality-saturation") is EsatPass
+        assert PASSES.get("saturate") is EsatPass
+        assert PASSES.get("ck") is PASSES.get("carr-kennedy")
+        assert PASSES.get("scalar-replacement") is SafaraPass
+        assert PASSES.get("auto_parallelize") is PASSES.get("autopar")
+
+    def test_class_passes_through(self):
+        assert PASSES.get(EsatPass) is EsatPass
+
+    def test_unknown_name_lists_registered_passes(self):
+        with pytest.raises(ConfigError, match="unknown optimization pass"):
+            PASSES.get("fuse-everything")
+        with pytest.raises(ConfigError, match="esat"):
+            PASSES.get("fuse-everything")
+
+    def test_contains_covers_names_and_aliases(self):
+        assert "esat" in PASSES
+        assert "saturate" in PASSES
+        assert "SATURATE" in PASSES
+        assert "fuse-everything" not in PASSES
+
+    def test_key_of_maps_class_back_to_canonical_key(self):
+        assert PASSES.key_of(EsatPass) == "esat"
+
+        class Unregistered(Pass):
+            name = "nope"
+
+            def run(self, ctx):
+                return None
+
+        assert PASSES.key_of(Unregistered) is None
+
+
+class TestRegistration:
+    def test_register_in_a_fresh_registry(self):
+        reg = PassRegistry()
+
+        class FusePass(Pass):
+            name = "fuse"
+
+            def run(self, ctx):
+                return None
+
+        reg.register("fuse", FusePass, aliases=("loop-fuse",))
+        assert reg.get("fuse") is FusePass
+        assert reg.get("loop-fuse") is FusePass
+        assert reg.get("fuse") is FusePass  # the class's own name too
+        assert reg.names() == ["fuse"]
+        # The process-wide registry is untouched.
+        assert "fuse" not in PASSES
+
+    def test_register_rejects_non_pass_classes(self):
+        reg = PassRegistry()
+        with pytest.raises(ConfigError, match="Pass subclass"):
+            reg.register("bad", object)  # type: ignore[arg-type]
+        with pytest.raises(ConfigError, match="Pass subclass"):
+            reg.register("bad", EsatPass())  # instance, not class
+
+    def test_facade_exports(self):
+        import repro
+
+        assert repro.get_pass is get_pass
+        assert repro.list_passes is list_passes
+        assert repro.register_pass is register_pass
+        assert get_pass("esat") is EsatPass
+        assert "esat" in list_passes()
+
+
+class TestDefaultPipeline:
+    def test_default_passes_come_from_the_registry(self):
+        names = [p.name for p in default_passes()]
+        assert names == ["autopar", "licm", "unroll", "esat",
+                         "carr-kennedy", "safara"]
+        assert list(DEFAULT_PASS_ORDER) == [
+            "autopar", "licm", "unroll", "esat", "carr-kennedy", "safara",
+        ]
+
+    def test_every_default_pass_is_registered(self):
+        for key in DEFAULT_PASS_ORDER:
+            assert key in PASSES
+
+    def test_default_passes_are_fresh_instances(self):
+        a, b = default_passes(), default_passes()
+        assert all(x is not y for x, y in zip(a, b))
+
+    def test_esat_runs_before_scalar_replacement(self):
+        names = [p.name for p in default_passes()]
+        assert names.index("esat") < names.index("safara")
+
+
+class TestPassesCli:
+    def test_text_output_lists_default_pipeline_in_order(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        assert "default pipeline (in order):" in out
+        lines = [ln.split()[0] for ln in out.splitlines() if ln.startswith("  ")]
+        assert lines[: len(DEFAULT_PASS_ORDER)] == list(DEFAULT_PASS_ORDER)
+
+    def test_json_output_names_classes_and_positions(self, capsys):
+        assert main(["passes", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_key = {r["pass"]: r for r in rows}
+        assert by_key["esat"]["class"] == "EsatPass"
+        assert by_key["esat"]["default_position"] == 3
+        for row in rows:
+            assert set(row) == {"pass", "class", "default_position", "summary"}
+            assert row["summary"]

@@ -169,7 +169,7 @@ class TestSessionStats:
         assert d["timings"] == 1
         assert d["cache"]["hits"] == 1 and d["cache"]["misses"] == 1
         assert set(d["pass_totals"]) == {
-            "autopar", "licm", "unroll", "carr-kennedy", "safara",
+            "autopar", "licm", "unroll", "esat", "carr-kennedy", "safara",
         }
         trace = d["traces"][0]
         assert trace["config"] == SMALL_DIM_SAFARA.name

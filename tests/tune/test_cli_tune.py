@@ -40,6 +40,7 @@ GOLDEN_TRIAL = {
 GOLDEN_POINT = {
     "register_limit", "safara", "safara_max_candidates",
     "honor_small", "honor_dim", "unroll_factor", "arch",
+    "saturate", "esat_weights",
 }
 
 
